@@ -1,0 +1,37 @@
+# sssdb build targets. Everything is pure Go stdlib; no tool dependencies
+# beyond the Go toolchain.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments experiments-full fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's experiment tables (quick sizes).
+experiments:
+	$(GO) run ./cmd/ssbench
+
+# Full-size experiment run (minutes).
+experiments-full:
+	$(GO) run ./cmd/ssbench -full
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,124 @@
+package sssdb
+
+// One testing.B target per experiment in DESIGN.md's index. Each benchmark
+// regenerates its experiment at quick scale; run cmd/ssbench -full for the
+// full-size tables. Micro-benchmarks of individual mechanisms live next to
+// their packages (internal/field, internal/opp, internal/store, ...).
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sssdb/internal/bench"
+)
+
+func runExperiment(b *testing.B, fn func(bench.Scale) (*bench.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(bench.Scale{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_Figure1(b *testing.B)          { runExperiment(b, bench.RunE1) }
+func BenchmarkE2_ShareVsEncrypt(b *testing.B)   { runExperiment(b, bench.RunE2) }
+func BenchmarkE3_Intersection(b *testing.B)     { runExperiment(b, bench.RunE3) }
+func BenchmarkE4_PIRComm(b *testing.B)          { runExperiment(b, bench.RunE4) }
+func BenchmarkE5_CPIRvsTrivial(b *testing.B)    { runExperiment(b, bench.RunE5) }
+func BenchmarkE6_ExactMatch(b *testing.B)       { runExperiment(b, bench.RunE6) }
+func BenchmarkE7_Range(b *testing.B)            { runExperiment(b, bench.RunE7) }
+func BenchmarkE8_Aggregates(b *testing.B)       { runExperiment(b, bench.RunE8) }
+func BenchmarkE9_Join(b *testing.B)             { runExperiment(b, bench.RunE9) }
+func BenchmarkE10_FaultTolerance(b *testing.B)  { runExperiment(b, bench.RunE10) }
+func BenchmarkE11_OPPSecurity(b *testing.B)     { runExperiment(b, bench.RunE11) }
+func BenchmarkE12_NonNumeric(b *testing.B)      { runExperiment(b, bench.RunE12) }
+func BenchmarkE13_Updates(b *testing.B)         { runExperiment(b, bench.RunE13) }
+func BenchmarkE14_Verification(b *testing.B)    { runExperiment(b, bench.RunE14) }
+func BenchmarkE15_Mashup(b *testing.B)          { runExperiment(b, bench.RunE15) }
+func BenchmarkAblation_FieldVsBig(b *testing.B) { runExperiment(b, bench.RunA1) }
+func BenchmarkAblation_DualShares(b *testing.B) { runExperiment(b, bench.RunA2) }
+func BenchmarkAblation_ShareKeys(b *testing.B)  { runExperiment(b, bench.RunA3) }
+func BenchmarkAblation_OPPDegree(b *testing.B)  { runExperiment(b, bench.RunA4) }
+func BenchmarkScaling_TableSize(b *testing.B)   { runExperiment(b, bench.RunS1) }
+
+// End-to-end statement benchmarks through the public API.
+
+func newBenchCluster(b *testing.B, rows int) *Cluster {
+	b.Helper()
+	cluster, err := OpenLocal(3, Options{K: 2, MasterKey: []byte("bench")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cluster.Close() })
+	if _, err := cluster.Client.Exec(`CREATE TABLE t (name VARCHAR(8), v INT)`); err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	for off := 0; off < rows; off += 500 {
+		sb.Reset()
+		sb.WriteString("INSERT INTO t VALUES ")
+		for i := off; i < off+500 && i < rows; i++ {
+			if i > off {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "('N%04d', %d)", i%1000, i)
+		}
+		if _, err := cluster.Client.Exec(sb.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cluster
+}
+
+func BenchmarkSQLInsertRow(b *testing.B) {
+	cluster := newBenchCluster(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fmt.Sprintf(`INSERT INTO t VALUES ('X%04d', %d)`, i%10000, i)
+		if _, err := cluster.Client.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLExactMatch(b *testing.B) {
+	cluster := newBenchCluster(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Client.Exec(`SELECT v FROM t WHERE name = 'N0500'`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLRange1Pct(b *testing.B) {
+	cluster := newBenchCluster(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Client.Exec(`SELECT v FROM t WHERE v BETWEEN 1000 AND 1050`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLSum(b *testing.B) {
+	cluster := newBenchCluster(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Client.Exec(`SELECT SUM(v) FROM t WHERE v BETWEEN 1000 AND 4000`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLVerifiedRange(b *testing.B) {
+	cluster := newBenchCluster(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Client.Exec(`SELECT v FROM t WHERE v BETWEEN 1000 AND 1050 VERIFIED`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command dasd runs one Database Service Provider: a share-space storage
+// engine serving the sssdb wire protocol over TCP.
+//
+// Usage:
+//
+//	dasd -listen 127.0.0.1:7001 -dir /var/lib/dasd1
+//
+// With -dir, state is durable (snapshot + write-ahead log, recovered on
+// restart); without it the provider is memory-only. The provider never
+// holds keys or plaintext: everything it stores is shares and opaque
+// payloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sssdb/internal/server"
+	"sssdb/internal/store"
+	"sssdb/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7001", "address to serve the provider protocol on")
+	dir := flag.String("dir", "", "data directory (empty = memory-only)")
+	compactOnStart := flag.Bool("compact", false, "write a snapshot and truncate the WAL after recovery")
+	flag.Parse()
+
+	if *dir != "" {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			log.Fatalf("dasd: creating data dir: %v", err)
+		}
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		log.Fatalf("dasd: opening store: %v", err)
+	}
+	defer st.Close()
+	if *compactOnStart {
+		if err := st.Compact(); err != nil {
+			log.Fatalf("dasd: compacting: %v", err)
+		}
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("dasd: listen %s: %v", *listen, err)
+	}
+	srv := transport.NewServer(ln, server.New(st))
+	fmt.Printf("dasd: serving on %s (dir=%q, tables=%d)\n", srv.Addr(), *dir, len(st.ListTables()))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("dasd: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("dasd: closing server: %v", err)
+	}
+	if *dir != "" {
+		if err := st.Compact(); err != nil {
+			log.Printf("dasd: final compaction: %v", err)
+		}
+	}
+}

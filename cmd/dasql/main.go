@@ -1,0 +1,187 @@
+// Command dasql is the interactive SQL shell of the data source: it
+// connects to n providers (or starts an in-process cluster with -local),
+// rewrites every statement into share space, and prints reconstructed
+// results.
+//
+// Usage:
+//
+//	dasql -providers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 -k 2 -key secret
+//	dasql -local 3 -k 2
+//
+// Shell commands: .tables, .stats, .audit <table>, .help, .quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sssdb"
+)
+
+func main() {
+	providers := flag.String("providers", "", "comma-separated provider addresses")
+	local := flag.Int("local", 0, "start an in-process cluster with this many providers instead")
+	k := flag.Int("k", 2, "reconstruction threshold")
+	key := flag.String("key", "", "master key (required with -providers; never sent to providers)")
+	verified := flag.Bool("verified", false, "verify every read (Merkle proofs + robust reconstruction)")
+	catalog := flag.String("catalog", "", "schema catalog file: loaded on start, saved after schema changes")
+	execOne := flag.String("e", "", "execute one statement and exit (scriptable mode)")
+	flag.Parse()
+
+	opts := sssdb.Options{K: *k, Verified: *verified}
+	var db *sssdb.Client
+	switch {
+	case *local > 0:
+		if *key == "" {
+			*key = "dasql-local-demo-key"
+		}
+		opts.MasterKey = []byte(*key)
+		cluster, err := sssdb.OpenLocal(*local, opts)
+		if err != nil {
+			fatal(err)
+		}
+		defer cluster.Close()
+		db = cluster.Client
+		fmt.Printf("dasql: in-process cluster, n=%d k=%d\n", *local, *k)
+	case *providers != "":
+		if *key == "" {
+			fatal(fmt.Errorf("-key is required with -providers"))
+		}
+		opts.MasterKey = []byte(*key)
+		addrs := strings.Split(*providers, ",")
+		var err error
+		db, err = sssdb.Open(addrs, opts)
+		if err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+		fmt.Printf("dasql: connected to %d providers, k=%d\n", len(addrs), *k)
+	default:
+		fatal(fmt.Errorf("pass -providers or -local; see -h"))
+	}
+
+	if *catalog != "" {
+		if data, err := os.ReadFile(*catalog); err == nil {
+			if err := db.ImportCatalog(data); err != nil {
+				fatal(fmt.Errorf("loading catalog %s: %w", *catalog, err))
+			}
+			fmt.Printf("dasql: catalog loaded, %d tables\n", len(db.Tables()))
+		} else if !os.IsNotExist(err) {
+			fatal(err)
+		}
+	}
+	saveCatalog := func() {
+		if *catalog == "" {
+			return
+		}
+		data, err := db.ExportCatalog()
+		if err != nil {
+			fmt.Println("error saving catalog:", err)
+			return
+		}
+		if err := os.WriteFile(*catalog, data, 0o600); err != nil {
+			fmt.Println("error saving catalog:", err)
+		}
+	}
+	defer saveCatalog()
+
+	if *execOne != "" {
+		res, err := db.Exec(*execOne)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res)
+		return
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("sssdb> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".help":
+			fmt.Println("statements: CREATE [PUBLIC] TABLE / INSERT / SELECT [GROUP BY|ORDER BY|VERIFIED] /")
+			fmt.Println("            UPDATE / DELETE / DROP TABLE / EXPLAIN SELECT ...")
+			fmt.Println("shell: .tables  .stats  .audit <table>  .quit")
+		case line == ".tables":
+			for _, t := range db.Tables() {
+				fmt.Println(" ", t)
+			}
+		case line == ".stats":
+			st := db.Stats()
+			fmt.Printf("  calls=%d sent=%d recv=%d bytes\n", st.Calls, st.BytesSent, st.BytesReceived)
+		case strings.HasPrefix(line, ".audit "):
+			table := strings.TrimSpace(strings.TrimPrefix(line, ".audit "))
+			report, err := db.Audit(table)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("  %d rows verified; faulty providers: %v\n", report.Rows, report.Faulty)
+		default:
+			res, err := db.Exec(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			printResult(res)
+			// Persist schema changes and row-id counters.
+			saveCatalog()
+		}
+		fmt.Print("sssdb> ")
+	}
+}
+
+func printResult(res *sssdb.Result) {
+	if len(res.Columns) == 0 {
+		fmt.Printf("  ok (%d rows affected)\n", res.Affected)
+		return
+	}
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			cells[r][i] = v.Format()
+			if len(cells[r][i]) > widths[i] {
+				widths[i] = len(cells[r][i])
+			}
+		}
+	}
+	printRow := func(parts []string) {
+		out := make([]string, len(parts))
+		for i, p := range parts {
+			out[i] = fmt.Sprintf("%-*s", widths[i], p)
+		}
+		fmt.Println("  " + strings.Join(out, " | "))
+	}
+	printRow(res.Columns)
+	sep := make([]string, len(res.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range cells {
+		printRow(row)
+	}
+	suffix := ""
+	if res.Verified {
+		suffix = " (verified)"
+	}
+	fmt.Printf("  %d rows%s\n", len(res.Rows), suffix)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dasql:", err)
+	os.Exit(1)
+}

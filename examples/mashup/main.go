@@ -1,0 +1,76 @@
+// Mashup: Sec. V-D's private/public data scenario. A client keeps a
+// private table of friends (names, zip codes) and the provider also hosts
+// a public restaurant directory. The client asks for "restaurants near my
+// friend" — the join happens AT the provider, in share space, so the
+// provider learns neither which friend, which zip, nor which restaurants
+// matched. The section's FBI/TSA watch-list intersection is the same query
+// shape.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sssdb"
+)
+
+func main() {
+	cluster, err := sssdb.OpenLocal(3, sssdb.Options{
+		K:         2,
+		MasterKey: []byte("mashup master key"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	db := cluster.Client
+
+	must := func(q string) *sssdb.Result {
+		res, err := db.Exec(q)
+		if err != nil {
+			log.Fatalf("%s\n  -> %v", q, err)
+		}
+		return res
+	}
+
+	// Private data: my friends. zip shares the INT domain with the public
+	// table, which is exactly what makes the provider-side join possible.
+	must(`CREATE TABLE friends (name VARCHAR(8), zip INT)`)
+	must(`INSERT INTO friends VALUES
+		('ANN', 94103), ('BEN', 10001), ('CARLA', 94103), ('DAN', 60601)`)
+
+	// Public data: a restaurant directory anyone may read. The BLOB info
+	// stays plaintext (PUBLIC table); the queryable zip column is shared
+	// like everything else so it can join against private data.
+	must(`CREATE PUBLIC TABLE restaurants (rname VARCHAR(10), zip INT, info BLOB)`)
+	must(`INSERT INTO restaurants VALUES
+		('LUIGIS', 94103, 'pizza, open late'),
+		('SAKURA', 94103, 'sushi'),
+		('SCHNITZEL', 10001, 'austrian'),
+		('TACOS', 60601, 'food truck'),
+		('BISTRO', 30301, 'french')`)
+
+	fmt.Println("== restaurants near ANN (provider never learns it's Ann or 94103) ==")
+	printRows(must(`SELECT restaurants.rname, restaurants.info
+		FROM friends JOIN restaurants ON friends.zip = restaurants.zip
+		WHERE friends.name = 'ANN'`))
+
+	fmt.Println("\n== watch-list shape: which friends live where some restaurant is ==")
+	printRows(must(`SELECT friends.name, restaurants.rname
+		FROM friends JOIN restaurants ON friends.zip = restaurants.zip`))
+
+	st := db.Stats()
+	fmt.Printf("\ntraffic: %d calls, %d bytes — all shares and sealed payloads\n",
+		st.Calls, st.BytesSent+st.BytesReceived)
+}
+
+func printRows(res *sssdb.Result) {
+	fmt.Println("  ", res.Columns)
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.Format()
+		}
+		fmt.Println("  ", parts)
+	}
+}

@@ -1,0 +1,82 @@
+// Payroll: a realistic departmental payroll workload — decimals, string
+// prefixes, conjunctive predicates, and provider-side aggregation — that
+// keeps working while providers crash (the k-of-n availability dividend of
+// Sec. V-A's range-query discussion).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sssdb"
+)
+
+func main() {
+	// Five providers, threshold three: reads survive two crashes.
+	cluster, err := sssdb.OpenLocal(5, sssdb.Options{
+		K:         3,
+		MasterKey: []byte("payroll master key"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	db := cluster.Client
+
+	must := func(q string) *sssdb.Result {
+		res, err := db.Exec(q)
+		if err != nil {
+			log.Fatalf("%s\n  -> %v", q, err)
+		}
+		return res
+	}
+
+	must(`CREATE TABLE payroll (name VARCHAR(8), dept INT, salary DECIMAL(2))`)
+	must(`INSERT INTO payroll VALUES
+		('ANDERS', 1, 84000.50), ('ANNIKA', 1, 92000.00), ('BORIS', 1, 61000.25),
+		('CHLOE', 2, 115000.00), ('CARLOS', 2, 99000.75), ('DMITRI', 2, 87500.00),
+		('ELENA', 3, 132000.00), ('EMIL', 3, 76000.00), ('FRIDA', 3, 98000.00),
+		('ANTON', 2, 70500.10)`)
+
+	fmt.Println("== names starting with AN (LIKE compiled to a share-range) ==")
+	printRows(must(`SELECT name, dept, salary FROM payroll WHERE name LIKE 'AN%'`))
+
+	fmt.Println("\n== dept 2 engineers in a salary band (conjunction) ==")
+	printRows(must(`SELECT name, salary FROM payroll
+		WHERE salary BETWEEN 80000.00 AND 120000.00 AND dept = 2`))
+
+	fmt.Println("\n== payroll totals per the provider-side SUM shares ==")
+	printRows(must(`SELECT COUNT(*), SUM(salary), AVG(salary), MIN(salary), MAX(salary) FROM payroll`))
+
+	fmt.Println("\n== per-department totals: grouped partials computed AT the providers ==")
+	printRows(must(`SELECT dept, COUNT(*), SUM(salary), AVG(salary) FROM payroll GROUP BY dept`))
+
+	fmt.Println("\n== crash two providers; queries keep answering (k=3 of n=5) ==")
+	cluster.CrashProvider(0)
+	cluster.CrashProvider(3)
+	printRows(must(`SELECT MEDIAN(salary) FROM payroll WHERE dept = 1`))
+
+	fmt.Println("\n== a third crash exceeds the threshold ==")
+	cluster.CrashProvider(4)
+	if _, err := db.Exec(`SELECT COUNT(*) FROM payroll`); err != nil {
+		fmt.Println("  query failed as expected:", err)
+	}
+	cluster.RecoverProvider(0)
+	cluster.RecoverProvider(3)
+	cluster.RecoverProvider(4)
+	fmt.Println("\n== all providers recovered; raises applied eagerly ==")
+	fmt.Println("   (writes must reach every provider so no share set goes stale)")
+	must(`UPDATE payroll SET salary = 95000.00 WHERE name = 'BORIS'`)
+	printRows(must(`SELECT name, salary FROM payroll WHERE name = 'BORIS'`))
+}
+
+func printRows(res *sssdb.Result) {
+	fmt.Println("  ", res.Columns)
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.Format()
+		}
+		fmt.Println("  ", parts)
+	}
+}

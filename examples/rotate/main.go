@@ -1,0 +1,70 @@
+// Rotate: key rotation / provider migration. If the data source suspects
+// its master key (the paper's secret information X) leaked — or simply
+// wants to move to a new provider fleet — it reconstructs each table once
+// and re-outsources it under a fresh key: new evaluation points, new
+// coefficient hashes, freshly randomized field shares. The old providers'
+// stores become useless to anyone holding the old key alone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sssdb"
+)
+
+func main() {
+	oldCluster, err := sssdb.OpenLocal(3, sssdb.Options{
+		K:         2,
+		MasterKey: []byte("OLD key — presumed compromised"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer oldCluster.Close()
+	oldDB := oldCluster.Client
+
+	must := func(db *sssdb.Client, q string) *sssdb.Result {
+		res, err := db.Exec(q)
+		if err != nil {
+			log.Fatalf("%s\n  -> %v", q, err)
+		}
+		return res
+	}
+	must(oldDB, `CREATE TABLE accounts (owner VARCHAR(8), balance DECIMAL(2))`)
+	must(oldDB, `INSERT INTO accounts VALUES
+		('ALICE', 1200.50), ('BOB', 88.00), ('CAROL', 4310.75)`)
+	fmt.Println("old fleet loaded: 3 accounts under the old key")
+
+	// New fleet (could be entirely different providers), new key.
+	newCluster, err := sssdb.OpenLocal(3, sssdb.Options{
+		K:         2,
+		MasterKey: []byte("NEW key, freshly generated"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer newCluster.Close()
+	newDB := newCluster.Client
+	must(newDB, `CREATE TABLE accounts (owner VARCHAR(8), balance DECIMAL(2))`)
+
+	// Rotation = reconstruct once, re-share under the new key.
+	rows := must(oldDB, `SELECT owner, balance FROM accounts`)
+	migrated := make([][]sssdb.Value, len(rows.Rows))
+	copy(migrated, rows.Rows)
+	if _, err := newDB.InsertValues("accounts", migrated); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-shared %d rows under the new key\n", len(migrated))
+
+	// The new fleet answers; shares are unrelated to the old ones.
+	res := must(newDB, `SELECT owner, balance FROM accounts WHERE balance > 100.00 ORDER BY balance DESC`)
+	fmt.Println("query on the rotated fleet:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %s  %s\n", row[0].Format(), row[1].Format())
+	}
+
+	// Decommission the old fleet.
+	must(oldDB, `DROP TABLE accounts`)
+	fmt.Println("old table dropped; rotation complete")
+}

@@ -1,0 +1,3 @@
+module sssdb
+
+go 1.22

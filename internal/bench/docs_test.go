@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// Every experiment the harness can run must be documented: DESIGN.md (the
+// inventory) and EXPERIMENTS.md (claims vs measured) may not silently drift
+// from the code.
+func TestExperimentsAreDocumented(t *testing.T) {
+	design, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := string(design) + string(experiments)
+	for _, r := range All() {
+		if !strings.Contains(both, r.ID) {
+			t.Errorf("experiment %s (%s) is not mentioned in DESIGN.md or EXPERIMENTS.md", r.ID, r.Doc)
+		}
+	}
+	// And the experiment ids E1..E15 from the paper index all exist in code.
+	ids := map[string]bool{}
+	for _, r := range All() {
+		ids[r.ID] = true
+	}
+	for i := 1; i <= 15; i++ {
+		id := "E" + itoa(i)
+		if !ids[id] {
+			t.Errorf("paper experiment %s missing from the harness", id)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,534 @@
+package bench
+
+import (
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"sssdb/internal/client"
+	"sssdb/internal/encbase"
+	"sssdb/internal/field"
+	"sssdb/internal/opp"
+	"sssdb/internal/pir"
+	"sssdb/internal/psi"
+	"sssdb/internal/secretshare"
+	"sssdb/internal/workload"
+)
+
+// RunE1 reproduces Figure 1 exactly: the five salary polynomials, the
+// shares each provider stores, and reconstruction from every provider pair.
+func RunE1(Scale) (*Table, error) {
+	xs := []field.Element{field.New(2), field.New(4), field.New(1)}
+	scheme, err := secretshare.NewScheme(2, xs)
+	if err != nil {
+		return nil, err
+	}
+	polys := []field.Poly{
+		{field.New(10), field.New(100)},
+		{field.New(20), field.New(5)},
+		{field.New(40), field.New(1)},
+		{field.New(60), field.New(2)},
+		{field.New(80), field.New(4)},
+	}
+	salaries := []uint64{10, 20, 40, 60, 80}
+	t := &Table{
+		ID:         "E1",
+		Title:      "Figure 1 — secret-sharing the Salary column (n=3, k=2, X={2,4,1})",
+		PaperClaim: "DAS1 stores {210,30,42,64,88}, DAS2 {410,40,44,68,96}, DAS3 {110,25,41,62,84}; any 2 providers reconstruct",
+		Header:     []string{"salary", "polynomial", "DAS1(x=2)", "DAS2(x=4)", "DAS3(x=1)"},
+	}
+	polyText := []string{"100x+10", "5x+20", "x+40", "2x+60", "4x+80"}
+	for i, p := range polys {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(salaries[i]),
+			polyText[i],
+			p.Eval(field.New(2)).String(),
+			p.Eval(field.New(4)).String(),
+			p.Eval(field.New(1)).String(),
+		})
+	}
+	// Verify every pair reconstructs every salary.
+	for i, p := range polys {
+		for _, pair := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
+			shares := []secretshare.Share{
+				{Index: pair[0], Y: p.Eval(xs[pair[0]])},
+				{Index: pair[1], Y: p.Eval(xs[pair[1]])},
+			}
+			got, err := scheme.Reconstruct(shares)
+			if err != nil {
+				return nil, err
+			}
+			if got.Uint64() != salaries[i] {
+				return nil, fmt.Errorf("E1: pair %v reconstructed %v for %d", pair, got, salaries[i])
+			}
+		}
+	}
+	t.Notes = append(t.Notes, "all 3 provider pairs reconstruct all 5 salaries (verified)")
+	return t, nil
+}
+
+// RunE2 measures the per-value compute cost of the two protection
+// mechanisms: Shamir split/reconstruct and order-preserving shares versus
+// AES-GCM row encryption/decryption.
+func RunE2(scale Scale) (*Table, error) {
+	iters := scale.pick(2_000, 50_000)
+	fieldSch, err := secretshare.NewSchemeFromKey(2, 3, []byte("e2"))
+	if err != nil {
+		return nil, err
+	}
+	oppSch, err := opp.NewScheme(opp.Params{Degree: 3, DomainBits: 40, N: 3}, []byte("e2"))
+	if err != nil {
+		return nil, err
+	}
+	encCl, err := encbase.NewClient(encbase.IndexBucket, []byte("e2"), 64)
+	if err != nil {
+		return nil, err
+	}
+	srv := encbase.NewServer()
+	if err := encCl.CreateTable(srv, encbase.Schema{Name: "t", Cols: []string{"v"}, DomainMax: 1 << 40}); err != nil {
+		return nil, err
+	}
+
+	measure := func(fn func(i int) error) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := fn(i); err != nil {
+				return 0, err
+			}
+		}
+		return time.Duration(int64(time.Since(start)) / int64(iters)), nil
+	}
+
+	splitT, err := measure(func(i int) error {
+		_, err := fieldSch.Split(field.New(uint64(i)), rand.Reader)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	shares, _ := fieldSch.Split(field.New(123456), rand.Reader)
+	reconT, err := measure(func(int) error {
+		_, err := fieldSch.Reconstruct(shares[:2])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	oppT, err := measure(func(i int) error {
+		_, err := oppSch.ShareAt(uint64(i)&0xffffff, 0)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	oppShare, _ := oppSch.ShareAt(123456, 0)
+	oppRecT, err := measure(func(int) error {
+		_, err := oppSch.ReconstructSearch(0, oppShare)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	encT, err := measure(func(i int) error {
+		_, err := encCl.EncryptRow("t", uint64(i), []uint64{uint64(i)})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	encRow, _ := encCl.EncryptRow("t", 1, []uint64{42})
+	decT, err := measure(func(int) error {
+		_, err := encCl.DecryptRow(encRow)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:         "E2",
+		Title:      "per-value compute: secret sharing vs encryption",
+		PaperClaim: "\"instead of encryption, which is computationally expensive, we use ... secret sharing\"",
+		Header:     []string{"operation", "mechanism", "time/op"},
+		Rows: [][]string{
+			{"outsource value", "Shamir split (k=2,n=3)", fmtDur(splitT)},
+			{"outsource value", "OPP share (deg 3)", fmtDur(oppT)},
+			{"outsource value", "AES-GCM encrypt + tag", fmtDur(encT)},
+			{"read value", "Shamir reconstruct (k=2)", fmtDur(reconT)},
+			{"read value", "OPP invert (binary search)", fmtDur(oppRecT)},
+			{"read value", "AES-GCM decrypt", fmtDur(decT)},
+		},
+		Notes: []string{
+			"modern AES hardware makes symmetric primitives cheap; the paper's cost claim",
+			"is about query processing over ciphertext (superset retrieval, no provider-side",
+			"compute) and public-key protocols — reproduced in E3, E5, E6, E7",
+		},
+	}
+	return t, nil
+}
+
+// RunE3 reproduces the Sec. II-A intersection anecdote: commutative-
+// encryption PSI vs sharing-based PSI on the 10-docs/100-docs corpus.
+func RunE3(scale Scale) (*Table, error) {
+	words := scale.pick(100, 1000)
+	modBits := scale.pick(256, 512)
+	aWords := workload.Documents(10, words, 20*words, 31)
+	bWords := workload.Documents(100, words, 20*words, 32)
+
+	ceTime, ceStats, err := runCE(aWords, bWords, modBits)
+	if err != nil {
+		return nil, err
+	}
+	ssTime, ssStats, err := runSS(aWords, bWords)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "E3",
+		Title:      "privacy-preserving intersection: encryption vs secret sharing",
+		PaperClaim: "10 docs vs 100 docs (1000 words each) with encryption: ~2h compute, ~3Gbit traffic; sharing avoids this",
+		Header:     []string{"protocol", "|A| words", "|B| words", "time", "bytes", "modexps"},
+		Rows: [][]string{
+			{"commutative-encryption PSI", fmt.Sprint(len(aWords)), fmt.Sprint(len(bWords)),
+				fmtDur(ceTime), fmtBytes(uint64(ceStats.BytesExchanged)), fmt.Sprint(ceStats.ModExps)},
+			{"secret-sharing PSI (3 providers)", fmt.Sprint(len(aWords)), fmt.Sprint(len(bWords)),
+				fmtDur(ssTime), fmtBytes(uint64(ssStats.BytesExchanged)), "0"},
+		},
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("encryption/sharing time ratio: %s (paper's 'hours vs practical' shape)",
+			fmtRatio(float64(ceTime), float64(ssTime))))
+	return t, nil
+}
+
+func runCE(a, b [][]byte, modBits int) (time.Duration, psi.Stats, error) {
+	start := time.Now()
+	_, stats, err := psi.CommutativeIntersect(a, b, psi.CEConfig{ModulusBits: modBits})
+	return time.Since(start), stats, err
+}
+
+func runSS(a, b [][]byte) (time.Duration, psi.Stats, error) {
+	start := time.Now()
+	_, stats, err := psi.ShareIntersect(a, b, psi.SSConfig{SharedKey: []byte("e3")})
+	return time.Since(start), stats, err
+}
+
+// RunE4 sweeps PIR communication against database size.
+func RunE4(scale Scale) (*Table, error) {
+	maxExp := scale.pick(14, 18)
+	t := &Table{
+		ID:         "E4",
+		Title:      "PIR communication vs N (1-byte records)",
+		PaperClaim: "trivial is O(N); k replicated servers reach O(N^(1/(2k-1)))-style sub-linear communication",
+		Header:     []string{"N", "trivial", "2-server √N", "4-server (d=2)", "8-server (d=3)"},
+	}
+	rng := mrand.New(mrand.NewSource(4))
+	for exp := 10; exp <= maxExp; exp += 2 {
+		n := 1 << exp
+		records := make([][]byte, n)
+		for i := range records {
+			records[i] = []byte{byte(rng.Intn(256))}
+		}
+		db, err := pir.NewDatabase(records)
+		if err != nil {
+			return nil, err
+		}
+		target := rng.Intn(n)
+		want := db.Record(target)
+		_, sTrivial, err := pir.Trivial(db, target)
+		if err != nil {
+			return nil, err
+		}
+		got2, s2, err := pir.TwoServerMatrix(db, target, rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		got4, s4, err := pir.Subcube(db, 2, target, rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		got8, s8, err := pir.Subcube(db, 3, target, rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		for i, g := range [][]byte{got2, got4, got8} {
+			if !pir.Equal(g, want) {
+				return nil, fmt.Errorf("E4: scheme %d wrong record at N=%d", i, n)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("2^%d", exp),
+			fmtBytes(uint64(sTrivial.Total())),
+			fmtBytes(uint64(s2.Total())),
+			fmtBytes(uint64(s4.Total())),
+			fmtBytes(uint64(s8.Total())),
+		})
+	}
+	t.Notes = append(t.Notes, "all schemes verified to return the correct record")
+	return t, nil
+}
+
+// RunE5 reproduces Sion–Carbunar: computational PIR loses to trivially
+// shipping the database because of server-side modular multiplication.
+func RunE5(scale Scale) (*Table, error) {
+	maxExp := scale.pick(12, 16)
+	modBits := scale.pick(256, 512)
+	scheme, err := pir.NewQRScheme(modBits, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "E5",
+		Title:      "computational PIR vs trivial transfer (per retrieved bit)",
+		PaperClaim: "Sion & Carbunar: cPIR is orders of magnitude slower than transferring the entire database",
+		Header:     []string{"N bits", "cPIR time", "server modmuls", "trivial copy time", "slowdown"},
+	}
+	rng := mrand.New(mrand.NewSource(5))
+	for exp := 10; exp <= maxExp; exp += 2 {
+		nBits := 1 << exp
+		bits := make([]byte, nBits/8)
+		rng.Read(bits)
+		target := rng.Intn(nBits)
+		start := time.Now()
+		got, _, muls, err := scheme.RetrieveBit(bits, nBits, target, rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		cpirTime := time.Since(start)
+		if want := bits[target/8]&(1<<(target%8)) != 0; got != want {
+			return nil, fmt.Errorf("E5: wrong bit at N=%d", nBits)
+		}
+		// Trivial: the whole database crosses a memory/wire boundary once.
+		start = time.Now()
+		sink := make([]byte, len(bits))
+		for rep := 0; rep < 64; rep++ {
+			copy(sink, bits)
+		}
+		trivialTime := time.Since(start) / 64
+		if trivialTime == 0 {
+			trivialTime = time.Nanosecond
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("2^%d", exp),
+			fmtDur(cpirTime),
+			fmt.Sprint(muls),
+			fmtDur(trivialTime),
+			fmtRatio(float64(cpirTime), float64(trivialTime)),
+		})
+	}
+	return t, nil
+}
+
+// RunE6 compares exact-match query cost across the three outsourcing
+// models: secret sharing, encrypted bucketization, and plaintext.
+func RunE6(scale Scale) (*Table, error) {
+	nRows := scale.pick(2_000, 50_000)
+	emp := workload.GenEmployees(nRows, 100_000, 20, 61)
+
+	// Secret-sharing fleet.
+	f, err := newFleet(3, 2, client.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.client.Exec(workload.EmployeesSchema); err != nil {
+		return nil, err
+	}
+	if err := f.load("employees", emp.Rows); err != nil {
+		return nil, err
+	}
+	var ssRows int
+	ssTime, err := timeIt(func() error {
+		res, err := f.client.Exec(`SELECT name, salary FROM employees WHERE name = 'JOHN'`)
+		if err != nil {
+			return err
+		}
+		ssRows = len(res.Rows)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sent, recv, err := f.bytesDelta(func() error {
+		_, err := f.client.Exec(`SELECT name, salary FROM employees WHERE name = 'JOHN'`)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Encrypted baseline (deterministic tags: precise equality).
+	encCl, err := encbase.NewClient(encbase.IndexDeterministic, []byte("e6"), 0)
+	if err != nil {
+		return nil, err
+	}
+	encSrv := encbase.NewServer()
+	if err := encCl.CreateTable(encSrv, encbase.Schema{
+		Name: "employees", Cols: []string{"name", "salary", "dept"}, DomainMax: 1 << 40,
+	}); err != nil {
+		return nil, err
+	}
+	// Encode names as numbers for the numeric baseline.
+	nameCode := func(s string) uint64 {
+		var v uint64
+		for i := 0; i < len(s) && i < 7; i++ {
+			v = v*27 + uint64(s[i]-'A'+1)
+		}
+		return v
+	}
+	ids := make([]uint64, len(emp.Rows))
+	rows := make([][]uint64, len(emp.Rows))
+	for i, r := range emp.Rows {
+		ids[i] = uint64(i + 1)
+		rows[i] = []uint64{nameCode(r[0].S), uint64(r[1].I), uint64(r[2].I)}
+	}
+	if _, err := encCl.Insert(encSrv, "employees", ids, rows); err != nil {
+		return nil, err
+	}
+	var encStats encbase.QueryStats
+	encTime, err := timeIt(func() error {
+		_, st, err := encCl.SelectEq(encSrv, "employees", 0, nameCode("JOHN"))
+		encStats = st
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Plaintext in-memory baseline (lower bound).
+	plainIdx := make(map[uint64][]int)
+	for i, r := range rows {
+		plainIdx[r[0]] = append(plainIdx[r[0]], i)
+	}
+	var plainRows int
+	plainTime, err := timeIt(func() error {
+		plainRows = len(plainIdx[nameCode("JOHN")])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if plainRows != ssRows || encStats.RowsMatched != ssRows {
+		return nil, fmt.Errorf("E6: result cardinality mismatch ss=%d enc=%d plain=%d",
+			ssRows, encStats.RowsMatched, plainRows)
+	}
+
+	t := &Table{
+		ID:         "E6",
+		Title:      fmt.Sprintf("exact-match query over %d rows (name = 'JOHN', %d matches)", nRows, ssRows),
+		PaperClaim: "shares support exact matches by rewriting the constant into per-provider shares",
+		Header:     []string{"model", "latency", "bytes on wire", "rows shipped"},
+		Rows: [][]string{
+			{"secret sharing (n=3,k=2)", fmtDur(ssTime), fmtBytes(sent + recv), fmt.Sprint(ssRows * 2)},
+			{"encrypted + deterministic tag", fmtDur(encTime), fmtBytes(uint64(encStats.BytesOnWire)), fmt.Sprint(encStats.RowsReturned)},
+			{"plaintext (no privacy)", fmtDur(plainTime), "0B", fmt.Sprint(plainRows)},
+		},
+		Notes: []string{"secret sharing ships k result copies (one per quorum provider) — the availability price"},
+	}
+	return t, nil
+}
+
+// RunE7 sweeps range-query selectivity: share-space filtering is exact;
+// bucketized encryption ships a superset that grows as buckets coarsen.
+func RunE7(scale Scale) (*Table, error) {
+	nRows := scale.pick(5_000, 50_000)
+	domain := uint64(1_000_000)
+	rng := mrand.New(mrand.NewSource(71))
+	values := make([]uint64, nRows)
+	for i := range values {
+		values[i] = uint64(rng.Int63n(int64(domain)))
+	}
+
+	// Secret-sharing fleet.
+	f, err := newFleet(3, 2, client.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.client.Exec(`CREATE TABLE nums (v INT)`); err != nil {
+		return nil, err
+	}
+	ssRows := make([][]client.Value, nRows)
+	for i, v := range values {
+		ssRows[i] = []client.Value{client.IntValue(int64(v))}
+	}
+	if err := f.load("nums", ssRows); err != nil {
+		return nil, err
+	}
+
+	// Encrypted baselines at two bucket counts.
+	mkEnc := func(buckets uint64) (*encbase.Client, *encbase.Server, error) {
+		cl, err := encbase.NewClient(encbase.IndexBucket, []byte("e7"), buckets)
+		if err != nil {
+			return nil, nil, err
+		}
+		srv := encbase.NewServer()
+		if err := cl.CreateTable(srv, encbase.Schema{Name: "nums", Cols: []string{"v"}, DomainMax: domain}); err != nil {
+			return nil, nil, err
+		}
+		ids := make([]uint64, nRows)
+		rows := make([][]uint64, nRows)
+		for i, v := range values {
+			ids[i] = uint64(i + 1)
+			rows[i] = []uint64{v}
+		}
+		if _, err := cl.Insert(srv, "nums", ids, rows); err != nil {
+			return nil, nil, err
+		}
+		return cl, srv, nil
+	}
+	coarseCl, coarseSrv, err := mkEnc(16)
+	if err != nil {
+		return nil, err
+	}
+	fineCl, fineSrv, err := mkEnc(1024)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:         "E7",
+		Title:      fmt.Sprintf("range queries over %d rows: rows shipped per model", nRows),
+		PaperClaim: "order-preserving shares let providers send only the required tuples; bucketized encryption ships a superset (privacy/performance trade-off)",
+		Header:     []string{"selectivity", "true matches", "sssdb bytes", "enc b=16 rows (FP%)", "enc b=1024 rows (FP%)"},
+	}
+	for _, sel := range []float64{0.001, 0.01, 0.10, 0.50} {
+		width := uint64(float64(domain) * sel)
+		lo := uint64(rng.Int63n(int64(domain - width)))
+		hi := lo + width
+		var matched int
+		_, recv, err := f.bytesDelta(func() error {
+			res, err := f.client.Exec(fmt.Sprintf(`SELECT v FROM nums WHERE v BETWEEN %d AND %d`, lo, hi))
+			if err != nil {
+				return err
+			}
+			matched = len(res.Rows)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, coarse, err := coarseCl.SelectRange(coarseSrv, "nums", 0, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		_, fine, err := fineCl.SelectRange(fineSrv, "nums", 0, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		if coarse.RowsMatched != matched || fine.RowsMatched != matched {
+			return nil, fmt.Errorf("E7: match counts diverge: ss=%d coarse=%d fine=%d",
+				matched, coarse.RowsMatched, fine.RowsMatched)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f%%", sel*100),
+			fmt.Sprint(matched),
+			fmtBytes(recv),
+			fmt.Sprintf("%d (%.0f%%)", coarse.RowsReturned, coarse.FalsePositiveRate()*100),
+			fmt.Sprintf("%d (%.0f%%)", fine.RowsReturned, fine.FalsePositiveRate()*100),
+		})
+	}
+	t.Notes = append(t.Notes, "sssdb rows shipped = true matches × k providers; zero false positives at any selectivity")
+	return t, nil
+}

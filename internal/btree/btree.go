@@ -1,0 +1,430 @@
+// Package btree implements an in-memory B+-tree keyed by byte slices, the
+// ordered index structure behind every provider-side share index. Keys are
+// compared with bytes.Compare; because order-preserving shares serialize to
+// big-endian fixed-width bytes, the tree can index shares without knowing
+// anything about the sharing construction.
+//
+// The tree stores unique keys. Callers that need duplicates (several rows
+// with the same share value) append a unique row-id suffix to the key and
+// range-scan by prefix. Values are opaque byte slices.
+//
+// All keys and values are copied on insert, so callers may reuse buffers.
+// A Tree is not safe for concurrent mutation; the store layer serializes
+// access.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// degree is the maximum number of children of an internal node. Leaves hold
+// at most degree-1 keys. 64 keeps nodes around a cache line multiple and
+// the tree shallow for table-scale data.
+const degree = 64
+
+const (
+	maxKeys = degree - 1
+	minKeys = maxKeys / 2
+)
+
+// Tree is a B+-tree from []byte keys to []byte values.
+// The zero value is not usable; call New.
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	leaf bool
+	// keys: in a leaf, the stored keys; in an internal node, keys[i] is the
+	// smallest key reachable under children[i+1].
+	keys [][]byte
+	// vals parallels keys in leaves; nil in internal nodes.
+	vals [][]byte
+	// children is nil in leaves.
+	children []*node
+	// next links leaves in ascending key order for range scans.
+	next *node
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored under key and whether it exists.
+// The returned slice is the tree's internal copy; callers must not mutate.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i, ok := leafIndex(n.keys, key)
+	if !ok {
+		return nil, false
+	}
+	return n.vals[i], true
+}
+
+// childIndex returns which child of an internal node covers key:
+// the number of separator keys <= key.
+func childIndex(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafIndex returns the position of key in a leaf (or where it would be
+// inserted) and whether it is present.
+func leafIndex(keys [][]byte, key []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && bytes.Equal(keys[lo], key)
+}
+
+// Set inserts key with value, replacing any existing value.
+// It reports whether the key was newly inserted.
+func (t *Tree) Set(key, value []byte) bool {
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	inserted, splitKey, right := t.insert(t.root, k, v)
+	if right != nil {
+		t.root = &node{
+			keys:     [][]byte{splitKey},
+			children: []*node{t.root, right},
+		}
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// insert adds k/v under n. If n splits, it returns the separator key and
+// the new right sibling.
+func (t *Tree) insert(n *node, k, v []byte) (inserted bool, splitKey []byte, right *node) {
+	if n.leaf {
+		i, ok := leafIndex(n.keys, k)
+		if ok {
+			n.vals[i] = v
+			return false, nil, nil
+		}
+		n.keys = insertAt(n.keys, i, k)
+		n.vals = insertAt(n.vals, i, v)
+		inserted = true
+	} else {
+		ci := childIndex(n.keys, k)
+		var childSplit []byte
+		var newChild *node
+		inserted, childSplit, newChild = t.insert(n.children[ci], k, v)
+		if newChild != nil {
+			n.keys = insertAt(n.keys, ci, childSplit)
+			n.children = insertNodeAt(n.children, ci+1, newChild)
+		}
+	}
+	if len(n.keys) <= maxKeys {
+		return inserted, nil, nil
+	}
+	splitKey, right = n.split()
+	return inserted, splitKey, right
+}
+
+// split divides an overfull node, returning the separator to promote and
+// the new right sibling.
+func (n *node) split() ([]byte, *node) {
+	mid := len(n.keys) / 2
+	right := &node{leaf: n.leaf}
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		right.next = n.next
+		n.next = right
+		// In a B+-tree the separator for a leaf split is the first key of
+		// the right sibling, which stays in the leaf.
+		return right.keys[0], right
+	}
+	sep := n.keys[mid]
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key []byte) bool {
+	deleted := t.delete(t.root, key)
+	if deleted {
+		t.size--
+	}
+	if !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	return deleted
+}
+
+func (t *Tree) delete(n *node, key []byte) bool {
+	if n.leaf {
+		i, ok := leafIndex(n.keys, key)
+		if !ok {
+			return false
+		}
+		n.keys = removeAt(n.keys, i)
+		n.vals = removeAt(n.vals, i)
+		return true
+	}
+	ci := childIndex(n.keys, key)
+	child := n.children[ci]
+	deleted := t.delete(child, key)
+	if deleted && len(child.keys) < minKeys {
+		n.rebalance(ci)
+	}
+	return deleted
+}
+
+// rebalance restores the minimum-occupancy invariant of children[ci] by
+// borrowing from a sibling or merging with one.
+func (n *node) rebalance(ci int) {
+	child := n.children[ci]
+	// Try borrowing from the left sibling.
+	if ci > 0 {
+		left := n.children[ci-1]
+		if len(left.keys) > minKeys {
+			if child.leaf {
+				last := len(left.keys) - 1
+				child.keys = insertAt(child.keys, 0, left.keys[last])
+				child.vals = insertAt(child.vals, 0, left.vals[last])
+				left.keys = removeAt(left.keys, last)
+				left.vals = removeAt(left.vals, last)
+				n.keys[ci-1] = child.keys[0]
+			} else {
+				// Rotate through the separator.
+				child.keys = insertAt(child.keys, 0, n.keys[ci-1])
+				n.keys[ci-1] = left.keys[len(left.keys)-1]
+				left.keys = removeAt(left.keys, len(left.keys)-1)
+				child.children = insertNodeAt(child.children, 0, left.children[len(left.children)-1])
+				left.children = left.children[:len(left.children)-1]
+			}
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if ci < len(n.children)-1 {
+		right := n.children[ci+1]
+		if len(right.keys) > minKeys {
+			if child.leaf {
+				child.keys = append(child.keys, right.keys[0])
+				child.vals = append(child.vals, right.vals[0])
+				right.keys = removeAt(right.keys, 0)
+				right.vals = removeAt(right.vals, 0)
+				n.keys[ci] = right.keys[0]
+			} else {
+				child.keys = append(child.keys, n.keys[ci])
+				n.keys[ci] = right.keys[0]
+				right.keys = removeAt(right.keys, 0)
+				child.children = append(child.children, right.children[0])
+				right.children = right.children[1:]
+			}
+			return
+		}
+	}
+	// Merge with a sibling.
+	if ci > 0 {
+		n.merge(ci - 1)
+	} else {
+		n.merge(ci)
+	}
+}
+
+// merge folds children[i+1] into children[i] and drops separator keys[i].
+func (n *node) merge(i int) {
+	left, right := n.children[i], n.children[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = removeAt(n.keys, i)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// AscendRange visits keys in [lo, hi) in ascending order, calling fn for
+// each; iteration stops early if fn returns false. A nil lo starts at the
+// smallest key; a nil hi scans to the end. The callback must not retain or
+// mutate the slices.
+func (t *Tree) AscendRange(lo, hi []byte, fn func(key, value []byte) bool) {
+	n := t.root
+	for !n.leaf {
+		if lo == nil {
+			n = n.children[0]
+		} else {
+			n = n.children[childIndex(n.keys, lo)]
+		}
+	}
+	start := 0
+	if lo != nil {
+		start, _ = leafIndex(n.keys, lo)
+	}
+	for n != nil {
+		for i := start; i < len(n.keys); i++ {
+			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		start = 0
+	}
+}
+
+// Ascend visits all keys in ascending order.
+func (t *Tree) Ascend(fn func(key, value []byte) bool) {
+	t.AscendRange(nil, nil, fn)
+}
+
+// Min returns the smallest key and its value, or ok=false when empty.
+func (t *Tree) Min() (key, value []byte, ok bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	if len(n.keys) == 0 {
+		return nil, nil, false
+	}
+	return n.keys[0], n.vals[0], true
+}
+
+// Max returns the largest key and its value, or ok=false when empty.
+func (t *Tree) Max() (key, value []byte, ok bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	if len(n.keys) == 0 {
+		return nil, nil, false
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.keys)-1], true
+}
+
+// checkInvariants walks the tree verifying structural invariants; it is
+// exported to the test suite through export_test.go.
+func (t *Tree) checkInvariants() error {
+	_, _, err := checkNode(t.root, true)
+	if err != nil {
+		return err
+	}
+	// Leaf chain must be sorted and cover size keys.
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	count := 0
+	var prev []byte
+	for ; n != nil; n = n.next {
+		for _, k := range n.keys {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				return fmt.Errorf("btree: leaf chain out of order at %x", k)
+			}
+			prev = k
+			count++
+		}
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but leaf chain has %d keys", t.size, count)
+	}
+	return nil
+}
+
+func checkNode(n *node, isRoot bool) (min, max []byte, err error) {
+	if len(n.keys) > maxKeys {
+		return nil, nil, fmt.Errorf("btree: node with %d keys", len(n.keys))
+	}
+	if !isRoot && len(n.keys) < minKeys {
+		return nil, nil, fmt.Errorf("btree: underfull node with %d keys", len(n.keys))
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if bytes.Compare(n.keys[i-1], n.keys[i]) >= 0 {
+			return nil, nil, fmt.Errorf("btree: keys out of order")
+		}
+	}
+	if n.leaf {
+		if len(n.vals) != len(n.keys) {
+			return nil, nil, fmt.Errorf("btree: leaf keys/vals mismatch")
+		}
+		if len(n.keys) == 0 {
+			return nil, nil, nil
+		}
+		return n.keys[0], n.keys[len(n.keys)-1], nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return nil, nil, fmt.Errorf("btree: internal node with %d keys, %d children",
+			len(n.keys), len(n.children))
+	}
+	for i, c := range n.children {
+		cmin, cmax, err := checkNode(c, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cmin == nil {
+			return nil, nil, fmt.Errorf("btree: empty non-root child")
+		}
+		if i > 0 && bytes.Compare(cmin, n.keys[i-1]) < 0 {
+			return nil, nil, fmt.Errorf("btree: child %d min below separator", i)
+		}
+		if i < len(n.keys) && bytes.Compare(cmax, n.keys[i]) >= 0 {
+			return nil, nil, fmt.Errorf("btree: child %d max above separator", i)
+		}
+		if i == 0 {
+			min = cmin
+		}
+		if i == len(n.children)-1 {
+			max = cmax
+		}
+	}
+	return min, max, nil
+}
+
+func insertAt(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertNodeAt(s []*node, i int, v *node) []*node {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeAt(s [][]byte, i int) [][]byte {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}

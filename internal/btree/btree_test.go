@@ -1,0 +1,349 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	mrand "math/rand"
+	"sort"
+	"testing"
+)
+
+func key(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func val(i int) []byte { return []byte(fmt.Sprintf("value-%d", i)) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if _, ok := tr.Get(key(1)); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if tr.Delete(key(1)) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree")
+	}
+	count := 0
+	tr.Ascend(func(k, v []byte) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("Ascend on empty tree visited keys")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetGetReplace(t *testing.T) {
+	tr := New()
+	if !tr.Set(key(1), []byte("a")) {
+		t.Fatal("first Set returned false")
+	}
+	if tr.Set(key(1), []byte("b")) {
+		t.Fatal("replacing Set returned true")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	v, ok := tr.Get(key(1))
+	if !ok || string(v) != "b" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+}
+
+func TestSetCopiesInputs(t *testing.T) {
+	tr := New()
+	k := []byte{1, 2, 3}
+	v := []byte{4, 5, 6}
+	tr.Set(k, v)
+	k[0] = 99
+	v[0] = 99
+	got, ok := tr.Get([]byte{1, 2, 3})
+	if !ok || !bytes.Equal(got, []byte{4, 5, 6}) {
+		t.Fatalf("mutation leaked into tree: %v %v", got, ok)
+	}
+}
+
+func TestSequentialInsertAscending(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), val(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, ok)
+		}
+	}
+}
+
+func TestSequentialInsertDescending(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := n - 1; i >= 0; i-- {
+		tr.Set(key(i), val(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	tr.Ascend(func(k, v []byte) bool {
+		if !bytes.Equal(k, key(i)) {
+			t.Fatalf("position %d: key %x", i, k)
+		}
+		i++
+		return true
+	})
+	if i != n {
+		t.Fatalf("visited %d keys", i)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	for _, i := range []int{500, 3, 999, 42} {
+		tr.Set(key(i), val(i))
+	}
+	k, v, ok := tr.Min()
+	if !ok || !bytes.Equal(k, key(3)) || !bytes.Equal(v, val(3)) {
+		t.Fatalf("Min = %x", k)
+	}
+	k, v, ok = tr.Max()
+	if !ok || !bytes.Equal(k, key(999)) || !bytes.Equal(v, val(999)) {
+		t.Fatalf("Max = %x", k)
+	}
+}
+
+func TestAscendRangeBounds(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Set(key(i*2), val(i*2)) // even keys 0..198
+	}
+	collect := func(lo, hi []byte) []int {
+		var out []int
+		tr.AscendRange(lo, hi, func(k, v []byte) bool {
+			out = append(out, int(binary.BigEndian.Uint64(k)))
+			return true
+		})
+		return out
+	}
+	// [10, 20) -> 10..18 even
+	got := collect(key(10), key(20))
+	want := []int{10, 12, 14, 16, 18}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("range [10,20) = %v", got)
+	}
+	// lo not present: [11, 20) -> 12..18
+	got = collect(key(11), key(20))
+	want = []int{12, 14, 16, 18}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("range [11,20) = %v", got)
+	}
+	// nil lo
+	got = collect(nil, key(5))
+	want = []int{0, 2, 4}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("range [nil,5) = %v", got)
+	}
+	// nil hi
+	got = collect(key(194), nil)
+	want = []int{194, 196, 198}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("range [194,nil) = %v", got)
+	}
+	// empty range
+	if got := collect(key(20), key(20)); len(got) != 0 {
+		t.Fatalf("empty range returned %v", got)
+	}
+	// beyond max
+	if got := collect(key(1000), nil); len(got) != 0 {
+		t.Fatalf("past-end range returned %v", got)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Set(key(i), val(i))
+	}
+	count := 0
+	tr.Ascend(func(k, v []byte) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("visited %d keys, want 7", count)
+	}
+}
+
+func TestDeleteEverythingBothOrders(t *testing.T) {
+	const n = 3000
+	for _, order := range []string{"ascending", "descending"} {
+		tr := New()
+		for i := 0; i < n; i++ {
+			tr.Set(key(i), val(i))
+		}
+		for j := 0; j < n; j++ {
+			i := j
+			if order == "descending" {
+				i = n - 1 - j
+			}
+			if !tr.Delete(key(i)) {
+				t.Fatalf("%s: Delete(%d) returned false", order, i)
+			}
+			if tr.Delete(key(i)) {
+				t.Fatalf("%s: double Delete(%d) returned true", order, i)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("%s: Len = %d after deleting all", order, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", order, err)
+		}
+	}
+}
+
+// Randomized differential test against a map + sorted-slice oracle.
+func TestRandomizedAgainstOracle(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(42))
+	tr := New()
+	oracle := make(map[string]string)
+
+	checkFull := func(step int) {
+		t.Helper()
+		if tr.Len() != len(oracle) {
+			t.Fatalf("step %d: Len = %d, oracle %d", step, tr.Len(), len(oracle))
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		keys := make([]string, 0, len(oracle))
+		for k := range oracle {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		tr.Ascend(func(k, v []byte) bool {
+			if i >= len(keys) {
+				t.Fatalf("step %d: tree has extra key %x", step, k)
+			}
+			if string(k) != keys[i] || string(v) != oracle[keys[i]] {
+				t.Fatalf("step %d: position %d mismatch", step, i)
+			}
+			i++
+			return true
+		})
+		if i != len(keys) {
+			t.Fatalf("step %d: tree missing keys (%d of %d)", step, i, len(keys))
+		}
+	}
+
+	const steps = 20000
+	for step := 0; step < steps; step++ {
+		k := key(rng.Intn(2000))
+		switch rng.Intn(3) {
+		case 0, 1: // insert/update biased 2:1
+			v := val(rng.Intn(1_000_000))
+			wantNew := oracle[string(k)] == ""
+			_, exists := oracle[string(k)]
+			gotNew := tr.Set(k, v)
+			if gotNew != !exists {
+				t.Fatalf("step %d: Set new=%v, oracle exists=%v (%v)", step, gotNew, exists, wantNew)
+			}
+			oracle[string(k)] = string(v)
+		case 2:
+			_, exists := oracle[string(k)]
+			if got := tr.Delete(k); got != exists {
+				t.Fatalf("step %d: Delete = %v, oracle %v", step, got, exists)
+			}
+			delete(oracle, string(k))
+		}
+		// Point lookups every step, full validation occasionally.
+		probe := key(rng.Intn(2000))
+		v, ok := tr.Get(probe)
+		want, exists := oracle[string(probe)]
+		if ok != exists || (ok && string(v) != want) {
+			t.Fatalf("step %d: Get(%x) = %q,%v want %q,%v", step, probe, v, ok, want, exists)
+		}
+		if step%2500 == 0 || step == steps-1 {
+			checkFull(step)
+		}
+	}
+}
+
+func TestVariableLengthKeys(t *testing.T) {
+	tr := New()
+	keys := []string{"", "a", "aa", "ab", "abc", "b", "ba", "z", "zz"}
+	perm := mrand.New(mrand.NewSource(1)).Perm(len(keys))
+	for _, i := range perm {
+		tr.Set([]byte(keys[i]), []byte(keys[i]))
+	}
+	var got []string
+	tr.Ascend(func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(1))
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Set(key(rng.Intn(1<<20)), val(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100_000; i++ {
+		tr.Set(key(i), val(i))
+	}
+	rng := mrand.New(mrand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(rng.Intn(100_000)))
+	}
+}
+
+func BenchmarkRangeScan100(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100_000; i++ {
+		tr.Set(key(i), val(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := (i * 97) % 99_900
+		count := 0
+		tr.AscendRange(key(start), key(start+100), func(k, v []byte) bool {
+			count++
+			return true
+		})
+		if count != 100 {
+			b.Fatalf("scan returned %d", count)
+		}
+	}
+}

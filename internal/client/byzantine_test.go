@@ -1,0 +1,130 @@
+package client
+
+import (
+	"fmt"
+	"testing"
+
+	"sssdb/internal/proto"
+)
+
+// byzantine behaviors a provider can exhibit in the matrix test.
+type behavior int
+
+const (
+	honest behavior = iota
+	crashed
+	corruptShares  // flips field-share bits (caught by Merkle row digests)
+	withholdsRows  // drops a matching row (caught by completeness proofs)
+	injectsGarbage // returns malformed cells
+	wrongType      // answers scans with an unrelated message type
+)
+
+func (b behavior) String() string {
+	return [...]string{"honest", "crashed", "corrupt", "withholds", "garbage", "wrongtype"}[b]
+}
+
+func applyBehavior(f *fleet, provider int, b behavior) {
+	switch b {
+	case honest:
+		f.faults[provider].Recover()
+		f.faults[provider].SetCorrupter(nil)
+	case crashed:
+		f.faults[provider].Crash()
+	case corruptShares:
+		f.faults[provider].SetCorrupter(corruptFieldShares)
+	case withholdsRows:
+		f.faults[provider].SetCorrupter(func(resp proto.Message) proto.Message {
+			if rr, ok := resp.(*proto.RowsResponse); ok && len(rr.Rows) > 0 {
+				rr.Rows = rr.Rows[:len(rr.Rows)-1]
+			}
+			return resp
+		})
+	case injectsGarbage:
+		f.faults[provider].SetCorrupter(func(resp proto.Message) proto.Message {
+			if rr, ok := resp.(*proto.RowsResponse); ok {
+				for i := range rr.Rows {
+					for j := range rr.Rows[i].Cells {
+						rr.Rows[i].Cells[j] = []byte{0xde, 0xad}
+					}
+				}
+			}
+			return resp
+		})
+	case wrongType:
+		f.faults[provider].SetCorrupter(func(resp proto.Message) proto.Message {
+			if _, ok := resp.(*proto.RowsResponse); ok {
+				return &proto.OKResponse{Affected: 42}
+			}
+			return resp
+		})
+	}
+}
+
+// TestByzantineMatrix drives verified reads against every pairing of two
+// simultaneous provider misbehaviors on an n=5, k=2 fleet. With at most two
+// bad providers and three honest ones, every verified read must return the
+// exact honest result.
+func TestByzantineMatrix(t *testing.T) {
+	behaviors := []behavior{honest, crashed, corruptShares, withholdsRows, injectsGarbage, wrongType}
+	for _, b1 := range behaviors {
+		for _, b2 := range behaviors {
+			t.Run(fmt.Sprintf("%v+%v", b1, b2), func(t *testing.T) {
+				f := newFleet(t, 5, 2, Options{})
+				setupEmployees(t, f)
+				applyBehavior(f, 1, b1)
+				applyBehavior(f, 3, b2)
+				res, err := f.client.Exec(`SELECT name, salary FROM employees
+					WHERE salary BETWEEN 10 AND 80 VERIFIED`)
+				if err != nil {
+					t.Fatalf("verified read failed under %v+%v: %v", b1, b2, err)
+				}
+				got := rowsAsStrings(res)
+				want := "[John,10 Alice,20 John,35 Bob,40 Carol,60 Dave,80]"
+				if fmt.Sprint(got) != want {
+					t.Fatalf("under %v+%v got %v", b1, b2, got)
+				}
+				if !res.Verified {
+					t.Fatal("result not marked verified")
+				}
+			})
+		}
+	}
+}
+
+// Aggregates under the same adversities: verified mode falls back to the
+// scan path, which must survive two bad providers.
+func TestByzantineVerifiedAggregates(t *testing.T) {
+	f := newFleet(t, 5, 2, Options{})
+	setupEmployees(t, f)
+	applyBehavior(f, 0, corruptShares)
+	applyBehavior(f, 4, crashed)
+	res, err := f.client.Exec(`SELECT COUNT(*), SUM(salary), MEDIAN(salary) FROM employees VERIFIED`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[6,245,35]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Three bad providers of five with k=2 can still be survivable when their
+// faults are detectable per-provider (proof failures), since two honest
+// providers remain — but four bad ones cannot.
+func TestByzantineBeyondThreshold(t *testing.T) {
+	f := newFleet(t, 5, 2, Options{})
+	setupEmployees(t, f)
+	for _, p := range []int{0, 1, 2} {
+		applyBehavior(f, p, withholdsRows)
+	}
+	res, err := f.client.Exec(`SELECT COUNT(*) FROM employees WHERE salary >= 10 VERIFIED`)
+	if err != nil {
+		t.Fatalf("three detectable faults with two honest left: %v", err)
+	}
+	if res.Rows[0][0].I != 6 {
+		t.Fatalf("count = %d", res.Rows[0][0].I)
+	}
+	applyBehavior(f, 3, withholdsRows)
+	if _, err := f.client.Exec(`SELECT COUNT(*) FROM employees WHERE salary >= 10 VERIFIED`); err == nil {
+		t.Fatal("four bad providers of five slipped past verification")
+	}
+}

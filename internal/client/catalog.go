@@ -1,0 +1,126 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sssdb/internal/sql"
+)
+
+// catalogFile is the serialized form of the client-side catalog. The
+// catalog holds only schema metadata and row-id counters — never key
+// material — so it may be stored less carefully than the master key,
+// though it does reveal schema names.
+type catalogFile struct {
+	Version int            `json:"version"`
+	Tables  []catalogTable `json:"tables"`
+}
+
+type catalogTable struct {
+	Name   string          `json:"name"`
+	Public bool            `json:"public,omitempty"`
+	NextID uint64          `json:"next_id"`
+	Cols   []catalogColumn `json:"columns"`
+}
+
+type catalogColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Arg  int    `json:"arg,omitempty"`
+}
+
+const catalogVersion = 1
+
+// typeNames maps between sql.TypeName and its serialized spelling.
+var typeNames = map[sql.TypeName]string{
+	sql.TypeInt:     "INT",
+	sql.TypeDecimal: "DECIMAL",
+	sql.TypeVarchar: "VARCHAR",
+	sql.TypeBlob:    "BLOB",
+}
+
+func typeFromName(s string) (sql.TypeName, bool) {
+	for t, name := range typeNames {
+		if name == s {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// ExportCatalog serializes the client's schema catalog so a future session
+// (same master key, same provider order) can resume querying outsourced
+// tables without re-creating them. Pair it with ImportCatalog.
+func (c *Client) ExportCatalog() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := catalogFile{Version: catalogVersion}
+	for _, name := range sortedTableNames(c.tables) {
+		meta := c.tables[name]
+		ct := catalogTable{Name: meta.Name, Public: meta.Public, NextID: meta.NextID}
+		for _, cm := range meta.Cols {
+			ct.Cols = append(ct.Cols, catalogColumn{
+				Name: cm.Name,
+				Type: typeNames[cm.Type],
+				Arg:  cm.Arg,
+			})
+		}
+		out.Tables = append(out.Tables, ct)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ImportCatalog restores a catalog exported by ExportCatalog, rebuilding
+// codecs and per-domain schemes from the client's master key. Existing
+// in-memory tables with the same names are rejected.
+func (c *Client) ImportCatalog(data []byte) error {
+	var in catalogFile
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("client: parsing catalog: %w", err)
+	}
+	if in.Version != catalogVersion {
+		return fmt.Errorf("%w: catalog version %d (want %d)", ErrBadSchema, in.Version, catalogVersion)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ct := range in.Tables {
+		if _, exists := c.tables[ct.Name]; exists {
+			return fmt.Errorf("%w: %q", ErrTableExists, ct.Name)
+		}
+	}
+	for _, ct := range in.Tables {
+		meta := &tableMeta{Name: ct.Name, Public: ct.Public, NextID: ct.NextID}
+		if meta.NextID == 0 {
+			meta.NextID = 1
+		}
+		if len(ct.Cols) == 0 {
+			return fmt.Errorf("%w: table %q has no columns", ErrBadSchema, ct.Name)
+		}
+		for _, cc := range ct.Cols {
+			typ, ok := typeFromName(cc.Type)
+			if !ok {
+				return fmt.Errorf("%w: unknown column type %q", ErrBadSchema, cc.Type)
+			}
+			cm, err := c.buildColMeta(sql.ColumnDef{Name: cc.Name, Type: typ, Arg: cc.Arg})
+			if err != nil {
+				return err
+			}
+			meta.Cols = append(meta.Cols, cm)
+		}
+		c.tables[ct.Name] = meta
+	}
+	return nil
+}
+
+func sortedTableNames(tables map[string]*tableMeta) []string {
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		names = append(names, name)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

@@ -1,0 +1,201 @@
+package client
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sssdb/internal/server"
+	"sssdb/internal/store"
+	"sssdb/internal/transport"
+)
+
+func TestCatalogExportImportRoundTrip(t *testing.T) {
+	// Two clients sharing providers and master key: the second resumes from
+	// the first's exported catalog.
+	stores := make([]*store.Store, 3)
+	for i := range stores {
+		st, err := store.Open("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = st
+	}
+	mkClient := func() *Client {
+		t.Helper()
+		conns := make([]transport.Conn, len(stores))
+		for i, st := range stores {
+			conns[i] = transport.NewLocal(server.New(st))
+		}
+		c, err := New(conns, Options{K: 2, MasterKey: []byte("catalog key")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	c1 := mkClient()
+	mustExecC := func(c *Client, q string) *Result {
+		t.Helper()
+		res, err := c.Exec(q)
+		if err != nil {
+			t.Fatalf("Exec(%q): %v", q, err)
+		}
+		return res
+	}
+	mustExecC(c1, `CREATE TABLE emp (name VARCHAR(8), salary DECIMAL(2), dept INT, photo BLOB)`)
+	mustExecC(c1, `CREATE PUBLIC TABLE pub (zip INT, info BLOB)`)
+	mustExecC(c1, `INSERT INTO emp VALUES ('JOHN', 100.50, 1, 'blob'), ('ALICE', 200.00, 2, 'blob2')`)
+	mustExecC(c1, `INSERT INTO pub VALUES (94103, 'public info')`)
+	blob, err := c1.ExportCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	// Fresh client session: without the catalog it cannot query.
+	c2 := mkClient()
+	defer c2.Close()
+	if _, err := c2.Exec(`SELECT * FROM emp`); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("pre-import query: %v", err)
+	}
+	if err := c2.ImportCatalog(blob); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExecC(c2, `SELECT name, salary FROM emp WHERE salary BETWEEN 50.00 AND 150.00`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "JOHN" || res.Rows[0][1].Format() != "100.50" {
+		t.Fatalf("got %v", res.Rows)
+	}
+	// Blob decryption still works (same master key).
+	res = mustExecC(c2, `SELECT photo FROM emp WHERE name = 'ALICE'`)
+	if string(res.Rows[0][0].B) != "blob2" {
+		t.Fatalf("blob: %q", res.Rows[0][0].B)
+	}
+	// Public table survives too, including its public (raw) blob handling.
+	res = mustExecC(c2, `SELECT info FROM pub WHERE zip = 94103`)
+	if string(res.Rows[0][0].B) != "public info" {
+		t.Fatalf("public blob: %q", res.Rows[0][0].B)
+	}
+	// Row-id counter resumed: inserts do not collide with existing rows.
+	mustExecC(c2, `INSERT INTO emp VALUES ('BOB', 300.00, 3, 'b3')`)
+	res = mustExecC(c2, `SELECT COUNT(*) FROM emp`)
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("count after resumed insert: %v", res.Rows[0][0])
+	}
+}
+
+func TestImportCatalogRejectsBadInput(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	c := f.client
+	if err := c.ImportCatalog([]byte("{not json")); err == nil {
+		t.Error("bad json accepted")
+	}
+	if err := c.ImportCatalog([]byte(`{"version": 99}`)); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("bad version: %v", err)
+	}
+	if err := c.ImportCatalog([]byte(`{"version": 1, "tables": [{"name": "t", "columns": [{"name":"a","type":"WAT"}]}]}`)); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("bad type: %v", err)
+	}
+	if err := c.ImportCatalog([]byte(`{"version": 1, "tables": [{"name": "t", "columns": []}]}`)); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("no columns: %v", err)
+	}
+	// Conflicts with an existing table.
+	f.mustExec(t, `CREATE TABLE emp (a INT)`)
+	blob, err := c.ExportCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ImportCatalog(blob); !errors.Is(err, ErrTableExists) {
+		t.Errorf("conflict: %v", err)
+	}
+}
+
+func TestExportCatalogDeterministicOrder(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE TABLE zebra (a INT)`)
+	f.mustExec(t, `CREATE TABLE apple (a INT)`)
+	blob, err := f.client.ExportCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(blob)
+	if strings.Index(s, "apple") > strings.Index(s, "zebra") {
+		t.Fatal("catalog tables not sorted")
+	}
+	if strings.Contains(s, "MasterKey") || strings.Contains(s, "master") {
+		t.Fatal("catalog leaks key material")
+	}
+}
+
+func TestCatalogDifferentKeyCannotDecrypt(t *testing.T) {
+	// A catalog in the wrong hands (without the master key) is useless:
+	// shares reconstruct to garbage or fail outright.
+	st := make([]*store.Store, 3)
+	for i := range st {
+		s, err := store.Open("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st[i] = s
+	}
+	mk := func(key string) *Client {
+		conns := make([]transport.Conn, len(st))
+		for i, s := range st {
+			conns[i] = transport.NewLocal(server.New(s))
+		}
+		c, err := New(conns, Options{K: 2, MasterKey: []byte(key)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	owner := mk("right key")
+	if _, err := owner.Exec(`CREATE TABLE t (v INT, secret BLOB)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Exec(`INSERT INTO t VALUES (42, 'the secret')`); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := owner.ExportCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner.Close()
+
+	thief := mk("wrong key")
+	defer thief.Close()
+	if err := thief.ImportCatalog(blob); err != nil {
+		t.Fatal(err)
+	}
+	// Exact-match with the wrong key produces wrong share constants: no rows.
+	res, err := thief.Exec(`SELECT v FROM t WHERE v = 42`)
+	if err == nil && len(res.Rows) > 0 && res.Rows[0][0].I == 42 {
+		t.Fatal("wrong key still found the right rows")
+	}
+	// A full scan either fails to decode or yields wrong values/blobs.
+	res, err = thief.Exec(`SELECT v, secret FROM t`)
+	if err == nil {
+		for _, row := range res.Rows {
+			if row[0].I == 42 {
+				t.Fatal("wrong key reconstructed the right value")
+			}
+			if string(row[1].B) == "the secret" {
+				t.Fatal("wrong key decrypted the blob")
+			}
+		}
+	}
+}
+
+func TestCatalogJSONShape(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE TABLE t (name VARCHAR(8), amount DECIMAL(2))`)
+	blob, err := f.client.ExportCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"VARCHAR"`, `"DECIMAL"`, `"arg": 8`, `"arg": 2`, `"version": 1`} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("catalog missing %s:\n%s", want, blob)
+		}
+	}
+}

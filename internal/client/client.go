@@ -1,0 +1,368 @@
+// Package client implements the data source D of the paper: the trusted
+// front end that outsources tables as shares to n Database Service
+// Providers, rewrites queries into share space (regenerating polynomials as
+// part of front-end query processing rather than storing them), gathers
+// partial results from any k providers, reconstructs values, and — in
+// verified mode — cross-checks redundant shares and Merkle completeness
+// proofs to catch corrupt or dishonest providers.
+package client
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"sssdb/internal/opp"
+	"sssdb/internal/proto"
+	"sssdb/internal/secretshare"
+	"sssdb/internal/transport"
+)
+
+// Client-level errors.
+var (
+	ErrBadOptions    = errors.New("client: invalid options")
+	ErrNoSuchTable   = errors.New("client: no such table")
+	ErrTableExists   = errors.New("client: table already exists")
+	ErrNoSuchColumn  = errors.New("client: no such column")
+	ErrTypeMismatch  = errors.New("client: value does not fit column type")
+	ErrBadSchema     = errors.New("client: invalid schema")
+	ErrUnsupported   = errors.New("client: unsupported query shape")
+	ErrNotEnough     = errors.New("client: not enough live providers")
+	ErrInconsistent  = errors.New("client: providers returned inconsistent results")
+	ErrVerification  = errors.New("client: verification failed")
+	ErrValueOverflow = errors.New("client: aggregate exceeds safe bounds")
+)
+
+// Options configures a data source.
+type Options struct {
+	// K is the reconstruction threshold for random field shares: any K
+	// providers answer a query; K-1 colluding providers learn nothing from
+	// field shares.
+	K int
+	// OPPDegree is the order-preserving polynomial degree (the paper's
+	// exposition uses 3). OPPDegree+1 shares interpolate an OPP value;
+	// single-share binary-search reconstruction is used on the fast path.
+	OPPDegree int
+	// MasterKey is the data source's secret X-material: evaluation points
+	// and coefficient hashes derive from it. It must never reach providers.
+	MasterKey []byte
+	// IntBits bounds INT and DECIMAL domains (default 40).
+	IntBits uint
+	// Alphabet is the VARCHAR alphabet (default numenc.PrintableAlphabet).
+	Alphabet string
+	// Rand supplies randomness for field-share polynomials and blob
+	// nonces (default crypto/rand.Reader).
+	Rand io.Reader
+	// Verified requests verification on every read: queries go to all live
+	// providers, field cells are robust-reconstructed, and row sets are
+	// cross-checked.
+	Verified bool
+	// LazyUpdates buffers UPDATE statements client-side until Flush (the
+	// paper's Sec. V-C lazy update direction). Reads overlay pending
+	// updates so the client always sees its own writes.
+	LazyUpdates bool
+
+	// N is derived from the number of connections passed to New.
+	N int
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns and Rows carry SELECT output.
+	Columns []string
+	Rows    [][]Value
+	// Affected counts rows touched by DML.
+	Affected uint64
+	// Verified reports that verification ran and passed for this result.
+	Verified bool
+}
+
+// Client is a data source connected to n providers.
+type Client struct {
+	mu    sync.Mutex
+	opts  Options
+	conns []transport.Conn
+
+	fieldSch *secretshare.Scheme
+	domains  map[string]*opp.Scheme
+	tables   map[string]*tableMeta
+	aead     cipher.AEAD
+
+	// down tracks providers considered crashed (failover state).
+	down []bool
+	// pending holds lazy updates: table -> rowID -> full row values.
+	pending map[string]map[uint64][]Value
+	// forceClientAgg disables provider-side partial aggregation; the E8
+	// ablation benchmark measures what it costs.
+	forceClientAgg bool
+}
+
+// SetClientSideAggregates forces aggregates to be computed client-side
+// after a full (filtered) scan, instead of provider-side partial
+// aggregation. Used by the E8 ablation.
+func (c *Client) SetClientSideAggregates(force bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.forceClientAgg = force
+}
+
+// New connects a data source to the given provider connections. The order
+// of conns is significant: conns[i] is provider i and receives shares
+// evaluated at the i-th secret point.
+func New(conns []transport.Conn, opts Options) (*Client, error) {
+	opts.N = len(conns)
+	if opts.N < 1 {
+		return nil, fmt.Errorf("%w: no providers", ErrBadOptions)
+	}
+	if opts.K < 1 || opts.K > opts.N {
+		return nil, fmt.Errorf("%w: k=%d with n=%d", ErrBadOptions, opts.K, opts.N)
+	}
+	if opts.OPPDegree == 0 {
+		opts.OPPDegree = 3
+	}
+	if opts.IntBits == 0 {
+		opts.IntBits = 40
+	}
+	if opts.IntBits < 2 || opts.IntBits > 61 {
+		return nil, fmt.Errorf("%w: IntBits=%d", ErrBadOptions, opts.IntBits)
+	}
+	if opts.Alphabet == "" {
+		opts.Alphabet = defaultAlphabet
+	}
+	if opts.Rand == nil {
+		opts.Rand = rand.Reader
+	}
+	if len(opts.MasterKey) == 0 {
+		return nil, fmt.Errorf("%w: empty master key", ErrBadOptions)
+	}
+	fieldSch, err := secretshare.NewSchemeFromKey(opts.K, opts.N, opts.MasterKey)
+	if err != nil {
+		return nil, err
+	}
+	// Blob key: derived from the master key, AES-256-GCM.
+	mac := hmac.New(sha256.New, opts.MasterKey)
+	mac.Write([]byte("sssdb/blob-key"))
+	blockKey := mac.Sum(nil)
+	block, err := aes.NewCipher(blockKey[:32])
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		opts:     opts,
+		conns:    conns,
+		fieldSch: fieldSch,
+		domains:  make(map[string]*opp.Scheme),
+		tables:   make(map[string]*tableMeta),
+		aead:     aead,
+		down:     make([]bool, opts.N),
+		pending:  make(map[string]map[uint64][]Value),
+	}, nil
+}
+
+// defaultAlphabet mirrors numenc.PrintableAlphabet without importing it in
+// two places; kept in sync by a test.
+const defaultAlphabet = " 0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ_abcdefghijklmnopqrstuvwxyz"
+
+// Close closes all provider connections.
+func (c *Client) Close() error {
+	var firstErr error
+	for _, conn := range c.conns {
+		if err := conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// N returns the number of providers.
+func (c *Client) N() int { return c.opts.N }
+
+// K returns the reconstruction threshold.
+func (c *Client) K() int { return c.opts.K }
+
+// Stats aggregates traffic counters across all provider connections.
+func (c *Client) Stats() transport.Stats {
+	var total transport.Stats
+	for _, conn := range c.conns {
+		st := conn.Stats()
+		total.BytesSent += st.BytesSent
+		total.BytesReceived += st.BytesReceived
+		total.Calls += st.Calls
+	}
+	return total
+}
+
+// indexedResponse pairs a provider index with its response.
+type indexedResponse struct {
+	provider int
+	msg      proto.Message
+}
+
+// call sends one request to one provider, surfacing remote errors.
+func (c *Client) call(provider int, req proto.Message) (proto.Message, error) {
+	resp, err := c.conns[provider].Call(req)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := resp.(*proto.ErrorResponse); ok {
+		return nil, e.Err()
+	}
+	return resp, nil
+}
+
+// callAll sends the request built by build to every provider concurrently
+// and requires all to succeed (mutation path: shares must land everywhere).
+// On partial failure it returns the indices that succeeded so the caller
+// can compensate (e.g. roll an insert back off the providers it reached).
+func (c *Client) callAll(build func(provider int) proto.Message) ([]proto.Message, error) {
+	out, succeeded, err := c.callAllPartial(build)
+	_ = succeeded
+	return out, err
+}
+
+func (c *Client) callAllPartial(build func(provider int) proto.Message) ([]proto.Message, []int, error) {
+	out := make([]proto.Message, c.opts.N)
+	errs := make([]error, c.opts.N)
+	var wg sync.WaitGroup
+	for i := 0; i < c.opts.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = c.call(i, build(i))
+		}(i)
+	}
+	wg.Wait()
+	var failed, succeeded []int
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, i)
+		} else {
+			succeeded = append(succeeded, i)
+		}
+	}
+	if len(failed) > 0 {
+		return nil, succeeded, fmt.Errorf("client: providers %v failed: %w", failed, errs[failed[0]])
+	}
+	return out, succeeded, nil
+}
+
+// callQuorum sends requests until `need` providers have answered, starting
+// with providers not marked down and failing over to the rest. Responses
+// come back ordered by provider index.
+func (c *Client) callQuorum(need int, build func(provider int) proto.Message) ([]indexedResponse, error) {
+	if need > c.opts.N {
+		return nil, fmt.Errorf("%w: need %d of %d", ErrNotEnough, need, c.opts.N)
+	}
+	// Candidate order: healthy first, then previously-down (they may have
+	// recovered).
+	var order []int
+	for i := 0; i < c.opts.N; i++ {
+		if !c.down[i] {
+			order = append(order, i)
+		}
+	}
+	for i := 0; i < c.opts.N; i++ {
+		if c.down[i] {
+			order = append(order, i)
+		}
+	}
+	var got []indexedResponse
+	var errs []error
+	next := 0
+	for len(got) < need && next < len(order) {
+		// Launch the next batch concurrently: as many as still needed.
+		batch := order[next:min(next+need-len(got), len(order))]
+		next += len(batch)
+		type res struct {
+			provider int
+			msg      proto.Message
+			err      error
+		}
+		ch := make(chan res, len(batch))
+		for _, p := range batch {
+			go func(p int) {
+				msg, err := c.call(p, build(p))
+				ch <- res{provider: p, msg: msg, err: err}
+			}(p)
+		}
+		for range batch {
+			r := <-ch
+			if r.err != nil {
+				c.down[r.provider] = true
+				errs = append(errs, fmt.Errorf("provider %d: %w", r.provider, r.err))
+				continue
+			}
+			c.down[r.provider] = false
+			got = append(got, indexedResponse{provider: r.provider, msg: r.msg})
+		}
+	}
+	if len(got) < need {
+		return nil, fmt.Errorf("%w: %d of %d needed answered (%v)", ErrNotEnough, len(got), need, errors.Join(errs...))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].provider < got[j].provider })
+	return got, nil
+}
+
+// callAvailable contacts every provider concurrently and returns all
+// successful responses (ordered by provider index), requiring at least
+// minNeed. Verified reads use it: they want maximal redundancy so that
+// detectably-faulty providers can be dropped while a quorum survives.
+func (c *Client) callAvailable(minNeed int, build func(provider int) proto.Message) ([]indexedResponse, error) {
+	type res struct {
+		provider int
+		msg      proto.Message
+		err      error
+	}
+	ch := make(chan res, c.opts.N)
+	for i := 0; i < c.opts.N; i++ {
+		go func(i int) {
+			msg, err := c.call(i, build(i))
+			ch <- res{provider: i, msg: msg, err: err}
+		}(i)
+	}
+	var got []indexedResponse
+	var errs []error
+	for i := 0; i < c.opts.N; i++ {
+		r := <-ch
+		if r.err != nil {
+			c.down[r.provider] = true
+			errs = append(errs, fmt.Errorf("provider %d: %w", r.provider, r.err))
+			continue
+		}
+		c.down[r.provider] = false
+		got = append(got, indexedResponse{provider: r.provider, msg: r.msg})
+	}
+	if len(got) < minNeed {
+		return nil, fmt.Errorf("%w: %d of %d needed answered (%v)",
+			ErrNotEnough, len(got), minNeed, errors.Join(errs...))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].provider < got[j].provider })
+	return got, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// table looks up catalog metadata.
+func (c *Client) table(name string) (*tableMeta, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}

@@ -1,0 +1,735 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sssdb/internal/numenc"
+	"sssdb/internal/proto"
+	"sssdb/internal/server"
+	"sssdb/internal/store"
+	"sssdb/internal/transport"
+)
+
+// fleet is an in-process deployment: n provider stores behind faulty-capable
+// loopback connections and one client.
+type fleet struct {
+	client *Client
+	stores []*store.Store
+	faults []*transport.FaultyConn
+}
+
+func newFleet(t testing.TB, n, k int, opts Options) *fleet {
+	t.Helper()
+	f := &fleet{}
+	conns := make([]transport.Conn, n)
+	for i := 0; i < n; i++ {
+		st, err := store.Open("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.stores = append(f.stores, st)
+		fc := transport.NewFaulty(transport.NewLocal(server.New(st)))
+		f.faults = append(f.faults, fc)
+		conns[i] = fc
+	}
+	opts.K = k
+	if len(opts.MasterKey) == 0 {
+		opts.MasterKey = []byte("test master key")
+	}
+	c, err := New(conns, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.client = c
+	t.Cleanup(func() { c.Close() })
+	return f
+}
+
+func (f *fleet) mustExec(t testing.TB, q string) *Result {
+	t.Helper()
+	res, err := f.client.Exec(q)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", q, err)
+	}
+	return res
+}
+
+// setupEmployees loads the paper's running example.
+func setupEmployees(t testing.TB, f *fleet) {
+	t.Helper()
+	f.mustExec(t, `CREATE TABLE employees (name VARCHAR(8), salary INT, dept INT)`)
+	f.mustExec(t, `INSERT INTO employees VALUES
+		('John', 10, 1), ('Alice', 20, 1), ('Bob', 40, 2),
+		('Carol', 60, 2), ('Dave', 80, 3), ('John', 35, 3)`)
+}
+
+func rowsAsStrings(res *Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.Format()
+		}
+		out = append(out, strings.Join(parts, ","))
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Options{K: 1, MasterKey: []byte("k")}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("no conns: %v", err)
+	}
+	conn := transport.NewLocal(transport.HandlerFunc(func(m proto.Message) proto.Message {
+		return &proto.OKResponse{}
+	}))
+	if _, err := New([]transport.Conn{conn}, Options{K: 2, MasterKey: []byte("k")}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("k>n: %v", err)
+	}
+	if _, err := New([]transport.Conn{conn}, Options{K: 1}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("no key: %v", err)
+	}
+	if _, err := New([]transport.Conn{conn}, Options{K: 1, MasterKey: []byte("k"), IntBits: 99}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("bad bits: %v", err)
+	}
+}
+
+func TestDefaultAlphabetMatchesNumenc(t *testing.T) {
+	if defaultAlphabet != numenc.PrintableAlphabet {
+		t.Fatal("defaultAlphabet out of sync with numenc.PrintableAlphabet")
+	}
+}
+
+func TestExactMatchQuery(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	// The paper's exact-match example: employees whose name is John.
+	res := f.mustExec(t, `SELECT name, salary FROM employees WHERE name = 'John'`)
+	got := rowsAsStrings(res)
+	if len(got) != 2 || got[0] != "John,10" || got[1] != "John,35" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	// Paper: salaries between 10K and 40K (scaled to the example values).
+	res := f.mustExec(t, `SELECT name, salary FROM employees WHERE salary BETWEEN 10 AND 40`)
+	got := rowsAsStrings(res)
+	want := []string{"John,10", "Alice,20", "John,35", "Bob,40"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Open-ended comparisons.
+	res = f.mustExec(t, `SELECT salary FROM employees WHERE salary > 40`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[60 80]" {
+		t.Fatalf("salary > 40: %v", got)
+	}
+	res = f.mustExec(t, `SELECT salary FROM employees WHERE salary <= 20`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[10 20]" {
+		t.Fatalf("salary <= 20: %v", got)
+	}
+}
+
+func TestRangeReturnsExactlyRequiredTuples(t *testing.T) {
+	// Sec. IV's point: providers filter ranges in share space and ship only
+	// matching rows. Check bytes received scale with selectivity.
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE TABLE nums (v INT)`)
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO nums VALUES ")
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "(%d)", i)
+	}
+	f.mustExec(t, sb.String())
+
+	before := f.client.Stats().BytesReceived
+	res := f.mustExec(t, `SELECT v FROM nums WHERE v BETWEEN 100 AND 104`)
+	narrow := f.client.Stats().BytesReceived - before
+	if len(res.Rows) != 5 {
+		t.Fatalf("narrow rows = %d", len(res.Rows))
+	}
+	before = f.client.Stats().BytesReceived
+	res = f.mustExec(t, `SELECT v FROM nums WHERE v BETWEEN 0 AND 499`)
+	wide := f.client.Stats().BytesReceived - before
+	if len(res.Rows) != 500 {
+		t.Fatalf("wide rows = %d", len(res.Rows))
+	}
+	if wide < narrow*20 {
+		t.Fatalf("full scan moved %d bytes, 1%% scan %d — provider is not filtering", wide, narrow)
+	}
+}
+
+func TestResidualPredicates(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	res := f.mustExec(t, `SELECT name FROM employees WHERE salary BETWEEN 10 AND 60 AND dept = 2`)
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[Bob Carol]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	res := f.mustExec(t, `SELECT salary FROM employees WHERE salary >= 10 LIMIT 3`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Limit with residual predicates still truncates correctly.
+	res = f.mustExec(t, `SELECT salary FROM employees WHERE salary >= 10 AND dept >= 1 LIMIT 2`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestLikePrefixAndStringRange(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{Alphabet: numenc.PaperAlphabet})
+	f.mustExec(t, `CREATE TABLE people (name VARCHAR(5))`)
+	f.mustExec(t, `INSERT INTO people VALUES ('ABBA'), ('ABE'), ('ALICE'), ('BOB'), ('JACK'), ('IVY')`)
+	// Paper: names starting with AB.
+	res := f.mustExec(t, `SELECT name FROM people WHERE name LIKE 'AB%'`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[ABBA ABE]" {
+		t.Fatalf("LIKE: %v", got)
+	}
+	// Paper: names between Albert and Jack (adapted to the alphabet).
+	res = f.mustExec(t, `SELECT name FROM people WHERE name BETWEEN 'ALICE' AND 'JACK'`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[ALICE BOB IVY JACK]" {
+		t.Fatalf("BETWEEN: %v", got)
+	}
+}
+
+func TestDecimalColumn(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE TABLE pay (amount DECIMAL(2))`)
+	f.mustExec(t, `INSERT INTO pay VALUES (10.50), (-3.25), (40000.00), (0.01)`)
+	res := f.mustExec(t, `SELECT amount FROM pay WHERE amount BETWEEN 0.00 AND 20000.00`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[0.01 10.50]" {
+		t.Fatalf("got %v", got)
+	}
+	res = f.mustExec(t, `SELECT amount FROM pay WHERE amount < 0`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[-3.25]" {
+		t.Fatalf("negatives: %v", got)
+	}
+}
+
+func TestAggregatesEndToEnd(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	res := f.mustExec(t, `SELECT COUNT(*), SUM(salary), AVG(salary), MIN(salary), MAX(salary), MEDIAN(salary) FROM employees`)
+	got := rowsAsStrings(res)
+	// salaries: 10,20,35,40,60,80 -> count 6, sum 245, avg 40, min 10,
+	// max 80, lower median 35.
+	if fmt.Sprint(got) != "[6,245,40,10,80,35]" {
+		t.Fatalf("got %v (columns %v)", got, res.Columns)
+	}
+	// Aggregation over ranges (paper Sec. III example).
+	res = f.mustExec(t, `SELECT SUM(salary) FROM employees WHERE salary BETWEEN 10 AND 40`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[105]" {
+		t.Fatalf("range sum: %v", got)
+	}
+	// Aggregation over exact match (average salary of Johns).
+	res = f.mustExec(t, `SELECT AVG(salary) FROM employees WHERE name = 'John'`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[22]" { // (10+35)/2
+		t.Fatalf("avg johns: %v", got)
+	}
+	// Median over a range.
+	res = f.mustExec(t, `SELECT MEDIAN(salary) FROM employees WHERE salary BETWEEN 20 AND 80`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[40]" { // 20,35,40,60,80
+		t.Fatalf("range median: %v", got)
+	}
+	// COUNT on empty match; other aggregates error.
+	res = f.mustExec(t, `SELECT COUNT(*) FROM employees WHERE salary = 999`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[0]" {
+		t.Fatalf("empty count: %v", got)
+	}
+	if _, err := f.client.Exec(`SELECT MIN(salary) FROM employees WHERE salary = 999`); !errors.Is(err, ErrEmptyAggregate) {
+		t.Fatalf("empty min: %v", err)
+	}
+}
+
+func TestAggregatesClientSideFallbackMatchesRemote(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	q := `SELECT SUM(salary), MIN(salary), MEDIAN(salary) FROM employees WHERE salary BETWEEN 10 AND 60`
+	remote := rowsAsStrings(f.mustExec(t, q))
+	f.client.SetClientSideAggregates(true)
+	local := rowsAsStrings(f.mustExec(t, q))
+	f.client.SetClientSideAggregates(false)
+	if fmt.Sprint(remote) != fmt.Sprint(local) {
+		t.Fatalf("remote %v != local %v", remote, local)
+	}
+	// Residual predicates force the client-side path implicitly.
+	res := f.mustExec(t, `SELECT SUM(salary) FROM employees WHERE salary >= 10 AND dept = 2`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[100]" {
+		t.Fatalf("residual agg: %v", got)
+	}
+}
+
+func TestDecimalAggregates(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE TABLE pay (amount DECIMAL(2))`)
+	f.mustExec(t, `INSERT INTO pay VALUES (10.50), (20.25), (30.00)`)
+	res := f.mustExec(t, `SELECT SUM(amount), AVG(amount) FROM pay`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[60.75,20.25]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestJoinRemoteSameDomain(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	// Paper Sec. V-A: Employees ⋈ Managers on EID (same INT domain).
+	f.mustExec(t, `CREATE TABLE employees (eid INT, name VARCHAR(8), salary INT)`)
+	f.mustExec(t, `CREATE TABLE managers (eid INT, level INT)`)
+	f.mustExec(t, `INSERT INTO employees VALUES (1, 'John', 10), (2, 'Alice', 20), (3, 'Bob', 40)`)
+	f.mustExec(t, `INSERT INTO managers VALUES (2, 100), (3, 200)`)
+	res := f.mustExec(t, `SELECT employees.name, employees.salary, managers.level
+		FROM employees JOIN managers ON employees.eid = managers.eid`)
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[Alice,20,100 Bob,40,200]" {
+		t.Fatalf("got %v", got)
+	}
+	// With a filter on the left side.
+	res = f.mustExec(t, `SELECT employees.name FROM employees JOIN managers
+		ON employees.eid = managers.eid WHERE employees.salary > 20`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[Bob]" {
+		t.Fatalf("filtered join: %v", got)
+	}
+	// Reversed ON order works too.
+	res = f.mustExec(t, `SELECT employees.name FROM employees JOIN managers
+		ON managers.eid = employees.eid`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("reversed ON: %v", rowsAsStrings(res))
+	}
+}
+
+func TestJoinLocalFallbackCrossDomain(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	// The paper's negative case: joining Name with ManagerUserName when the
+	// attributes come from DIFFERENT domains (different VARCHAR widths here)
+	// cannot run at the provider; the client falls back to a local join.
+	f.mustExec(t, `CREATE TABLE employees (name VARCHAR(8), salary INT)`)
+	f.mustExec(t, `CREATE TABLE managers (username VARCHAR(10), level INT)`)
+	f.mustExec(t, `INSERT INTO employees VALUES ('John', 10), ('Alice', 20)`)
+	f.mustExec(t, `INSERT INTO managers VALUES ('Alice', 7), ('Zed', 9)`)
+	res := f.mustExec(t, `SELECT employees.name, managers.level
+		FROM employees JOIN managers ON employees.name = managers.username`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[Alice,7]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUpdateEager(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	res := f.mustExec(t, `UPDATE employees SET salary = 99 WHERE name = 'John'`)
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	out := f.mustExec(t, `SELECT salary FROM employees WHERE name = 'John'`)
+	if got := rowsAsStrings(out); fmt.Sprint(got) != "[99 99]" {
+		t.Fatalf("got %v", got)
+	}
+	// The OPP index moved: range queries see the new values.
+	out = f.mustExec(t, `SELECT COUNT(*) FROM employees WHERE salary BETWEEN 90 AND 100`)
+	if got := rowsAsStrings(out); fmt.Sprint(got) != "[2]" {
+		t.Fatalf("count: %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	res := f.mustExec(t, `DELETE FROM employees WHERE dept = 2`)
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	out := f.mustExec(t, `SELECT COUNT(*) FROM employees`)
+	if got := rowsAsStrings(out); fmt.Sprint(got) != "[4]" {
+		t.Fatalf("count: %v", got)
+	}
+}
+
+func TestLazyUpdates(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{LazyUpdates: true})
+	setupEmployees(t, f)
+	res := f.mustExec(t, `UPDATE employees SET salary = 99 WHERE name = 'John'`)
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	if f.client.PendingUpdates() != 2 {
+		t.Fatalf("pending = %d", f.client.PendingUpdates())
+	}
+	// Read-your-writes: the overlay shows the new values and removes the
+	// rows from ranges their old values matched.
+	out := f.mustExec(t, `SELECT salary FROM employees WHERE name = 'John'`)
+	if got := rowsAsStrings(out); fmt.Sprint(got) != "[99 99]" {
+		t.Fatalf("overlay: %v", got)
+	}
+	out = f.mustExec(t, `SELECT name FROM employees WHERE salary BETWEEN 90 AND 100`)
+	if got := rowsAsStrings(out); fmt.Sprint(got) != "[John John]" {
+		t.Fatalf("overlay range: %v", got)
+	}
+	out = f.mustExec(t, `SELECT name FROM employees WHERE salary = 10`)
+	if len(out.Rows) != 0 {
+		t.Fatalf("stale row visible: %v", rowsAsStrings(out))
+	}
+	// Providers still hold the old shares until Flush.
+	sumBefore := rowsAsStrings(f.mustExec(t, `SELECT SUM(salary) FROM employees`)) // flushes implicitly
+	if f.client.PendingUpdates() != 0 {
+		t.Fatalf("aggregate did not flush, pending = %d", f.client.PendingUpdates())
+	}
+	if fmt.Sprint(sumBefore) != "[344]" { // 99+20+40+60+80+99 - wait: 99+20+40+60+80+99 = 398
+		// salaries after update: John->99, Alice 20, Bob 40, Carol 60,
+		// Dave 80, John->99: sum = 398.
+		if fmt.Sprint(sumBefore) != "[398]" {
+			t.Fatalf("sum after flush: %v", sumBefore)
+		}
+	}
+}
+
+func TestLazyFlushExplicit(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{LazyUpdates: true})
+	setupEmployees(t, f)
+	f.mustExec(t, `UPDATE employees SET dept = 9 WHERE dept = 1`)
+	if err := f.client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if f.client.PendingUpdates() != 0 {
+		t.Fatal("pending after flush")
+	}
+	out := f.mustExec(t, `SELECT COUNT(*) FROM employees WHERE dept = 9`)
+	if got := rowsAsStrings(out); fmt.Sprint(got) != "[2]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestProviderFailover(t *testing.T) {
+	f := newFleet(t, 5, 2, Options{})
+	setupEmployees(t, f)
+	// Crash 3 of 5 providers: reads still succeed with k=2.
+	f.faults[0].Crash()
+	f.faults[2].Crash()
+	f.faults[4].Crash()
+	res := f.mustExec(t, `SELECT salary FROM employees WHERE name = 'John'`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Aggregates too.
+	res = f.mustExec(t, `SELECT SUM(salary) FROM employees`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[245]" {
+		t.Fatalf("sum: %v", got)
+	}
+	// Crash one more: below k, reads fail.
+	f.faults[1].Crash()
+	if _, err := f.client.Exec(`SELECT * FROM employees`); !errors.Is(err, ErrNotEnough) {
+		t.Fatalf("got %v", err)
+	}
+	// Recovery: provider comes back, reads succeed again.
+	f.faults[1].Recover()
+	res = f.mustExec(t, `SELECT salary FROM employees WHERE name = 'John'`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows after recovery = %d", len(res.Rows))
+	}
+	// Writes require all providers.
+	if _, err := f.client.Exec(`INSERT INTO employees VALUES ('Eve', 1, 1)`); err == nil {
+		t.Fatal("insert with crashed providers succeeded")
+	}
+}
+
+func TestVerifiedSelectHonest(t *testing.T) {
+	f := newFleet(t, 4, 2, Options{})
+	setupEmployees(t, f)
+	res := f.mustExec(t, `SELECT name, salary FROM employees WHERE salary BETWEEN 10 AND 40 VERIFIED`)
+	if !res.Verified {
+		t.Fatal("result not marked verified")
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestVerifiedDetectsCorruptedShare(t *testing.T) {
+	f := newFleet(t, 4, 2, Options{})
+	setupEmployees(t, f)
+	// Provider 1 flips field-share bytes in flight: its Merkle row digests
+	// no longer match, so it is dropped and reported; the query still
+	// answers from the honest majority.
+	f.faults[1].SetCorrupter(func(resp proto.Message) proto.Message {
+		if rr, ok := resp.(*proto.RowsResponse); ok {
+			for i := range rr.Rows {
+				for j, cell := range rr.Rows[i].Cells {
+					if len(cell) == 8 {
+						rr.Rows[i].Cells[j][0] ^= 0xff
+					}
+				}
+			}
+		}
+		return resp
+	})
+	res := f.mustExec(t, `SELECT name, salary FROM employees WHERE salary BETWEEN 10 AND 80 VERIFIED`)
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	got := rowsAsStrings(res)
+	if got[0] != "John,10" {
+		t.Fatalf("values corrupted: %v", got)
+	}
+	// An UNVERIFIED read may or may not hit the corrupt provider; a
+	// verified read must always be correct. (Checked above.)
+}
+
+func TestVerifiedDetectsDroppedRow(t *testing.T) {
+	f := newFleet(t, 4, 2, Options{})
+	setupEmployees(t, f)
+	// Provider 2 silently withholds one matching row: its completeness
+	// proof can no longer reach its own digest root.
+	f.faults[2].SetCorrupter(func(resp proto.Message) proto.Message {
+		if rr, ok := resp.(*proto.RowsResponse); ok && len(rr.Rows) > 1 {
+			rr.Rows = rr.Rows[1:]
+		}
+		return resp
+	})
+	res := f.mustExec(t, `SELECT name FROM employees WHERE salary BETWEEN 10 AND 80 VERIFIED`)
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d (withheld row not recovered)", len(res.Rows))
+	}
+}
+
+func TestVerifiedFailsWhenTooManyCorrupt(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	corrupt := func(resp proto.Message) proto.Message {
+		if rr, ok := resp.(*proto.RowsResponse); ok && len(rr.Rows) > 0 {
+			rr.Rows = rr.Rows[1:]
+		}
+		return resp
+	}
+	f.faults[0].SetCorrupter(corrupt)
+	f.faults[1].SetCorrupter(corrupt)
+	if _, err := f.client.Exec(`SELECT name FROM employees WHERE salary >= 10 VERIFIED`); !errors.Is(err, ErrVerification) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAuditIdentifiesFaultyProvider(t *testing.T) {
+	f := newFleet(t, 4, 2, Options{})
+	setupEmployees(t, f)
+	report, err := f.client.Audit("employees")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Rows != 6 || len(report.Faulty) != 0 {
+		t.Fatalf("honest audit: %+v", report)
+	}
+	f.faults[3].SetCorrupter(func(resp proto.Message) proto.Message {
+		if rr, ok := resp.(*proto.RowsResponse); ok {
+			for i := range rr.Rows {
+				for j, cell := range rr.Rows[i].Cells {
+					if len(cell) == 8 {
+						rr.Rows[i].Cells[j][3] ^= 0x42
+					}
+				}
+			}
+		}
+		return resp
+	})
+	report, err = f.client.Audit("employees")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(report.Faulty) != "[3]" {
+		t.Fatalf("faulty = %v", report.Faulty)
+	}
+}
+
+func TestBlobEncryptedAtRest(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE TABLE notes (id INT, body BLOB)`)
+	secret := "extremely sensitive payload"
+	f.mustExec(t, fmt.Sprintf(`INSERT INTO notes VALUES (1, '%s')`, secret))
+	// Round trip through a query.
+	res := f.mustExec(t, `SELECT body FROM notes WHERE id = 1`)
+	if len(res.Rows) != 1 || string(res.Rows[0][0].B) != secret {
+		t.Fatalf("got %v", rowsAsStrings(res))
+	}
+	// Nothing a provider stores contains the plaintext.
+	for i, st := range f.stores {
+		resp, err := st.Scan("notes", nil, nil, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range resp.Rows {
+			for _, cell := range row.Cells {
+				if strings.Contains(string(cell), secret) {
+					t.Fatalf("provider %d stores the plaintext blob", i)
+				}
+			}
+		}
+	}
+}
+
+func TestPublicTableBlobStoredRaw(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE PUBLIC TABLE restaurants (zip INT, info BLOB)`)
+	f.mustExec(t, `INSERT INTO restaurants VALUES (94103, 'Luigi''s Pizza')`)
+	res := f.mustExec(t, `SELECT info FROM restaurants WHERE zip = 94103`)
+	if string(res.Rows[0][0].B) != "Luigi's Pizza" {
+		t.Fatalf("got %v", rowsAsStrings(res))
+	}
+	// Public blobs ARE stored raw (that is the point of public data).
+	resp, err := f.stores[0].Scan("restaurants", nil, nil, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range resp.Rows {
+		for _, cell := range row.Cells {
+			if strings.Contains(string(cell), "Luigi's Pizza") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("public blob not stored raw")
+	}
+}
+
+// The core privacy property: no provider ever stores a value, a name, or a
+// recognizable encoding of either. (Order is leaked by design — Sec. IV.)
+func TestProvidersNeverSeePlaintext(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	for i, st := range f.stores {
+		resp, err := st.Scan("employees", nil, nil, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range resp.Rows {
+			for _, cell := range row.Cells {
+				s := string(cell)
+				for _, needle := range []string{"John", "Alice", "Bob", "Carol", "Dave"} {
+					if strings.Contains(s, needle) {
+						t.Fatalf("provider %d stores plaintext name %q", i, needle)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSchemaAndTypeErrors(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	cases := []struct {
+		q    string
+		want error
+	}{
+		{`CREATE TABLE employees (x INT)`, ErrTableExists},
+		{`SELECT * FROM missing`, ErrNoSuchTable},
+		{`SELECT missing FROM employees`, ErrNoSuchColumn},
+		{`SELECT * FROM employees WHERE missing = 1`, ErrNoSuchColumn},
+		{`INSERT INTO employees VALUES (1)`, ErrTypeMismatch},
+		{`INSERT INTO employees VALUES (5, 10, 1)`, ErrTypeMismatch},
+		{`INSERT INTO employees VALUES ('J', 'high', 1)`, ErrTypeMismatch},
+		{`SELECT name, COUNT(*) FROM employees`, ErrUnsupported},
+		{`SELECT SUM(name) FROM employees`, ErrUnsupported},
+		{`DROP TABLE missing`, ErrNoSuchTable},
+		{`UPDATE employees SET missing = 1`, ErrNoSuchColumn},
+	}
+	for _, tc := range cases {
+		if _, err := f.client.Exec(tc.q); !errors.Is(err, tc.want) {
+			t.Errorf("Exec(%q) = %v, want %v", tc.q, err, tc.want)
+		}
+	}
+}
+
+func TestCreateAndDropLifecycle(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE TABLE t (a INT)`)
+	if got := f.client.Tables(); fmt.Sprint(got) != "[t]" {
+		t.Fatalf("tables: %v", got)
+	}
+	f.mustExec(t, `DROP TABLE t`)
+	if got := f.client.Tables(); len(got) != 0 {
+		t.Fatalf("tables after drop: %v", got)
+	}
+	// Recreate works.
+	f.mustExec(t, `CREATE TABLE t (a INT)`)
+	f.mustExec(t, `INSERT INTO t VALUES (1)`)
+}
+
+func TestIntBoundsEnforced(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{IntBits: 16})
+	f.mustExec(t, `CREATE TABLE t (a INT)`)
+	f.mustExec(t, `INSERT INTO t VALUES (32767), (-32768)`)
+	if _, err := f.client.Exec(`INSERT INTO t VALUES (32768)`); err == nil {
+		t.Fatal("out-of-range int accepted")
+	}
+	res := f.mustExec(t, `SELECT a FROM t WHERE a BETWEEN -32768 AND 32767`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestEmptyRangeShortCircuits(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{IntBits: 16})
+	f.mustExec(t, `CREATE TABLE t (a INT)`)
+	f.mustExec(t, `INSERT INTO t VALUES (5)`)
+	before := f.client.Stats().Calls
+	res := f.mustExec(t, `SELECT a FROM t WHERE a < -32768`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if f.client.Stats().Calls != before {
+		t.Fatal("provably empty range still contacted providers")
+	}
+}
+
+func TestMashupPrivatePublicJoin(t *testing.T) {
+	// Sec. V-D: private friends joined against public restaurants by zip,
+	// executed AT the provider in share space — the provider learns neither
+	// the friend nor which zip matched.
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE TABLE friends (name VARCHAR(8), zip INT)`)
+	f.mustExec(t, `CREATE PUBLIC TABLE restaurants (rname VARCHAR(10), zip INT)`)
+	f.mustExec(t, `INSERT INTO friends VALUES ('Ann', 94103), ('Ben', 10001)`)
+	f.mustExec(t, `INSERT INTO restaurants VALUES
+		('PizzaPlace', 94103), ('SushiSpot', 94103), ('Deli', 60601)`)
+	res := f.mustExec(t, `SELECT friends.name, restaurants.rname
+		FROM friends JOIN restaurants ON friends.zip = restaurants.zip
+		WHERE friends.name = 'Ann'`)
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[Ann,PizzaPlace Ann,SushiSpot]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func BenchmarkExactMatch1000(b *testing.B) {
+	f := newFleet(b, 3, 2, Options{})
+	f.client.Exec(`CREATE TABLE t (a INT, v INT)`)
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO t VALUES ")
+	for i := 0; i < 1000; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i%100, i)
+	}
+	if _, err := f.client.Exec(sb.String()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.client.Exec(`SELECT v FROM t WHERE a = 50`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+package client
+
+import (
+	"fmt"
+	"io"
+
+	"sssdb/internal/field"
+	"sssdb/internal/proto"
+	"sssdb/internal/sql"
+)
+
+// Exec parses and executes one SQL statement against the provider fleet.
+func (c *Client) Exec(query string) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		return c.execCreateTable(s)
+	case *sql.DropTable:
+		return c.execDropTable(s)
+	case *sql.Insert:
+		return c.execInsert(s)
+	case *sql.Select:
+		return c.execSelect(s)
+	case *sql.Update:
+		return c.execUpdate(s)
+	case *sql.Delete:
+		return c.execDelete(s)
+	case *sql.Explain:
+		return c.execExplain(s)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnsupported, stmt)
+	}
+}
+
+// --- DDL ---
+
+func (c *Client) execCreateTable(s *sql.CreateTable) (*Result, error) {
+	if _, exists := c.tables[s.Name]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, s.Name)
+	}
+	meta := &tableMeta{Name: s.Name, Public: s.Public, NextID: 1}
+	seen := make(map[string]bool)
+	for _, def := range s.Columns {
+		if seen[def.Name] {
+			return nil, fmt.Errorf("%w: duplicate column %q", ErrBadSchema, def.Name)
+		}
+		seen[def.Name] = true
+		cm, err := c.buildColMeta(def)
+		if err != nil {
+			return nil, err
+		}
+		meta.Cols = append(meta.Cols, cm)
+	}
+	spec := meta.providerSpec()
+	if _, err := c.callAll(func(int) proto.Message {
+		return &proto.CreateTableRequest{Spec: spec}
+	}); err != nil {
+		return nil, err
+	}
+	c.tables[s.Name] = meta
+	return &Result{}, nil
+}
+
+func (c *Client) execDropTable(s *sql.DropTable) (*Result, error) {
+	if _, err := c.table(s.Name); err != nil {
+		return nil, err
+	}
+	if _, err := c.callAll(func(int) proto.Message {
+		return &proto.DropTableRequest{Table: s.Name}
+	}); err != nil {
+		return nil, err
+	}
+	delete(c.tables, s.Name)
+	delete(c.pending, s.Name)
+	return &Result{}, nil
+}
+
+// --- INSERT ---
+
+func (c *Client) execInsert(s *sql.Insert) (*Result, error) {
+	meta, err := c.table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]Value, 0, len(s.Rows))
+	for _, litRow := range s.Rows {
+		if len(litRow) != len(meta.Cols) {
+			return nil, fmt.Errorf("%w: %d values for %d columns",
+				ErrTypeMismatch, len(litRow), len(meta.Cols))
+		}
+		vals := make([]Value, len(litRow))
+		for i, lit := range litRow {
+			v, err := meta.Cols[i].parseValue(lit)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		rows = append(rows, vals)
+	}
+	return c.insertValues(meta, rows)
+}
+
+// InsertValues outsources pre-typed rows, bypassing SQL parsing; bulk
+// loaders and the workload generators use it.
+func (c *Client) InsertValues(table string, rows [][]Value) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	meta, err := c.table(table)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		if len(row) != len(meta.Cols) {
+			return nil, fmt.Errorf("%w: %d values for %d columns",
+				ErrTypeMismatch, len(row), len(meta.Cols))
+		}
+	}
+	return c.insertValues(meta, rows)
+}
+
+func (c *Client) insertValues(meta *tableMeta, rows [][]Value) (*Result, error) {
+	perProvider, ids, err := c.encodeRows(meta, rows)
+	if err != nil {
+		return nil, err
+	}
+	_, succeeded, err := c.callAllPartial(func(i int) proto.Message {
+		return &proto.InsertRequest{Table: meta.Name, Rows: perProvider[i]}
+	})
+	if err != nil {
+		// Best-effort compensation: providers that accepted the batch would
+		// otherwise hold rows their peers lack, permanently forking the
+		// share sets. Delete the batch where it landed; providers that are
+		// down will reject the ids again if the client retries later (ids
+		// are never reused: NextID only advances on success).
+		for _, p := range succeeded {
+			if _, derr := c.call(p, &proto.DeleteRequest{Table: meta.Name, RowIDs: ids}); derr != nil {
+				return nil, fmt.Errorf("%w (rollback on provider %d also failed: %v)", err, p, derr)
+			}
+		}
+		return nil, err
+	}
+	meta.NextID += uint64(len(rows))
+	return &Result{Affected: uint64(len(rows))}, nil
+}
+
+// encodeRows turns typed rows into per-provider share rows, assigning
+// fresh ids starting at meta.NextID (without committing the counter).
+func (c *Client) encodeRows(meta *tableMeta, rows [][]Value) ([][]proto.Row, []uint64, error) {
+	perProvider := make([][]proto.Row, c.opts.N)
+	ids := make([]uint64, len(rows))
+	nextID := meta.NextID
+	for r, vals := range rows {
+		id := nextID
+		nextID++
+		ids[r] = id
+		encoded, err := c.encodeRow(meta, id, vals)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < c.opts.N; i++ {
+			perProvider[i] = append(perProvider[i], encoded[i])
+		}
+	}
+	return perProvider, ids, nil
+}
+
+// encodeRow encodes one row for all providers under a specific id.
+func (c *Client) encodeRow(meta *tableMeta, id uint64, vals []Value) ([]proto.Row, error) {
+	out := make([]proto.Row, c.opts.N)
+	for i := range out {
+		out[i] = proto.Row{ID: id}
+	}
+	for ci := range meta.Cols {
+		cm := &meta.Cols[ci]
+		v := vals[ci]
+		if !cm.queryable() {
+			cell, err := c.sealBlob(meta, v)
+			if err != nil {
+				return nil, err
+			}
+			for i := range out {
+				out[i].Cells = append(out[i].Cells, cell)
+			}
+			continue
+		}
+		u, err := cm.encode(v)
+		if err != nil {
+			return nil, err
+		}
+		oppShares, err := cm.oppSch.Split(u)
+		if err != nil {
+			return nil, err
+		}
+		fieldShares, err := c.fieldSch.Split(field.New(u), c.opts.Rand)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i].Cells = append(out[i].Cells,
+				oppShares[i].Bytes(), fieldCell(fieldShares[i].Y.Uint64()))
+		}
+	}
+	return out, nil
+}
+
+// sealBlob encrypts a payload for private tables (AES-256-GCM with a random
+// nonce) and passes it through for public ones. The identical ciphertext is
+// replicated to every provider.
+func (c *Client) sealBlob(meta *tableMeta, v Value) ([]byte, error) {
+	if v.Kind != KindBytes && v.Kind != KindString {
+		return nil, fmt.Errorf("%w: blob column wants bytes, got %v", ErrTypeMismatch, v.Kind)
+	}
+	payload := v.B
+	if v.Kind == KindString {
+		payload = []byte(v.S)
+	}
+	if meta.Public {
+		return payload, nil
+	}
+	nonce := make([]byte, c.aead.NonceSize())
+	if _, err := io.ReadFull(c.opts.Rand, nonce); err != nil {
+		return nil, err
+	}
+	return append(nonce, c.aead.Seal(nil, nonce, payload, nil)...), nil
+}
+
+// openBlob inverts sealBlob.
+func (c *Client) openBlob(meta *tableMeta, cell []byte) ([]byte, error) {
+	if meta.Public {
+		return cell, nil
+	}
+	ns := c.aead.NonceSize()
+	if len(cell) < ns {
+		return nil, fmt.Errorf("%w: blob cell too short", ErrVerification)
+	}
+	plain, err := c.aead.Open(nil, cell[:ns], cell[ns:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: blob authentication failed: %v", ErrVerification, err)
+	}
+	return plain, nil
+}
+
+// --- DELETE ---
+
+func (c *Client) execDelete(s *sql.Delete) (*Result, error) {
+	meta, err := c.table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.flushTableLocked(meta.Name); err != nil {
+		return nil, err
+	}
+	preds, err := c.compilePredicates(meta, s.Where, "")
+	if err != nil {
+		return nil, err
+	}
+	scan, err := c.scanTable(meta, preds, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(scan.ids) == 0 {
+		return &Result{}, nil
+	}
+	if _, err := c.callAll(func(int) proto.Message {
+		return &proto.DeleteRequest{Table: meta.Name, RowIDs: scan.ids}
+	}); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: uint64(len(scan.ids))}, nil
+}
+
+// --- UPDATE ---
+
+func (c *Client) execUpdate(s *sql.Update) (*Result, error) {
+	meta, err := c.table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve assignments up front.
+	type assign struct {
+		ci  int
+		val Value
+	}
+	var assigns []assign
+	for _, a := range s.Set {
+		cm, err := meta.col(a.Col)
+		if err != nil {
+			return nil, err
+		}
+		v, err := cm.parseValue(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		ci := -1
+		for i := range meta.Cols {
+			if meta.Cols[i].Name == a.Col {
+				ci = i
+			}
+		}
+		assigns = append(assigns, assign{ci: ci, val: v})
+	}
+	preds, err := c.compilePredicates(meta, s.Where, "")
+	if err != nil {
+		return nil, err
+	}
+	// The paper's update flow: retrieve the affected tuples, reconstruct at
+	// the client, apply the change, re-share, redistribute (Sec. V-C).
+	scan, err := c.scanTable(meta, preds, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(scan.ids) == 0 {
+		return &Result{}, nil
+	}
+	for r := range scan.values {
+		for _, a := range assigns {
+			scan.values[r][a.ci] = a.val
+		}
+	}
+	if c.opts.LazyUpdates {
+		pend := c.pending[meta.Name]
+		if pend == nil {
+			pend = make(map[uint64][]Value)
+			c.pending[meta.Name] = pend
+		}
+		for r, id := range scan.ids {
+			pend[id] = scan.values[r]
+		}
+		return &Result{Affected: uint64(len(scan.ids))}, nil
+	}
+	return c.pushUpdates(meta, scan.ids, scan.values)
+}
+
+// pushUpdates re-shares full rows and distributes them to every provider.
+func (c *Client) pushUpdates(meta *tableMeta, ids []uint64, values [][]Value) (*Result, error) {
+	perProvider := make([][]proto.Row, c.opts.N)
+	for r, id := range ids {
+		encoded, err := c.encodeRow(meta, id, values[r])
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < c.opts.N; i++ {
+			perProvider[i] = append(perProvider[i], encoded[i])
+		}
+	}
+	if _, err := c.callAll(func(i int) proto.Message {
+		return &proto.UpdateRequest{Table: meta.Name, Rows: perProvider[i]}
+	}); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: uint64(len(ids))}, nil
+}
+
+// Flush pushes all buffered lazy updates to the providers.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name := range c.pending {
+		if err := c.flushTableLocked(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PendingUpdates reports how many lazy updates are buffered.
+func (c *Client) PendingUpdates() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, m := range c.pending {
+		total += len(m)
+	}
+	return total
+}
+
+func (c *Client) flushTableLocked(name string) error {
+	pend := c.pending[name]
+	if len(pend) == 0 {
+		return nil
+	}
+	meta, err := c.table(name)
+	if err != nil {
+		return err
+	}
+	ids := make([]uint64, 0, len(pend))
+	values := make([][]Value, 0, len(pend))
+	for id, vals := range pend {
+		ids = append(ids, id)
+		values = append(values, vals)
+	}
+	if _, err := c.pushUpdates(meta, ids, values); err != nil {
+		return err
+	}
+	delete(c.pending, name)
+	return nil
+}

@@ -1,0 +1,180 @@
+package client
+
+import (
+	"fmt"
+
+	"sssdb/internal/sql"
+)
+
+// execExplain describes how a SELECT would execute without running it:
+// which predicate is rewritten into a per-provider share filter, what stays
+// client-side, where aggregates and joins run, and how many providers are
+// consulted. The output is one plan line per row (column "plan").
+func (c *Client) execExplain(e *sql.Explain) (*Result, error) {
+	s := e.Stmt
+	res := &Result{Columns: []string{"plan"}}
+	line := func(format string, args ...any) {
+		res.Rows = append(res.Rows, []Value{StringValue(fmt.Sprintf(format, args...))})
+	}
+	verified := s.Verified || c.opts.Verified
+	quorum := c.opts.K
+	if verified {
+		quorum = c.opts.N
+	}
+
+	if s.Join != nil {
+		left, err := c.table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		right, err := c.table(s.Join.Table)
+		if err != nil {
+			return nil, err
+		}
+		lcName, rcName, err := resolveOn(left.Name, right.Name, s.Join)
+		if err != nil {
+			return nil, err
+		}
+		lc, err := left.col(lcName)
+		if err != nil {
+			return nil, err
+		}
+		rc, err := right.col(rcName)
+		if err != nil {
+			return nil, err
+		}
+		var rightPreds int
+		for _, p := range s.Where {
+			side, err := predicateSide(left, right, p)
+			if err != nil {
+				return nil, err
+			}
+			if side == 1 {
+				rightPreds++
+			}
+		}
+		if lc.domain == rc.domain && rightPreds == 0 {
+			line("JOIN %s ⋈ %s ON %s = %s: provider-side share-equality hash join (same domain %q)",
+				left.Name, right.Name, lcName, rcName, lc.domain)
+			line("  send JoinRequest to %d of %d providers; reconstruct pairs from aligned responses", c.opts.K, c.opts.N)
+		} else {
+			reason := fmt.Sprintf("domains differ (%q vs %q)", lc.domain, rc.domain)
+			if rightPreds > 0 {
+				reason = fmt.Sprintf("%d predicate(s) on the right side", rightPreds)
+			}
+			line("JOIN %s ⋈ %s: CLIENT-SIDE fallback — %s", left.Name, right.Name, reason)
+			line("  scan both tables, reconstruct, hash-join locally on typed values")
+		}
+		if len(s.Where) > 0 {
+			line("WHERE: %d conjunct(s); left-side leading predicate pushed when provider-side", len(s.Where))
+		}
+		return res, nil
+	}
+
+	meta, err := c.table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	preds, err := c.compilePredicates(meta, s.Where, "")
+	if err != nil {
+		return nil, err
+	}
+	describeScan := func() {
+		switch {
+		case len(preds) == 0:
+			line("SCAN %s: full table from %d of %d providers", meta.Name, quorum, c.opts.N)
+		default:
+			cp := preds[0]
+			cm := &meta.Cols[cp.ci]
+			if cp.empty {
+				line("SCAN %s: predicate on %q is provably empty — no provider contacted", meta.Name, cm.Name)
+				return
+			}
+			kind := "share-range"
+			if cp.lo == cp.hi {
+				kind = "share-equality"
+			}
+			if cp.set != nil {
+				kind = fmt.Sprintf("covering share-range for IN(%d members)", len(cp.set))
+			}
+			line("SCAN %s: push %s filter on %q#o (indexed) to %d of %d providers",
+				meta.Name, kind, cm.Name, quorum, c.opts.N)
+			residual := len(preds) - 1
+			if cp.set != nil {
+				residual++ // IN membership re-checked client-side
+			}
+			if residual > 0 {
+				line("  %d residual predicate(s) evaluated client-side after reconstruction", residual)
+			}
+		}
+		if verified {
+			line("  VERIFIED: Merkle completeness proof per provider + robust reconstruction over all %d", c.opts.N)
+		}
+	}
+
+	hasAgg := false
+	for _, item := range s.Items {
+		if item.Agg != sql.AggNone {
+			hasAgg = true
+		}
+	}
+	switch {
+	case s.GroupBy != nil:
+		gcm, err := meta.col(s.GroupBy.Name)
+		if err != nil {
+			return nil, err
+		}
+		simpleOnly := true
+		for _, item := range s.Items {
+			if item.Agg != sql.AggNone && item.Agg != sql.AggCount &&
+				item.Agg != sql.AggSum && item.Agg != sql.AggAvg {
+				simpleOnly = false
+			}
+		}
+		for _, hp := range s.Having {
+			if hp.Item.Agg != sql.AggCount && hp.Item.Agg != sql.AggSum && hp.Item.Agg != sql.AggAvg {
+				simpleOnly = false
+			}
+		}
+		if simpleOnly && len(preds) <= 1 && !verified && !c.forceClientAgg {
+			line("GROUP BY %s: provider-side grouped partials (COUNT/SUM per share-group)", gcm.Name)
+			line("  groups align positionally across providers (share order = value order)")
+			line("  group keys inverted from a single share; sums reconstructed from %d partials", c.opts.K)
+		} else {
+			line("GROUP BY %s: CLIENT-SIDE — scan, reconstruct, group locally", gcm.Name)
+			describeScan()
+		}
+		if len(s.Having) > 0 {
+			line("HAVING: %d conjunct(s) applied to reconstructed group aggregates", len(s.Having))
+		}
+	case hasAgg:
+		if len(preds) > 1 || verified || c.forceClientAgg {
+			line("AGGREGATE: CLIENT-SIDE — scan, reconstruct, aggregate locally")
+			describeScan()
+		} else {
+			line("AGGREGATE: provider-side partials from %d of %d providers", c.opts.K, c.opts.N)
+			line("  SUM/AVG via share additivity; MIN/MAX/MEDIAN via order preservation; COUNT exact")
+			if len(preds) == 1 {
+				cm := &meta.Cols[preds[0].ci]
+				line("  filter on %q pushed in share space", cm.Name)
+			}
+		}
+	default:
+		describeScan()
+		if s.OrderBy != nil {
+			dir := "ASC"
+			if s.OrderBy.Desc {
+				dir = "DESC"
+			}
+			line("ORDER BY %s %s: client-side sort on encoded values", s.OrderBy.Col.Name, dir)
+		}
+		if s.Limit > 0 {
+			where := "pushed to providers"
+			if len(preds) > 1 || s.OrderBy != nil || c.hasPending(meta.Name) {
+				where = "applied client-side (residuals/order/pending overlay)"
+			}
+			line("LIMIT %d: %s", s.Limit, where)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,123 @@
+package client
+
+import (
+	"strings"
+	"testing"
+)
+
+func planText(t *testing.T, f *fleet, q string) string {
+	t.Helper()
+	res := f.mustExec(t, q)
+	if len(res.Columns) != 1 || res.Columns[0] != "plan" {
+		t.Fatalf("explain columns: %v", res.Columns)
+	}
+	var sb strings.Builder
+	for _, row := range res.Rows {
+		sb.WriteString(row[0].S)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func TestExplainScan(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	plan := planText(t, f, `EXPLAIN SELECT name FROM employees WHERE salary BETWEEN 10 AND 40 AND dept = 1 LIMIT 5`)
+	for _, want := range []string{
+		"share-range filter", `"salary"#o`, "2 of 3 providers",
+		"1 residual predicate", "LIMIT 5", "client-side",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	// Equality uses the equality filter and pushes the limit.
+	plan = planText(t, f, `EXPLAIN SELECT name FROM employees WHERE name = 'John' LIMIT 5`)
+	if !strings.Contains(plan, "share-equality") || !strings.Contains(plan, "pushed to providers") {
+		t.Fatalf("plan:\n%s", plan)
+	}
+}
+
+func TestExplainEmptyPredicate(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{IntBits: 16})
+	f.mustExec(t, `CREATE TABLE t (a INT)`)
+	plan := planText(t, f, `EXPLAIN SELECT a FROM t WHERE a < -32768`)
+	if !strings.Contains(plan, "provably empty") {
+		t.Fatalf("plan:\n%s", plan)
+	}
+}
+
+func TestExplainAggregates(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	plan := planText(t, f, `EXPLAIN SELECT SUM(salary) FROM employees WHERE salary > 0`)
+	if !strings.Contains(plan, "provider-side partials") || !strings.Contains(plan, "share additivity") {
+		t.Fatalf("plan:\n%s", plan)
+	}
+	// Residuals force the client-side path.
+	plan = planText(t, f, `EXPLAIN SELECT SUM(salary) FROM employees WHERE salary > 0 AND dept = 1`)
+	if !strings.Contains(plan, "CLIENT-SIDE") {
+		t.Fatalf("plan:\n%s", plan)
+	}
+}
+
+func TestExplainGroupBy(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	plan := planText(t, f, `EXPLAIN SELECT dept, COUNT(*) FROM employees GROUP BY dept HAVING COUNT(*) > 1`)
+	for _, want := range []string{"grouped partials", "align positionally", "HAVING: 1 conjunct"} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	plan = planText(t, f, `EXPLAIN SELECT dept, MEDIAN(salary) FROM employees GROUP BY dept`)
+	if !strings.Contains(plan, "CLIENT-SIDE") {
+		t.Fatalf("plan:\n%s", plan)
+	}
+}
+
+func TestExplainJoin(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE TABLE a (k INT, x INT)`)
+	f.mustExec(t, `CREATE TABLE b (k INT, y INT)`)
+	f.mustExec(t, `CREATE TABLE c (k VARCHAR(4), y INT)`)
+	plan := planText(t, f, `EXPLAIN SELECT * FROM a JOIN b ON a.k = b.k`)
+	if !strings.Contains(plan, "provider-side share-equality hash join") {
+		t.Fatalf("plan:\n%s", plan)
+	}
+	plan = planText(t, f, `EXPLAIN SELECT a.x FROM a JOIN c ON a.k = c.k`)
+	if !strings.Contains(plan, "CLIENT-SIDE fallback") || !strings.Contains(plan, "domains differ") {
+		t.Fatalf("plan:\n%s", plan)
+	}
+}
+
+func TestExplainVerified(t *testing.T) {
+	f := newFleet(t, 4, 2, Options{})
+	setupEmployees(t, f)
+	plan := planText(t, f, `EXPLAIN SELECT name FROM employees WHERE salary > 0 VERIFIED`)
+	for _, want := range []string{"Merkle completeness proof", "all 4"} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestExplainDoesNotExecute(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	before := f.client.Stats().Calls
+	planText(t, f, `EXPLAIN SELECT * FROM employees WHERE salary BETWEEN 10 AND 80`)
+	if f.client.Stats().Calls != before {
+		t.Fatal("EXPLAIN contacted providers")
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	if _, err := f.client.Exec(`EXPLAIN SELECT * FROM missing`); err == nil {
+		t.Error("explain of missing table accepted")
+	}
+	if _, err := f.client.Exec(`EXPLAIN INSERT INTO t VALUES (1)`); err == nil {
+		t.Error("EXPLAIN INSERT accepted")
+	}
+}

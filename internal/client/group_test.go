@@ -1,0 +1,184 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func setupGrouped(t testing.TB, f *fleet) {
+	t.Helper()
+	f.mustExec(t, `CREATE TABLE sales (region VARCHAR(6), amount DECIMAL(2), units INT)`)
+	f.mustExec(t, `INSERT INTO sales VALUES
+		('EAST', 100.00, 10), ('EAST', 250.50, 5), ('EAST', 49.50, 1),
+		('WEST', 300.00, 7), ('WEST', 100.00, 3),
+		('NORTH', 10.25, 2)`)
+}
+
+func TestGroupByCountSumAvg(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupGrouped(t, f)
+	res := f.mustExec(t, `SELECT region, COUNT(*), SUM(amount), AVG(units) FROM sales GROUP BY region`)
+	got := rowsAsStrings(res)
+	// Groups come back in key (value) order: EAST < NORTH < WEST.
+	want := []string{
+		"EAST,3,400.00,5",
+		"NORTH,1,10.25,2",
+		"WEST,2,400.00,5",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if res.Columns[0] != "region" || res.Columns[2] != "SUM(amount)" {
+		t.Fatalf("columns: %v", res.Columns)
+	}
+}
+
+func TestGroupByWithFilter(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupGrouped(t, f)
+	res := f.mustExec(t, `SELECT region, SUM(amount) FROM sales WHERE amount >= 100.00 GROUP BY region`)
+	got := rowsAsStrings(res)
+	want := []string{"EAST,350.50", "WEST,400.00"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// Provider-side and client-side grouped paths must agree.
+func TestGroupByClientSideFallbackMatches(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupGrouped(t, f)
+	q := `SELECT region, COUNT(*), SUM(units), AVG(amount) FROM sales GROUP BY region`
+	remote := rowsAsStrings(f.mustExec(t, q))
+	f.client.SetClientSideAggregates(true)
+	local := rowsAsStrings(f.mustExec(t, q))
+	f.client.SetClientSideAggregates(false)
+	if fmt.Sprint(remote) != fmt.Sprint(local) {
+		t.Fatalf("remote %v != local %v", remote, local)
+	}
+}
+
+// MEDIAN/MIN/MAX force the client-side path but still work per group.
+func TestGroupByComplexAggregates(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupGrouped(t, f)
+	res := f.mustExec(t, `SELECT region, MIN(amount), MAX(amount), MEDIAN(units) FROM sales GROUP BY region`)
+	got := rowsAsStrings(res)
+	want := []string{
+		"EAST,49.50,250.50,5",
+		"NORTH,10.25,10.25,2",
+		"WEST,100.00,300.00,3",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// Residual predicates force the client-side path.
+func TestGroupByResidualPredicates(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupGrouped(t, f)
+	res := f.mustExec(t, `SELECT region, COUNT(*) FROM sales
+		WHERE amount >= 10.00 AND units >= 3 GROUP BY region`)
+	got := rowsAsStrings(res)
+	want := []string{"EAST,2", "WEST,2"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// Bare GROUP BY with no aggregates behaves like DISTINCT on the key.
+func TestGroupByDistinct(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupGrouped(t, f)
+	res := f.mustExec(t, `SELECT region FROM sales GROUP BY region`)
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[EAST NORTH WEST]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestGroupByIntKey(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	res := f.mustExec(t, `SELECT dept, COUNT(*), SUM(salary) FROM employees GROUP BY dept`)
+	got := rowsAsStrings(res)
+	// setupEmployees: dept 1 {10,20}, dept 2 {40,60}, dept 3 {80,35}.
+	want := []string{"1,2,30", "2,2,100", "3,2,115"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestGroupByVerifiedUsesLocalPath(t *testing.T) {
+	f := newFleet(t, 4, 2, Options{})
+	setupGrouped(t, f)
+	res := f.mustExec(t, `SELECT region, SUM(units) FROM sales GROUP BY region VERIFIED`)
+	if !res.Verified {
+		t.Fatal("grouped verified query not marked verified")
+	}
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[EAST,16 NORTH,2 WEST,10]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupGrouped(t, f)
+	f.mustExec(t, `CREATE TABLE blobs (id INT, body BLOB)`)
+	cases := []struct {
+		q    string
+		want error
+	}{
+		{`SELECT amount FROM sales GROUP BY region`, ErrUnsupported},              // non-grouped plain column
+		{`SELECT * FROM sales GROUP BY region`, ErrUnsupported},                   // star
+		{`SELECT region, SUM(region) FROM sales GROUP BY region`, ErrUnsupported}, // sum of varchar
+		{`SELECT body, COUNT(*) FROM blobs GROUP BY body`, ErrUnsupported},        // blob key
+		{`SELECT missing, COUNT(*) FROM sales GROUP BY missing`, ErrNoSuchColumn},
+		{`SELECT a.x FROM sales JOIN blobs ON sales.units = blobs.id GROUP BY x`, ErrUnsupported},
+	}
+	for _, tc := range cases {
+		if _, err := f.client.Exec(tc.q); !errors.Is(err, tc.want) {
+			t.Errorf("Exec(%q) = %v, want %v", tc.q, err, tc.want)
+		}
+	}
+}
+
+func TestGroupByEmptyMatch(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupGrouped(t, f)
+	res := f.mustExec(t, `SELECT region, COUNT(*) FROM sales WHERE amount > 99999.00 GROUP BY region`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows: %v", rowsAsStrings(res))
+	}
+}
+
+// Grouped provider-side aggregation must move far fewer bytes than the
+// scan-everything fallback (the point of pushing GROUP BY down).
+func TestGroupByBytesAdvantage(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE TABLE big (g INT, v INT)`)
+	q := "INSERT INTO big VALUES "
+	for i := 0; i < 600; i++ {
+		if i > 0 {
+			q += ","
+		}
+		q += fmt.Sprintf("(%d, %d)", i%6, i)
+	}
+	f.mustExec(t, q)
+	sel := `SELECT g, SUM(v) FROM big GROUP BY g`
+	before := f.client.Stats()
+	f.mustExec(t, sel)
+	mid := f.client.Stats()
+	f.client.SetClientSideAggregates(true)
+	f.mustExec(t, sel)
+	after := f.client.Stats()
+	f.client.SetClientSideAggregates(false)
+	remote := mid.BytesReceived - before.BytesReceived
+	local := after.BytesReceived - mid.BytesReceived
+	if remote*10 > local {
+		t.Fatalf("grouped push-down moved %d bytes, fallback %d", remote, local)
+	}
+}

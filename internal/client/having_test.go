@@ -1,0 +1,86 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestHavingCount(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupGrouped(t, f)
+	res := f.mustExec(t, `SELECT region, COUNT(*) FROM sales GROUP BY region HAVING COUNT(*) >= 2`)
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[EAST,3 WEST,2]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestHavingSumDecimal(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupGrouped(t, f)
+	res := f.mustExec(t, `SELECT region, SUM(amount) FROM sales GROUP BY region HAVING SUM(amount) > 100.00`)
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[EAST,400.00 WEST,400.00]" {
+		t.Fatalf("got %v", got)
+	}
+	// The HAVING aggregate need not be in the select list.
+	res = f.mustExec(t, `SELECT region FROM sales GROUP BY region HAVING SUM(units) BETWEEN 5 AND 12`)
+	got = rowsAsStrings(res)
+	if fmt.Sprint(got) != "[WEST]" { // units: EAST 16, NORTH 2, WEST 10
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestHavingConjunction(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupGrouped(t, f)
+	// EAST: count 3, sum 400.00, avg units 16/3 = 5 (integer division);
+	// WEST: count 2, sum 400.00, avg units 10/2 = 5. Both pass all three.
+	res := f.mustExec(t, `SELECT region, COUNT(*) FROM sales GROUP BY region
+		HAVING COUNT(*) >= 2 AND SUM(amount) = 400.00 AND AVG(units) <= 5`)
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[EAST,3 WEST,2]" {
+		t.Fatalf("got %v", got)
+	}
+	// Tightening one conjunct drops EAST.
+	res = f.mustExec(t, `SELECT region FROM sales GROUP BY region
+		HAVING SUM(amount) = 400.00 AND COUNT(*) < 3`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[WEST]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestHavingWithComplexAggregates(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupGrouped(t, f)
+	// MIN in HAVING forces the client-side path.
+	res := f.mustExec(t, `SELECT region FROM sales GROUP BY region HAVING MIN(amount) < 50.00`)
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[EAST NORTH]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestHavingErrors(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupGrouped(t, f)
+	if _, err := f.client.Exec(`SELECT region FROM sales GROUP BY region HAVING region = 'EAST'`); err == nil {
+		t.Error("non-aggregate HAVING accepted")
+	}
+	if _, err := f.client.Exec(`SELECT region FROM sales GROUP BY region HAVING COUNT(*) = 'two'`); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("string count literal: %v", err)
+	}
+	if _, err := f.client.Exec(`SELECT region FROM sales GROUP BY region HAVING SUM(missing) > 1`); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("missing having column: %v", err)
+	}
+}
+
+func TestHavingEmptyResult(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupGrouped(t, f)
+	res := f.mustExec(t, `SELECT region FROM sales GROUP BY region HAVING COUNT(*) > 100`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows: %v", rowsAsStrings(res))
+	}
+}

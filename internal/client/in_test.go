@@ -1,0 +1,135 @@
+package client
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestInPredicateInt(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	res := f.mustExec(t, `SELECT name, salary FROM employees WHERE salary IN (10, 40, 80)`)
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[John,10 Bob,40 Dave,80]" {
+		t.Fatalf("got %v", got)
+	}
+	// Values inside the covering range but not in the set are excluded:
+	// salaries 20, 35 and 60 fall within [10, 80] yet must not appear.
+	for _, row := range got {
+		if strings.Contains(row, "20") || strings.Contains(row, "35") || strings.Contains(row, "60") {
+			t.Fatalf("superset leak: %v", got)
+		}
+	}
+}
+
+func TestInPredicateStrings(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	res := f.mustExec(t, `SELECT name FROM employees WHERE name IN ('John', 'Dave')`)
+	got := rowsAsStrings(res)
+	// Rows arrive in share order of the filtered column: Dave < John.
+	if fmt.Sprint(got) != "[Dave John John]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInWithOtherPredicates(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	res := f.mustExec(t, `SELECT name FROM employees WHERE salary IN (10, 40, 80) AND dept = 2`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[Bob]" {
+		t.Fatalf("got %v", got)
+	}
+	// IN as a residual predicate (second conjunct).
+	res = f.mustExec(t, `SELECT name FROM employees WHERE dept = 3 AND salary IN (35, 80)`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[Dave John]" && fmt.Sprint(got) != "[John Dave]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInDuplicatesAndSingleton(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	res := f.mustExec(t, `SELECT COUNT(*) FROM employees WHERE salary IN (40, 40, 40)`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[1]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInWithAggregatesAndGroupBy(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	// IN forces client-side aggregation (pushed range is a superset), but
+	// results must be exact.
+	res := f.mustExec(t, `SELECT SUM(salary) FROM employees WHERE salary IN (10, 80)`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[90]" {
+		t.Fatalf("sum: %v", got)
+	}
+	res = f.mustExec(t, `SELECT dept, COUNT(*) FROM employees WHERE salary IN (10, 40, 80) GROUP BY dept`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[1,1 2,1 3,1]" {
+		t.Fatalf("grouped: %v", got)
+	}
+}
+
+func TestInWithLimitAppliedAfterMembership(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	// The covering range [10, 80] holds 6 rows; membership keeps 3; LIMIT 2
+	// must apply to the 3, not the 6.
+	res := f.mustExec(t, `SELECT salary FROM employees WHERE salary IN (10, 40, 80) LIMIT 2`)
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[10 40]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInJoinFallsBackToLocal(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE TABLE a (k INT, x INT)`)
+	f.mustExec(t, `CREATE TABLE b (k INT, y INT)`)
+	f.mustExec(t, `INSERT INTO a VALUES (1, 10), (2, 20), (3, 30)`)
+	f.mustExec(t, `INSERT INTO b VALUES (1, 100), (2, 200), (3, 300)`)
+	res := f.mustExec(t, `SELECT a.x, b.y FROM a JOIN b ON a.k = b.k WHERE a.x IN (10, 30)`)
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[10,100 30,300]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// The remote-join residual bug guard: two left-side predicates must BOTH
+// apply even on same-domain joins (which fall back to the local join).
+func TestJoinMultipleLeftPredicates(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE TABLE a (k INT, x INT, z INT)`)
+	f.mustExec(t, `CREATE TABLE b (k INT, y INT)`)
+	f.mustExec(t, `INSERT INTO a VALUES (1, 10, 0), (2, 20, 1), (3, 30, 1)`)
+	f.mustExec(t, `INSERT INTO b VALUES (1, 100), (2, 200), (3, 300)`)
+	res := f.mustExec(t, `SELECT b.y FROM a JOIN b ON a.k = b.k WHERE a.x >= 20 AND a.z = 1`)
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[200 300]" {
+		t.Fatalf("got %v", got)
+	}
+	// Tighter: both predicates must bite.
+	res = f.mustExec(t, `SELECT b.y FROM a JOIN b ON a.k = b.k WHERE a.x >= 30 AND a.z = 1`)
+	if got := rowsAsStrings(res); fmt.Sprint(got) != "[300]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInEmptyListRejectedBySyntax(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	if _, err := f.client.Exec(`SELECT * FROM employees WHERE salary IN ()`); err == nil {
+		t.Fatal("empty IN list accepted")
+	}
+}
+
+func TestExplainIn(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	plan := planText(t, f, `EXPLAIN SELECT name FROM employees WHERE salary IN (10, 40, 80)`)
+	if !strings.Contains(plan, "IN(3 members)") || !strings.Contains(plan, "1 residual predicate") {
+		t.Fatalf("plan:\n%s", plan)
+	}
+}

@@ -1,0 +1,380 @@
+package client
+
+import (
+	"fmt"
+
+	"sssdb/internal/field"
+	"sssdb/internal/proto"
+	"sssdb/internal/secretshare"
+	"sssdb/internal/sql"
+)
+
+// joinItem is one resolved output column of a join.
+type joinItem struct {
+	left bool
+	ci   int
+	name string
+}
+
+func (c *Client) execJoin(s *sql.Select) (*Result, error) {
+	left, err := c.table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.table(s.Join.Table)
+	if err != nil {
+		return nil, err
+	}
+	if left.Name == right.Name {
+		return nil, fmt.Errorf("%w: self joins", ErrUnsupported)
+	}
+	if s.GroupBy != nil {
+		return nil, fmt.Errorf("%w: GROUP BY over joins", ErrUnsupported)
+	}
+	if s.OrderBy != nil {
+		return nil, fmt.Errorf("%w: ORDER BY over joins", ErrUnsupported)
+	}
+	for _, item := range s.Items {
+		if item.Agg != sql.AggNone {
+			return nil, fmt.Errorf("%w: aggregates over joins", ErrUnsupported)
+		}
+	}
+	if err := c.flushTableLocked(left.Name); err != nil {
+		return nil, err
+	}
+	if err := c.flushTableLocked(right.Name); err != nil {
+		return nil, err
+	}
+	// Resolve the ON columns: either side of the equality may name either
+	// table.
+	lcName, rcName, err := resolveOn(left.Name, right.Name, s.Join)
+	if err != nil {
+		return nil, err
+	}
+	lc, err := left.col(lcName)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := right.col(rcName)
+	if err != nil {
+		return nil, err
+	}
+	if !lc.queryable() || !rc.queryable() {
+		return nil, fmt.Errorf("%w: join on BLOB columns", ErrUnsupported)
+	}
+	items, err := resolveJoinItems(left, right, s.Items)
+	if err != nil {
+		return nil, err
+	}
+	// Split predicates by side.
+	var leftPreds, rightPreds []sql.Predicate
+	for _, p := range s.Where {
+		side, err := predicateSide(left, right, p)
+		if err != nil {
+			return nil, err
+		}
+		if side == 0 {
+			leftPreds = append(leftPreds, p)
+		} else {
+			rightPreds = append(rightPreds, p)
+		}
+	}
+	// The paper's criterion: a join executes at the provider only when both
+	// key attributes come from the same domain ("our polynomials are
+	// constructed for each domain not for each attribute"); otherwise the
+	// provider-side shares are incomparable and the client must join
+	// locally after reconstruction. The provider can additionally apply at
+	// most one exact left-side interval filter, so anything richer —
+	// residual predicates, IN sets, right-side predicates — also falls
+	// back to the local join.
+	remoteOK := lc.domain == rc.domain && len(rightPreds) == 0 && len(leftPreds) <= 1
+	if remoteOK && len(leftPreds) == 1 && leftPreds[0].Op == sql.OpIn {
+		remoteOK = false
+	}
+	if remoteOK {
+		return c.joinRemote(left, right, lc, rc, items, leftPreds)
+	}
+	return c.joinLocal(left, right, lcName, rcName, items, leftPreds, rightPreds)
+}
+
+// resolveOn orients the ON clause onto (leftCol, rightCol).
+func resolveOn(leftTable, rightTable string, j *sql.JoinClause) (string, string, error) {
+	l, r := j.Left, j.Right
+	if l.Table == "" || r.Table == "" {
+		return "", "", fmt.Errorf("%w: join ON columns must be table-qualified", ErrUnsupported)
+	}
+	switch {
+	case l.Table == leftTable && r.Table == rightTable:
+		return l.Name, r.Name, nil
+	case l.Table == rightTable && r.Table == leftTable:
+		return r.Name, l.Name, nil
+	default:
+		return "", "", fmt.Errorf("%w: ON clause references %q and %q, expected %q and %q",
+			ErrUnsupported, l.Table, r.Table, leftTable, rightTable)
+	}
+}
+
+// resolveJoinItems maps the select list onto the two sides.
+func resolveJoinItems(left, right *tableMeta, items []sql.SelectItem) ([]joinItem, error) {
+	var out []joinItem
+	addAll := func(meta *tableMeta, isLeft bool) {
+		for ci := range meta.Cols {
+			out = append(out, joinItem{left: isLeft, ci: ci, name: meta.Name + "." + meta.Cols[ci].Name})
+		}
+	}
+	for _, item := range items {
+		if item.Star {
+			addAll(left, true)
+			addAll(right, false)
+			continue
+		}
+		ref := item.Col
+		find := func(meta *tableMeta) int {
+			for ci := range meta.Cols {
+				if meta.Cols[ci].Name == ref.Name {
+					return ci
+				}
+			}
+			return -1
+		}
+		switch {
+		case ref.Table == left.Name:
+			ci := find(left)
+			if ci < 0 {
+				return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, ref)
+			}
+			out = append(out, joinItem{left: true, ci: ci, name: ref.String()})
+		case ref.Table == right.Name:
+			ci := find(right)
+			if ci < 0 {
+				return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, ref)
+			}
+			out = append(out, joinItem{left: false, ci: ci, name: ref.String()})
+		case ref.Table == "":
+			lci, rci := find(left), find(right)
+			if lci >= 0 && rci >= 0 {
+				return nil, fmt.Errorf("%w: column %q is ambiguous across joined tables", ErrUnsupported, ref.Name)
+			}
+			if lci >= 0 {
+				out = append(out, joinItem{left: true, ci: lci, name: left.Name + "." + ref.Name})
+			} else if rci >= 0 {
+				out = append(out, joinItem{left: false, ci: rci, name: right.Name + "." + ref.Name})
+			} else {
+				return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, ref)
+			}
+		default:
+			return nil, fmt.Errorf("%w: %q names an unjoined table", ErrNoSuchColumn, ref)
+		}
+	}
+	return out, nil
+}
+
+// predicateSide classifies a WHERE conjunct: 0 = left table, 1 = right.
+func predicateSide(left, right *tableMeta, p sql.Predicate) (int, error) {
+	has := func(meta *tableMeta) bool {
+		for ci := range meta.Cols {
+			if meta.Cols[ci].Name == p.Col.Name {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case p.Col.Table == left.Name:
+		return 0, nil
+	case p.Col.Table == right.Name:
+		return 1, nil
+	case p.Col.Table == "":
+		inL, inR := has(left), has(right)
+		if inL && inR {
+			return 0, fmt.Errorf("%w: predicate column %q is ambiguous", ErrUnsupported, p.Col.Name)
+		}
+		if inL {
+			return 0, nil
+		}
+		if inR {
+			return 1, nil
+		}
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchColumn, p.Col)
+	default:
+		return 0, fmt.Errorf("%w: predicate references unjoined table %q", ErrUnsupported, p.Col.Table)
+	}
+}
+
+// joinRemote executes the equijoin at the providers (same-domain keys).
+func (c *Client) joinRemote(left, right *tableMeta, lc, rc *colMeta, items []joinItem, leftPreds []sql.Predicate) (*Result, error) {
+	preds, err := c.compilePredicates(left, leftPreds, left.Name)
+	if err != nil {
+		return nil, err
+	}
+	for _, cp := range preds {
+		if cp.empty {
+			return &Result{Columns: joinColumns(items)}, nil
+		}
+	}
+	filters := make([]*proto.Filter, c.opts.N)
+	for i := range filters {
+		f, err := c.providerFilter(left, preds, i)
+		if err != nil {
+			return nil, err
+		}
+		filters[i] = f
+	}
+	responses, err := c.callQuorum(c.opts.K, func(i int) proto.Message {
+		return &proto.JoinRequest{
+			LeftTable:  left.Name,
+			LeftCol:    lc.Name + suffixOPP,
+			RightTable: right.Name,
+			RightCol:   rc.Name + suffixOPP,
+			Filter:     filters[i],
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*proto.JoinResult, len(responses))
+	providers := make([]int, len(responses))
+	for i, r := range responses {
+		jr, ok := r.msg.(*proto.JoinResult)
+		if !ok {
+			return nil, fmt.Errorf("%w: provider %d returned %T", ErrInconsistent, r.provider, r.msg)
+		}
+		results[i] = jr
+		providers[i] = r.provider
+	}
+	base := results[0]
+	for i := 1; i < len(results); i++ {
+		if len(results[i].Rows) != len(base.Rows) {
+			return nil, fmt.Errorf("%w: join row counts diverge", ErrInconsistent)
+		}
+		for r := range base.Rows {
+			if results[i].Rows[r].LeftID != base.Rows[r].LeftID ||
+				results[i].Rows[r].RightID != base.Rows[r].RightID {
+				return nil, fmt.Errorf("%w: join pair order diverges", ErrInconsistent)
+			}
+		}
+	}
+	// Cell layout: left full row then right full row, both in spec order.
+	leftSpec := left.providerSpec()
+	rightSpec := right.providerSpec()
+	weights, err := c.fieldSch.WeightsFor(providers[:c.opts.K])
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: joinColumns(items)}
+	for r := range base.Rows {
+		row := make([]Value, len(items))
+		for i, item := range items {
+			meta, spec, offset := left, leftSpec, 0
+			if !item.left {
+				meta, spec, offset = right, rightSpec, len(leftSpec.Columns)
+			}
+			cm := &meta.Cols[item.ci]
+			if !cm.queryable() {
+				cellIdx := offset + spec.ColumnIndex(cm.Name+suffixPlain)
+				blob, err := c.openBlob(meta, base.Rows[r].Cells[cellIdx])
+				if err != nil {
+					return nil, err
+				}
+				row[i] = BytesValue(blob)
+				continue
+			}
+			cellIdx := offset + spec.ColumnIndex(cm.Name+suffixField)
+			v, err := c.combineCells(weights, providers, results, r, cellIdx, cm)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// combineCells reconstructs one joined cell from the first K providers'
+// aligned responses using precomputed Lagrange weights.
+func (c *Client) combineCells(weights []field.Element, providers []int, results []*proto.JoinResult, r, cellIdx int, cm *colMeta) (Value, error) {
+	ys := make([]field.Element, c.opts.K)
+	for i := 0; i < c.opts.K; i++ {
+		cell := results[i].Rows[r].Cells[cellIdx]
+		if len(cell) != 8 {
+			return Value{}, fmt.Errorf("%w: provider %d returned a malformed share", ErrInconsistent, providers[i])
+		}
+		ys[i] = field.New(beUint64(cell))
+	}
+	e, err := secretshare.CombineShares(weights, ys)
+	if err != nil {
+		return Value{}, err
+	}
+	return cm.decode(e.Uint64())
+}
+
+func joinColumns(items []joinItem) []string {
+	cols := make([]string, len(items))
+	for i, it := range items {
+		cols[i] = it.name
+	}
+	return cols
+}
+
+// joinLocal reconstructs both sides at the client and joins on typed
+// values — the fallback for cross-domain keys, which the paper's
+// provider-side scheme cannot execute.
+func (c *Client) joinLocal(left, right *tableMeta, lcName, rcName string, items []joinItem, leftPreds, rightPreds []sql.Predicate) (*Result, error) {
+	lPreds, err := c.compilePredicates(left, leftPreds, left.Name)
+	if err != nil {
+		return nil, err
+	}
+	rPreds, err := c.compilePredicates(right, rightPreds, right.Name)
+	if err != nil {
+		return nil, err
+	}
+	lScan, err := c.scanTable(left, lPreds, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	rScan, err := c.scanTable(right, rPreds, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	lci, rci := -1, -1
+	for ci := range left.Cols {
+		if left.Cols[ci].Name == lcName {
+			lci = ci
+		}
+	}
+	for ci := range right.Cols {
+		if right.Cols[ci].Name == rcName {
+			rci = ci
+		}
+	}
+	// Hash join on the display form of the key value (typed equality).
+	build := make(map[string][]int)
+	for r := range rScan.values {
+		k := joinKey(rScan.values[r][rci])
+		build[k] = append(build[k], r)
+	}
+	res := &Result{Columns: joinColumns(items)}
+	for lr := range lScan.values {
+		k := joinKey(lScan.values[lr][lci])
+		for _, rr := range build[k] {
+			row := make([]Value, len(items))
+			for i, item := range items {
+				if item.left {
+					row[i] = lScan.values[lr][item.ci]
+				} else {
+					row[i] = rScan.values[rr][item.ci]
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// joinKey canonicalizes a value for hash-join equality. Cross-domain joins
+// compare the rendered forms (e.g. INT 5 joins DECIMAL 5.00 only when the
+// renderings match, mirroring strict typed equality).
+func joinKey(v Value) string {
+	return fmt.Sprintf("%d|%s", v.Kind, v.Format())
+}

@@ -1,0 +1,285 @@
+package client
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"sssdb/internal/numenc"
+	"sssdb/internal/opp"
+	"sssdb/internal/proto"
+	"sssdb/internal/sql"
+)
+
+// Provider-side column name suffixes for a client column.
+const (
+	suffixOPP   = "#o" // order-preserving share, indexed
+	suffixField = "#f" // random field share
+	suffixPlain = "#p" // opaque payload (blob)
+)
+
+// colMeta describes one client-level column and its encodings.
+type colMeta struct {
+	Name string
+	Type sql.TypeName
+	Arg  int // VARCHAR width / DECIMAL scale
+
+	// Queryable columns carry codecs and the per-domain OPP scheme.
+	intCodec *numenc.SignedCodec
+	decCodec *numenc.DecimalCodec
+	strCodec *numenc.StringCodec
+	oppSch   *opp.Scheme
+	domain   string
+	bits     uint
+}
+
+// queryable reports whether the column participates in shares/predicates.
+func (c *colMeta) queryable() bool { return c.Type != sql.TypeBlob }
+
+// tableMeta is the client-side catalog entry for one outsourced table.
+type tableMeta struct {
+	Name   string
+	Public bool
+	Cols   []colMeta
+	NextID uint64
+}
+
+func (t *tableMeta) col(name string) (*colMeta, error) {
+	for i := range t.Cols {
+		if t.Cols[i].Name == name {
+			return &t.Cols[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: column %q of table %q", ErrNoSuchColumn, name, t.Name)
+}
+
+// providerSpec derives the share-space table spec shipped to providers.
+func (t *tableMeta) providerSpec() proto.TableSpec {
+	spec := proto.TableSpec{Name: t.Name}
+	for _, c := range t.Cols {
+		if c.queryable() {
+			spec.Columns = append(spec.Columns,
+				proto.ColumnSpec{Name: c.Name + suffixOPP, Kind: proto.KindOPP, Indexed: true},
+				proto.ColumnSpec{Name: c.Name + suffixField, Kind: proto.KindField},
+			)
+		} else {
+			spec.Columns = append(spec.Columns,
+				proto.ColumnSpec{Name: c.Name + suffixPlain, Kind: proto.KindPlain})
+		}
+	}
+	return spec
+}
+
+// domainSignature identifies the value domain of a column. The paper keys
+// order-preserving polynomial construction by DOMAIN, not attribute
+// ("polynomials are constructed for each domain not for each attribute"),
+// which is exactly what makes same-domain referential joins executable at
+// the provider. Two columns share a domain iff their signatures match.
+func domainSignature(typ sql.TypeName, arg int, alphabet string, intBits uint) string {
+	switch typ {
+	case sql.TypeInt:
+		return fmt.Sprintf("int:%d", intBits)
+	case sql.TypeDecimal:
+		return fmt.Sprintf("dec:%d:%d", arg, intBits)
+	case sql.TypeVarchar:
+		// Alphabet contributes to the signature; hash it to keep it short.
+		h := sha256.Sum256([]byte(alphabet))
+		return fmt.Sprintf("str:%d:%x", arg, h[:6])
+	default:
+		return ""
+	}
+}
+
+// buildColMeta wires codecs and the domain OPP scheme for a column.
+func (c *Client) buildColMeta(def sql.ColumnDef) (colMeta, error) {
+	cm := colMeta{Name: def.Name, Type: def.Type, Arg: def.Arg}
+	var bits uint
+	switch def.Type {
+	case sql.TypeInt:
+		codec, err := numenc.NewSignedCodec(c.opts.IntBits)
+		if err != nil {
+			return cm, err
+		}
+		cm.intCodec = codec
+		bits = c.opts.IntBits
+	case sql.TypeDecimal:
+		if def.Arg < 0 || def.Arg > 12 {
+			return cm, fmt.Errorf("%w: DECIMAL scale %d", ErrBadSchema, def.Arg)
+		}
+		codec, err := numenc.NewDecimalCodec(def.Arg, c.opts.IntBits)
+		if err != nil {
+			return cm, err
+		}
+		cm.decCodec = codec
+		bits = c.opts.IntBits
+	case sql.TypeVarchar:
+		if def.Arg < 1 {
+			return cm, fmt.Errorf("%w: VARCHAR width %d", ErrBadSchema, def.Arg)
+		}
+		codec, err := numenc.NewStringCodec(c.opts.Alphabet, def.Arg)
+		if err != nil {
+			return cm, err
+		}
+		cm.strCodec = codec
+		bits = codec.Bits()
+	case sql.TypeBlob:
+		return cm, nil
+	default:
+		return cm, fmt.Errorf("%w: unknown type %v", ErrBadSchema, def.Type)
+	}
+	cm.bits = bits
+	cm.domain = domainSignature(def.Type, def.Arg, c.opts.Alphabet, c.opts.IntBits)
+	sch, err := c.domainScheme(cm.domain, bits)
+	if err != nil {
+		return cm, err
+	}
+	cm.oppSch = sch
+	return cm, nil
+}
+
+// domainScheme returns (building and caching on first use) the OPP scheme
+// of a domain. The scheme key is derived from the master key and the domain
+// signature, so all columns of one domain share polynomials across tables.
+func (c *Client) domainScheme(domain string, bits uint) (*opp.Scheme, error) {
+	if sch, ok := c.domains[domain]; ok {
+		return sch, nil
+	}
+	mac := hmac.New(sha256.New, c.opts.MasterKey)
+	mac.Write([]byte("sssdb/domain/"))
+	mac.Write([]byte(domain))
+	key := mac.Sum(nil)
+	sch, err := opp.NewScheme(opp.Params{
+		Degree:     c.opts.OPPDegree,
+		DomainBits: bits,
+		N:          c.opts.N,
+	}, key)
+	if err != nil {
+		return nil, err
+	}
+	c.domains[domain] = sch
+	return sch, nil
+}
+
+// parseValue converts a SQL literal into a typed Value for a column.
+func (cm *colMeta) parseValue(lit sql.Literal) (Value, error) {
+	switch cm.Type {
+	case sql.TypeInt:
+		if lit.IsString {
+			return Value{}, fmt.Errorf("%w: column %q wants an integer, got string %q",
+				ErrTypeMismatch, cm.Name, lit.Text)
+		}
+		if strings.ContainsRune(lit.Text, '.') {
+			return Value{}, fmt.Errorf("%w: column %q wants an integer, got %q",
+				ErrTypeMismatch, cm.Name, lit.Text)
+		}
+		var v int64
+		if _, err := fmt.Sscan(lit.Text, &v); err != nil {
+			return Value{}, fmt.Errorf("%w: %q: %v", ErrTypeMismatch, lit.Text, err)
+		}
+		return IntValue(v), nil
+	case sql.TypeDecimal:
+		if lit.IsString {
+			return Value{}, fmt.Errorf("%w: column %q wants a decimal, got string %q",
+				ErrTypeMismatch, cm.Name, lit.Text)
+		}
+		u, err := cm.decCodec.EncodeString(lit.Text)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: %v", ErrTypeMismatch, err)
+		}
+		scaled, err := cm.decCodec.DecodeScaled(u)
+		if err != nil {
+			return Value{}, err
+		}
+		return DecimalValue(scaled, cm.Arg), nil
+	case sql.TypeVarchar:
+		if !lit.IsString {
+			return Value{}, fmt.Errorf("%w: column %q wants a string, got %q",
+				ErrTypeMismatch, cm.Name, lit.Text)
+		}
+		return StringValue(lit.Text), nil
+	case sql.TypeBlob:
+		if !lit.IsString {
+			return Value{}, fmt.Errorf("%w: column %q wants a string payload, got %q",
+				ErrTypeMismatch, cm.Name, lit.Text)
+		}
+		return BytesValue([]byte(lit.Text)), nil
+	default:
+		return Value{}, fmt.Errorf("%w: column %q", ErrBadSchema, cm.Name)
+	}
+}
+
+// encode maps a typed Value onto the column's numeric domain.
+func (cm *colMeta) encode(v Value) (uint64, error) {
+	switch cm.Type {
+	case sql.TypeInt:
+		if v.Kind != KindInt {
+			return 0, fmt.Errorf("%w: column %q wants int, got %v", ErrTypeMismatch, cm.Name, v.Kind)
+		}
+		return cm.intCodec.Encode(v.I)
+	case sql.TypeDecimal:
+		if v.Kind != KindDecimal && v.Kind != KindInt {
+			return 0, fmt.Errorf("%w: column %q wants decimal, got %v", ErrTypeMismatch, cm.Name, v.Kind)
+		}
+		scaled := v.I
+		if v.Kind == KindInt {
+			for i := 0; i < cm.Arg; i++ {
+				scaled *= 10
+			}
+		}
+		return cm.decCodec.EncodeScaled(scaled)
+	case sql.TypeVarchar:
+		if v.Kind != KindString {
+			return 0, fmt.Errorf("%w: column %q wants string, got %v", ErrTypeMismatch, cm.Name, v.Kind)
+		}
+		return cm.strCodec.Encode(v.S)
+	default:
+		return 0, fmt.Errorf("%w: column %q is not queryable", ErrTypeMismatch, cm.Name)
+	}
+}
+
+// decode maps a numeric domain value back to a typed Value.
+func (cm *colMeta) decode(u uint64) (Value, error) {
+	switch cm.Type {
+	case sql.TypeInt:
+		v, err := cm.intCodec.Decode(u)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntValue(v), nil
+	case sql.TypeDecimal:
+		scaled, err := cm.decCodec.DecodeScaled(u)
+		if err != nil {
+			return Value{}, err
+		}
+		return DecimalValue(scaled, cm.Arg), nil
+	case sql.TypeVarchar:
+		s, err := cm.strCodec.Decode(u)
+		if err != nil {
+			return Value{}, err
+		}
+		return StringValue(s), nil
+	default:
+		return Value{}, fmt.Errorf("%w: column %q is not queryable", ErrTypeMismatch, cm.Name)
+	}
+}
+
+// domainBounds returns the smallest and largest encodable domain values.
+func (cm *colMeta) domainBounds() (uint64, uint64) {
+	switch cm.Type {
+	case sql.TypeInt, sql.TypeDecimal:
+		return 0, uint64(1)<<cm.bits - 1
+	case sql.TypeVarchar:
+		return 0, cm.strCodec.Max()
+	default:
+		return 0, 0
+	}
+}
+
+// fieldCell encodes a GF(p) share as an 8-byte provider cell.
+func fieldCell(y uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, y)
+	return b
+}

@@ -1,0 +1,89 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestOrderByAscDesc(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	res := f.mustExec(t, `SELECT name, salary FROM employees ORDER BY salary DESC`)
+	got := rowsAsStrings(res)
+	want := []string{"Dave,80", "Carol,60", "Bob,40", "John,35", "Alice,20", "John,10"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("desc: got %v", got)
+	}
+	res = f.mustExec(t, `SELECT name FROM employees ORDER BY name ASC`)
+	got = rowsAsStrings(res)
+	if fmt.Sprint(got) != "[Alice Bob Carol Dave John John]" {
+		t.Fatalf("asc names: %v", got)
+	}
+	// Implicit ASC.
+	res = f.mustExec(t, `SELECT salary FROM employees ORDER BY salary`)
+	got = rowsAsStrings(res)
+	if fmt.Sprint(got) != "[10 20 35 40 60 80]" {
+		t.Fatalf("implicit asc: %v", got)
+	}
+}
+
+func TestOrderByWithWhereAndLimit(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	// LIMIT applies after the sort: top-2 earners within the range.
+	res := f.mustExec(t, `SELECT name, salary FROM employees
+		WHERE salary BETWEEN 10 AND 60 ORDER BY salary DESC LIMIT 2`)
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[Carol,60 Bob,40]" {
+		t.Fatalf("got %v", got)
+	}
+	// Ordering by a column other than the filtered one.
+	res = f.mustExec(t, `SELECT name FROM employees WHERE salary >= 20 ORDER BY name DESC LIMIT 3`)
+	got = rowsAsStrings(res)
+	if fmt.Sprint(got) != "[John Dave Carol]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestOrderByDecimalNegative(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE TABLE pay (amount DECIMAL(2))`)
+	f.mustExec(t, `INSERT INTO pay VALUES (10.50), (-3.25), (0.00), (-10.00)`)
+	res := f.mustExec(t, `SELECT amount FROM pay ORDER BY amount`)
+	got := rowsAsStrings(res)
+	if fmt.Sprint(got) != "[-10.00 -3.25 0.00 10.50]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	setupEmployees(t, f)
+	f.mustExec(t, `CREATE TABLE blobs (id INT, body BLOB)`)
+	cases := []struct {
+		q    string
+		want error
+	}{
+		{`SELECT * FROM employees ORDER BY missing`, ErrNoSuchColumn},
+		{`SELECT id FROM blobs ORDER BY body`, ErrUnsupported},
+		{`SELECT dept, COUNT(*) FROM employees GROUP BY dept ORDER BY dept`, ErrUnsupported},
+	}
+	for _, tc := range cases {
+		if _, err := f.client.Exec(tc.q); !errors.Is(err, tc.want) {
+			t.Errorf("Exec(%q) = %v, want %v", tc.q, err, tc.want)
+		}
+	}
+}
+
+func TestOrderByStableOnTies(t *testing.T) {
+	f := newFleet(t, 3, 2, Options{})
+	f.mustExec(t, `CREATE TABLE t (g INT, v INT)`)
+	f.mustExec(t, `INSERT INTO t VALUES (1, 100), (1, 200), (1, 300)`)
+	// All g equal: ties resolve by insertion (row id) order, deterministically.
+	a := rowsAsStrings(f.mustExec(t, `SELECT v FROM t ORDER BY g`))
+	b := rowsAsStrings(f.mustExec(t, `SELECT v FROM t ORDER BY g`))
+	if fmt.Sprint(a) != fmt.Sprint(b) || fmt.Sprint(a) != "[100 200 300]" {
+		t.Fatalf("unstable ties: %v vs %v", a, b)
+	}
+}

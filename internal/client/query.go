@@ -1,0 +1,725 @@
+package client
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"sssdb/internal/field"
+	"sssdb/internal/merkle"
+	"sssdb/internal/proto"
+	"sssdb/internal/secretshare"
+	"sssdb/internal/sql"
+	"sssdb/internal/store"
+)
+
+// compiledPred is a predicate lowered onto a column's numeric domain:
+// match iff lo <= enc(value) <= hi, and — when set is non-nil (IN) —
+// enc(value) is a member of set. The [lo, hi] interval always covers the
+// set, so the interval can be pushed to providers as a superset filter with
+// exact membership enforced client-side. empty marks a provably empty
+// predicate.
+type compiledPred struct {
+	ci    int // column index in meta.Cols
+	lo    uint64
+	hi    uint64
+	set   []uint64 // sorted distinct members (OpIn only)
+	empty bool
+}
+
+// compilePredicates lowers WHERE conjuncts onto domain intervals. qualifier
+// is the table name predicates may be qualified with ("" accepts only
+// unqualified columns).
+func (c *Client) compilePredicates(meta *tableMeta, preds []sql.Predicate, qualifier string) ([]compiledPred, error) {
+	out := make([]compiledPred, 0, len(preds))
+	for _, p := range preds {
+		if p.Col.Table != "" && p.Col.Table != meta.Name && p.Col.Table != qualifier {
+			return nil, fmt.Errorf("%w: predicate on %q does not reference table %q",
+				ErrUnsupported, p.Col, meta.Name)
+		}
+		cp, err := c.compilePredicate(meta, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cp)
+	}
+	return out, nil
+}
+
+func (c *Client) compilePredicate(meta *tableMeta, p sql.Predicate) (compiledPred, error) {
+	cm, err := meta.col(p.Col.Name)
+	if err != nil {
+		return compiledPred{}, err
+	}
+	if !cm.queryable() {
+		return compiledPred{}, fmt.Errorf("%w: BLOB column %q cannot be filtered", ErrUnsupported, cm.Name)
+	}
+	ci := 0
+	for i := range meta.Cols {
+		if meta.Cols[i].Name == cm.Name {
+			ci = i
+		}
+	}
+	domMin, domMax := cm.domainBounds()
+	cp := compiledPred{ci: ci}
+	if p.Op == sql.OpLikePrefix {
+		if cm.Type != sql.TypeVarchar {
+			return compiledPred{}, fmt.Errorf("%w: LIKE on non-VARCHAR column %q", ErrUnsupported, cm.Name)
+		}
+		lo, hi, err := cm.strCodec.PrefixRange(p.Lo.Text)
+		if err != nil {
+			return compiledPred{}, fmt.Errorf("%w: %v", ErrTypeMismatch, err)
+		}
+		cp.lo, cp.hi = lo, hi
+		return cp, nil
+	}
+	if p.Op == sql.OpIn {
+		if len(p.List) == 0 {
+			cp.empty = true
+			return cp, nil
+		}
+		seen := make(map[uint64]bool, len(p.List))
+		for _, lit := range p.List {
+			v, err := cm.parseValue(lit)
+			if err != nil {
+				return compiledPred{}, err
+			}
+			enc, err := cm.encode(v)
+			if err != nil {
+				return compiledPred{}, err
+			}
+			if !seen[enc] {
+				seen[enc] = true
+				cp.set = append(cp.set, enc)
+			}
+		}
+		sort.Slice(cp.set, func(i, j int) bool { return cp.set[i] < cp.set[j] })
+		cp.lo, cp.hi = cp.set[0], cp.set[len(cp.set)-1]
+		return cp, nil
+	}
+	loVal, err := cm.parseValue(p.Lo)
+	if err != nil {
+		return compiledPred{}, err
+	}
+	loEnc, err := cm.encode(loVal)
+	if err != nil {
+		return compiledPred{}, err
+	}
+	switch p.Op {
+	case sql.OpEq:
+		cp.lo, cp.hi = loEnc, loEnc
+	case sql.OpLt:
+		if loEnc == domMin {
+			cp.empty = true
+			return cp, nil
+		}
+		cp.lo, cp.hi = domMin, loEnc-1
+	case sql.OpLe:
+		cp.lo, cp.hi = domMin, loEnc
+	case sql.OpGt:
+		if loEnc == domMax {
+			cp.empty = true
+			return cp, nil
+		}
+		cp.lo, cp.hi = loEnc+1, domMax
+	case sql.OpGe:
+		cp.lo, cp.hi = loEnc, domMax
+	case sql.OpBetween:
+		hiVal, err := cm.parseValue(p.Hi)
+		if err != nil {
+			return compiledPred{}, err
+		}
+		hiEnc, err := cm.encode(hiVal)
+		if err != nil {
+			return compiledPred{}, err
+		}
+		if cm.Type == sql.TypeVarchar {
+			// String BETWEEN covers every string prefixed by the high bound
+			// (SQL trailing-pad semantics; paper's "between Albert and Jack").
+			l, h, err := cm.strCodec.BetweenRange(loVal.S, hiVal.S)
+			if err != nil {
+				return compiledPred{}, fmt.Errorf("%w: %v", ErrTypeMismatch, err)
+			}
+			loEnc, hiEnc = l, h
+		}
+		if hiEnc < loEnc {
+			cp.empty = true
+			return cp, nil
+		}
+		cp.lo, cp.hi = loEnc, hiEnc
+	default:
+		return compiledPred{}, fmt.Errorf("%w: operator %v", ErrUnsupported, p.Op)
+	}
+	return cp, nil
+}
+
+// matchesEnc reports whether one encoded value satisfies the predicate.
+func (cp compiledPred) matchesEnc(u uint64) bool {
+	if cp.empty || u < cp.lo || u > cp.hi {
+		return false
+	}
+	if cp.set != nil {
+		i := sort.Search(len(cp.set), func(j int) bool { return cp.set[j] >= u })
+		return i < len(cp.set) && cp.set[i] == u
+	}
+	return true
+}
+
+// providerFilter lowers the first compiled predicate into a share-space
+// filter for one provider (nil when there are no predicates).
+func (c *Client) providerFilter(meta *tableMeta, preds []compiledPred, provider int) (*proto.Filter, error) {
+	if len(preds) == 0 {
+		return nil, nil
+	}
+	cp := preds[0]
+	cm := &meta.Cols[cp.ci]
+	loShare, err := cm.oppSch.ShareAt(cp.lo, provider)
+	if err != nil {
+		return nil, err
+	}
+	hiShare, err := cm.oppSch.ShareAt(cp.hi, provider)
+	if err != nil {
+		return nil, err
+	}
+	f := &proto.Filter{Col: cm.Name + suffixOPP}
+	if cp.lo == cp.hi {
+		f.Op = proto.FilterEq
+		f.Lo = loShare.Bytes()
+	} else {
+		f.Op = proto.FilterRange
+		f.Lo = loShare.Bytes()
+		f.Hi = hiShare.Bytes()
+	}
+	return f, nil
+}
+
+// scanResult is the reconstructed output of a table scan.
+type scanResult struct {
+	ids []uint64
+	// values holds the full typed row for each id (all client columns).
+	values [][]Value
+	// faulty lists providers whose shares were identified as corrupt
+	// during robust reconstruction (verified mode).
+	faulty []int
+	// verified reports that verification ran and passed.
+	verified bool
+}
+
+// scanTable runs the paper's core read path: rewrite the (first) predicate
+// into per-provider share filters, scan a quorum, align rows by id, and
+// reconstruct values. Residual predicates are evaluated client-side.
+// In verified mode every live provider is consulted, Merkle completeness
+// proofs are checked against per-provider digests, and cells are
+// robust-reconstructed to identify corrupt providers.
+func (c *Client) scanTable(meta *tableMeta, preds []compiledPred, limit uint64, verified bool) (*scanResult, error) {
+	for _, cp := range preds {
+		if cp.empty {
+			return &scanResult{verified: verified}, nil
+		}
+	}
+	if verified && len(preds) == 0 {
+		// Synthesize a full-domain range on the first queryable column so
+		// the provider can attach a completeness proof.
+		for ci := range meta.Cols {
+			if meta.Cols[ci].queryable() {
+				lo, hi := meta.Cols[ci].domainBounds()
+				preds = append(preds, compiledPred{ci: ci, lo: lo, hi: hi})
+				break
+			}
+		}
+		if len(preds) == 0 {
+			return nil, fmt.Errorf("%w: cannot verify a table with no queryable columns", ErrUnsupported)
+		}
+	}
+	pushLimit := limit
+	if len(preds) > 1 || c.hasPending(meta.Name) ||
+		(len(preds) == 1 && preds[0].set != nil) {
+		// Residual predicates (including IN, whose pushed range is a
+		// superset) or pending overlays may drop rows after the fact; fetch
+		// unlimited and truncate at the end.
+		pushLimit = 0
+	}
+	// Precompute per-provider share-space filters; bounds are within the
+	// domain by construction, so errors here are programming errors.
+	filters := make([]*proto.Filter, c.opts.N)
+	for i := range filters {
+		f, err := c.providerFilter(meta, preds, i)
+		if err != nil {
+			return nil, err
+		}
+		filters[i] = f
+	}
+	buildScan := func(i int) proto.Message {
+		return &proto.ScanRequest{
+			Table:     meta.Name,
+			Filter:    filters[i],
+			Limit:     pushLimit,
+			WithProof: verified,
+		}
+	}
+	var responses []indexedResponse
+	var err error
+	if verified {
+		// Verified reads want every reachable provider: redundancy is what
+		// lets proof-failing or outvoted providers be dropped while a
+		// quorum of K survives.
+		responses, err = c.callAvailable(c.opts.K, buildScan)
+	} else {
+		responses, err = c.callQuorum(c.opts.K, buildScan)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rowsByProvider := make(map[int]*proto.RowsResponse, len(responses))
+	providers := make([]int, 0, len(responses))
+	var proofFaulty []int
+	for _, r := range responses {
+		rr, ok := r.msg.(*proto.RowsResponse)
+		if !ok {
+			if verified {
+				// A mis-typed response is just another malicious behavior:
+				// drop the provider and continue if a quorum remains.
+				proofFaulty = append(proofFaulty, r.provider)
+				continue
+			}
+			return nil, fmt.Errorf("%w: provider %d returned %T", ErrInconsistent, r.provider, r.msg)
+		}
+		rowsByProvider[r.provider] = rr
+		providers = append(providers, r.provider)
+	}
+	if verified && len(providers) < c.opts.K {
+		return nil, fmt.Errorf("%w: only %d well-formed responses (faulty: %v)",
+			ErrVerification, len(providers), proofFaulty)
+	}
+	if verified {
+		// Detection AND recovery: drop providers whose completeness proofs
+		// fail or that disagree with the majority row set, as long as a
+		// quorum of K honest-looking providers remains.
+		var verifyFaulty []int
+		providers, verifyFaulty, err = c.applyVerification(meta, preds, providers, rowsByProvider)
+		if err != nil {
+			return nil, err
+		}
+		proofFaulty = mergeFaulty(proofFaulty, verifyFaulty)
+	} else {
+		// Unverified reads demand strict agreement among the K providers.
+		base := rowsByProvider[providers[0]]
+		for _, p := range providers[1:] {
+			rr := rowsByProvider[p]
+			if len(rr.Rows) != len(base.Rows) {
+				return nil, fmt.Errorf("%w: provider %d returned %d rows, provider %d returned %d",
+					ErrInconsistent, p, len(rr.Rows), providers[0], len(base.Rows))
+			}
+			for i := range rr.Rows {
+				if rr.Rows[i].ID != base.Rows[i].ID {
+					return nil, fmt.Errorf("%w: row order diverges at position %d", ErrInconsistent, i)
+				}
+			}
+		}
+	}
+	res, err := c.reconstructRows(meta, providers, rowsByProvider, verified)
+	if err != nil {
+		return nil, err
+	}
+	res.faulty = mergeFaulty(res.faulty, proofFaulty)
+	res.verified = verified
+	// Residual predicates: everything after the pushed predicate — plus the
+	// pushed predicate itself when it is an IN set, since the provider only
+	// saw its covering range.
+	residual := preds
+	if len(preds) > 0 && preds[0].set == nil {
+		residual = preds[1:]
+	}
+	if len(residual) > 0 {
+		if err := c.filterResidual(meta, res, residual); err != nil {
+			return nil, err
+		}
+	}
+	// Lazy-update overlay: replace pending rows' values and re-evaluate the
+	// whole predicate set; add pending rows that now match.
+	if err := c.overlayPending(meta, res, preds); err != nil {
+		return nil, err
+	}
+	if limit > 0 && uint64(len(res.ids)) > limit {
+		res.ids = res.ids[:limit]
+		res.values = res.values[:limit]
+	}
+	return res, nil
+}
+
+func (c *Client) hasPending(table string) bool {
+	return len(c.pending[table]) > 0
+}
+
+// reconstructRows rebuilds typed values from aligned provider responses.
+func (c *Client) reconstructRows(meta *tableMeta, providers []int, rowsByProvider map[int]*proto.RowsResponse, robust bool) (*scanResult, error) {
+	base := rowsByProvider[providers[0]]
+	// Locate each client column's provider cells.
+	colCell := make([]int, len(meta.Cols))
+	for ci := range meta.Cols {
+		cm := &meta.Cols[ci]
+		name := cm.Name + suffixField
+		if !cm.queryable() {
+			name = cm.Name + suffixPlain
+		}
+		pos := -1
+		for i, col := range base.Columns {
+			if col == name {
+				pos = i
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("%w: provider response missing column %q (have %v)",
+				ErrInconsistent, name, base.Columns)
+		}
+		colCell[ci] = pos
+	}
+	weights, err := c.fieldSch.WeightsFor(providers[:c.opts.K])
+	if err != nil {
+		return nil, err
+	}
+	res := &scanResult{}
+	faulty := map[int]bool{}
+	ys := make([]field.Element, c.opts.K)
+	for r := range base.Rows {
+		id := base.Rows[r].ID
+		vals := make([]Value, len(meta.Cols))
+		for ci := range meta.Cols {
+			cm := &meta.Cols[ci]
+			cell := colCell[ci]
+			if !cm.queryable() {
+				blob, err := c.openBlob(meta, base.Rows[r].Cells[cell])
+				if err != nil {
+					return nil, err
+				}
+				if robust {
+					for _, p := range providers[1:] {
+						if !bytes.Equal(rowsByProvider[p].Rows[r].Cells[cell], base.Rows[r].Cells[cell]) {
+							faulty[p] = true
+						}
+					}
+				}
+				vals[ci] = BytesValue(blob)
+				continue
+			}
+			var u uint64
+			if robust {
+				shares := make([]secretshare.Share, 0, len(providers))
+				for _, p := range providers {
+					cellBytes := rowsByProvider[p].Rows[r].Cells[cell]
+					if len(cellBytes) != 8 {
+						faulty[p] = true
+						continue
+					}
+					shares = append(shares, secretshare.Share{
+						Index: p,
+						Y:     field.New(beUint64(cellBytes)),
+					})
+				}
+				rr, err := c.fieldSch.ReconstructRobust(shares)
+				if err != nil {
+					return nil, fmt.Errorf("%w: row %d column %q: %v", ErrVerification, id, cm.Name, err)
+				}
+				for _, f := range rr.Faulty {
+					faulty[f] = true
+				}
+				u = rr.Secret.Uint64()
+			} else {
+				for i, p := range providers[:c.opts.K] {
+					cellBytes := rowsByProvider[p].Rows[r].Cells[cell]
+					if len(cellBytes) != 8 {
+						return nil, fmt.Errorf("%w: provider %d returned a malformed share", ErrInconsistent, p)
+					}
+					ys[i] = field.New(beUint64(cellBytes))
+				}
+				e, err := secretshare.CombineShares(weights, ys)
+				if err != nil {
+					return nil, err
+				}
+				u = e.Uint64()
+			}
+			v, err := cm.decode(u)
+			if err != nil {
+				return nil, fmt.Errorf("%w: row %d column %q: %v", ErrVerification, id, cm.Name, err)
+			}
+			vals[ci] = v
+		}
+		res.ids = append(res.ids, id)
+		res.values = append(res.values, vals)
+	}
+	for p := range faulty {
+		res.faulty = append(res.faulty, p)
+	}
+	sort.Ints(res.faulty)
+	return res, nil
+}
+
+func beUint64(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
+
+// mergeFaulty unions two sorted fault lists.
+func mergeFaulty(a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[int]bool, len(a)+len(b))
+	for _, p := range a {
+		seen[p] = true
+	}
+	for _, p := range b {
+		seen[p] = true
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// applyVerification verifies each provider's proof individually, drops the
+// failures, then keeps the majority row-id sequence among survivors. It
+// errors only when fewer than K trustworthy providers remain.
+func (c *Client) applyVerification(meta *tableMeta, preds []compiledPred, providers []int, rowsByProvider map[int]*proto.RowsResponse) (kept, faulty []int, err error) {
+	for _, p := range providers {
+		if verr := c.verifyProviderScan(meta, preds, p, rowsByProvider[p]); verr != nil {
+			faulty = append(faulty, p)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	// Majority vote on the row-id sequence.
+	groups := make(map[string][]int)
+	for _, p := range kept {
+		sig := rowSignature(rowsByProvider[p].Rows)
+		groups[sig] = append(groups[sig], p)
+	}
+	var best []int
+	for _, members := range groups {
+		if len(members) > len(best) {
+			best = members
+		}
+	}
+	for _, p := range kept {
+		inBest := false
+		for _, q := range best {
+			if p == q {
+				inBest = true
+			}
+		}
+		if !inBest {
+			faulty = append(faulty, p)
+		}
+	}
+	sort.Ints(best)
+	sort.Ints(faulty)
+	if len(best) < c.opts.K {
+		return nil, nil, fmt.Errorf("%w: only %d of %d required providers verified (faulty: %v)",
+			ErrVerification, len(best), c.opts.K, faulty)
+	}
+	if len(groups) > 1 && 2*len(best) <= len(kept) {
+		return nil, nil, fmt.Errorf("%w: no majority row set among providers", ErrVerification)
+	}
+	return best, faulty, nil
+}
+
+func rowSignature(rows []proto.Row) string {
+	var b []byte
+	for _, r := range rows {
+		b = binary.BigEndian.AppendUint64(b, r.ID)
+	}
+	return string(b)
+}
+
+// verifyProviderScan checks one provider's Merkle completeness proof
+// against its own digest.
+func (c *Client) verifyProviderScan(meta *tableMeta, preds []compiledPred, provider int, resp *proto.RowsResponse) error {
+	providers := []int{provider}
+	rowsByProvider := map[int]*proto.RowsResponse{provider: resp}
+	return c.verifyScan(meta, preds, providers, rowsByProvider)
+}
+
+// verifyScan checks each provider's Merkle completeness proof against its
+// own digest and cross-checks digests' row counts across providers.
+func (c *Client) verifyScan(meta *tableMeta, preds []compiledPred, providers []int, rowsByProvider map[int]*proto.RowsResponse) error {
+	cp := preds[0]
+	cm := &meta.Cols[cp.ci]
+	oppCol := cm.Name + suffixOPP
+	spec := meta.providerSpec()
+	oppIdx := spec.ColumnIndex(oppCol)
+	var counts []uint64
+	for _, p := range providers {
+		resp := rowsByProvider[p]
+		if resp.Proof == nil {
+			return fmt.Errorf("%w: provider %d sent no completeness proof", ErrVerification, p)
+		}
+		proof, err := merkle.UnmarshalRangeProof(resp.Proof)
+		if err != nil {
+			return fmt.Errorf("%w: provider %d: %v", ErrVerification, p, err)
+		}
+		digResp, err := c.call(p, &proto.DigestRequest{Table: meta.Name, Col: oppCol})
+		if err != nil {
+			return fmt.Errorf("%w: provider %d digest: %v", ErrVerification, p, err)
+		}
+		dig, ok := digResp.(*proto.DigestResult)
+		if !ok {
+			return fmt.Errorf("%w: provider %d digest response %T", ErrVerification, p, digResp)
+		}
+		counts = append(counts, dig.Count)
+		if proof.N != dig.Count {
+			return fmt.Errorf("%w: provider %d proof covers %d leaves, digest says %d",
+				ErrVerification, p, proof.N, dig.Count)
+		}
+		// Rebuild the leaf run: left fence, matched rows, right fence.
+		var run []merkle.Hash
+		if proof.LeftFence != nil {
+			run = append(run, merkle.LeafHash(proof.LeftFence.Key, proof.LeftFence.RowDigest))
+		}
+		loShare, err := cm.oppSch.ShareAt(cp.lo, p)
+		if err != nil {
+			return err
+		}
+		hiShare, err := cm.oppSch.ShareAt(cp.hi, p)
+		if err != nil {
+			return err
+		}
+		for _, row := range resp.Rows {
+			cell := row.Cells[oppIdx]
+			// The returned rows must actually lie inside the queried range;
+			// otherwise a provider could substitute other committed rows.
+			if bytes.Compare(cell, loShare.Bytes()) < 0 || bytes.Compare(cell, hiShare.Bytes()) > 0 {
+				return fmt.Errorf("%w: provider %d returned a row outside the range", ErrVerification, p)
+			}
+			key := make([]byte, len(cell)+8)
+			copy(key, cell)
+			binary.BigEndian.PutUint64(key[len(cell):], row.ID)
+			run = append(run, merkle.LeafHash(key, store.RowDigest(row)))
+		}
+		if proof.RightFence != nil {
+			run = append(run, merkle.LeafHash(proof.RightFence.Key, proof.RightFence.RowDigest))
+		}
+		// Fences must be strictly outside the range (completeness at the
+		// boundary) unless the run touches a tree edge.
+		if proof.LeftFence != nil {
+			if len(proof.LeftFence.Key) <= 8 {
+				return fmt.Errorf("%w: provider %d sent a malformed left fence", ErrVerification, p)
+			}
+			fenceCell := proof.LeftFence.Key[:len(proof.LeftFence.Key)-8]
+			if bytes.Compare(fenceCell, loShare.Bytes()) >= 0 {
+				return fmt.Errorf("%w: provider %d left fence inside range", ErrVerification, p)
+			}
+		} else if proof.Start != 0 {
+			return fmt.Errorf("%w: provider %d omitted its left fence", ErrVerification, p)
+		}
+		if proof.RightFence != nil {
+			if len(proof.RightFence.Key) <= 8 {
+				return fmt.Errorf("%w: provider %d sent a malformed right fence", ErrVerification, p)
+			}
+			fenceCell := proof.RightFence.Key[:len(proof.RightFence.Key)-8]
+			if bytes.Compare(fenceCell, hiShare.Bytes()) <= 0 {
+				return fmt.Errorf("%w: provider %d right fence inside range", ErrVerification, p)
+			}
+		} else if proof.Start+uint64(len(run)) != proof.N {
+			return fmt.Errorf("%w: provider %d omitted its right fence", ErrVerification, p)
+		}
+		root, err := merkle.VerifyRange(int(proof.N), int(proof.Start), run, proof.Hashes)
+		if err != nil {
+			return fmt.Errorf("%w: provider %d: %v", ErrVerification, p, err)
+		}
+		if !bytes.Equal(root[:], dig.Root) {
+			return fmt.Errorf("%w: provider %d proof does not match its digest", ErrVerification, p)
+		}
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			return fmt.Errorf("%w: providers disagree on table size (%d vs %d rows)",
+				ErrVerification, counts[0], counts[i])
+		}
+	}
+	return nil
+}
+
+// filterResidual applies remaining predicates client-side.
+func (c *Client) filterResidual(meta *tableMeta, res *scanResult, preds []compiledPred) error {
+	outIDs := res.ids[:0]
+	outVals := res.values[:0]
+	enc := make([]uint64, len(meta.Cols))
+	for r := range res.ids {
+		ok, err := c.rowMatches(meta, res.values[r], preds, enc)
+		if err != nil {
+			return err
+		}
+		if ok {
+			outIDs = append(outIDs, res.ids[r])
+			outVals = append(outVals, res.values[r])
+		}
+	}
+	res.ids = outIDs
+	res.values = outVals
+	return nil
+}
+
+// rowMatches evaluates compiled predicates on typed values by re-encoding.
+func (c *Client) rowMatches(meta *tableMeta, vals []Value, preds []compiledPred, scratch []uint64) (bool, error) {
+	for _, cp := range preds {
+		cm := &meta.Cols[cp.ci]
+		u, err := cm.encode(vals[cp.ci])
+		if err != nil {
+			return false, err
+		}
+		scratch[cp.ci] = u
+		if !cp.matchesEnc(u) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// overlayPending merges buffered lazy updates into a scan result.
+func (c *Client) overlayPending(meta *tableMeta, res *scanResult, preds []compiledPred) error {
+	pend := c.pending[meta.Name]
+	if len(pend) == 0 {
+		return nil
+	}
+	enc := make([]uint64, len(meta.Cols))
+	outIDs := make([]uint64, 0, len(res.ids))
+	outVals := make([][]Value, 0, len(res.values))
+	covered := make(map[uint64]bool, len(res.ids))
+	for r, id := range res.ids {
+		covered[id] = true
+		if newVals, ok := pend[id]; ok {
+			match, err := c.rowMatches(meta, newVals, preds, enc)
+			if err != nil {
+				return err
+			}
+			if match {
+				outIDs = append(outIDs, id)
+				outVals = append(outVals, newVals)
+			}
+			continue
+		}
+		outIDs = append(outIDs, id)
+		outVals = append(outVals, res.values[r])
+	}
+	// Pending rows whose NEW values now match but whose old values did not.
+	extra := make([]uint64, 0)
+	for id := range pend {
+		if !covered[id] {
+			extra = append(extra, id)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	for _, id := range extra {
+		match, err := c.rowMatches(meta, pend[id], preds, enc)
+		if err != nil {
+			return err
+		}
+		if match {
+			outIDs = append(outIDs, id)
+			outVals = append(outVals, pend[id])
+		}
+	}
+	res.ids = outIDs
+	res.values = outVals
+	return nil
+}

@@ -1,0 +1,114 @@
+package client
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ValueKind tags a client-level value.
+type ValueKind int
+
+// Value kinds.
+const (
+	// KindInt is a signed integer.
+	KindInt ValueKind = iota + 1
+	// KindDecimal is a fixed-point decimal; I holds the scaled integer and
+	// Scale the number of fractional digits.
+	KindDecimal
+	// KindString is a bounded string.
+	KindString
+	// KindBytes is a blob payload.
+	KindBytes
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindDecimal:
+		return "decimal"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("ValueKind(%d)", int(k))
+	}
+}
+
+// Value is one reconstructed (or to-be-outsourced) cell value.
+type Value struct {
+	Kind  ValueKind
+	I     int64 // KindInt: value; KindDecimal: scaled integer
+	Scale int   // KindDecimal only
+	S     string
+	B     []byte
+}
+
+// IntValue builds an integer value.
+func IntValue(v int64) Value { return Value{Kind: KindInt, I: v} }
+
+// DecimalValue builds a decimal from a scaled integer.
+func DecimalValue(scaled int64, scale int) Value {
+	return Value{Kind: KindDecimal, I: scaled, Scale: scale}
+}
+
+// StringValue builds a string value.
+func StringValue(s string) Value { return Value{Kind: KindString, S: s} }
+
+// BytesValue builds a blob value.
+func BytesValue(b []byte) Value { return Value{Kind: KindBytes, B: b} }
+
+// Format renders the value for display.
+func (v Value) Format() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindDecimal:
+		return formatScaled(v.I, v.Scale)
+	case KindString:
+		return v.S
+	case KindBytes:
+		return fmt.Sprintf("0x%x", v.B)
+	default:
+		return "<invalid>"
+	}
+}
+
+func formatScaled(scaled int64, scale int) string {
+	if scale == 0 {
+		return strconv.FormatInt(scaled, 10)
+	}
+	neg := scaled < 0
+	if neg {
+		scaled = -scaled
+	}
+	pow := int64(1)
+	for i := 0; i < scale; i++ {
+		pow *= 10
+	}
+	sign := ""
+	if neg {
+		sign = "-"
+	}
+	return fmt.Sprintf("%s%d.%0*d", sign, scaled/pow, scale, scaled%pow)
+}
+
+// Equal compares two values for semantic equality.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindInt:
+		return v.I == o.I
+	case KindDecimal:
+		return v.I == o.I && v.Scale == o.Scale
+	case KindString:
+		return v.S == o.S
+	case KindBytes:
+		return string(v.B) == string(o.B)
+	default:
+		return false
+	}
+}

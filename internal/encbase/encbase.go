@@ -1,0 +1,424 @@
+// Package encbase reimplements the encryption-based outsourcing designs the
+// paper positions itself against (Sec. II-A): NetDB2/Hacigümüş-style row
+// encryption with a coarse bucketization index, a deterministic-tag variant
+// for exact matches, and an order-preserving-encryption variant. It is the
+// baseline for experiments E2 (compute cost of encryption vs sharing), E6
+// (exact match) and E7 (range queries and the privacy–performance
+// trade-off: coarser buckets leak less and ship more false positives).
+//
+// The model is single-server: one provider stores ciphertext rows plus
+// per-column index tags. The client keeps the keys, rewrites queries into
+// tag predicates, decrypts and post-filters the superset the server
+// returns — exactly the workflow the paper describes for encrypted
+// databases.
+package encbase
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// IndexKind selects the index the server can filter on.
+type IndexKind int
+
+const (
+	// IndexBucket partitions each column domain into B equal buckets; the
+	// server filters by bucket id (false positives at bucket edges).
+	IndexBucket IndexKind = iota + 1
+	// IndexDeterministic tags each value with a keyed deterministic MAC;
+	// exact matches are precise, ranges are impossible server-side.
+	IndexDeterministic
+	// IndexOPE tags each value with an order-preserving encoding; ranges
+	// are precise but the server learns value order (the security loss
+	// Kantarcioglu & Clifton flag for order preservation).
+	IndexOPE
+)
+
+func (k IndexKind) String() string {
+	switch k {
+	case IndexBucket:
+		return "bucket"
+	case IndexDeterministic:
+		return "deterministic"
+	case IndexOPE:
+		return "ope"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// Errors.
+var (
+	ErrBadParams   = errors.New("encbase: invalid parameters")
+	ErrNoSuchTable = errors.New("encbase: no such table")
+	ErrNoRange     = errors.New("encbase: index kind cannot serve range queries")
+)
+
+// Schema describes a table of fixed-width numeric columns.
+type Schema struct {
+	Name string
+	// Cols names each column; every value is a uint64 below DomainMax.
+	Cols []string
+	// DomainMax bounds column values (exclusive).
+	DomainMax uint64
+}
+
+// StoredRow is what the server keeps: the encrypted tuple and one index tag
+// per column.
+type StoredRow struct {
+	ID     uint64
+	Cipher []byte
+	Tags   []uint64
+}
+
+// WireSize is the number of bytes shipping this row costs.
+func (r *StoredRow) WireSize() int {
+	return 8 + len(r.Cipher) + 8*len(r.Tags)
+}
+
+// Server is the single encrypted-database provider.
+type Server struct {
+	tables map[string]*serverTable
+}
+
+type serverTable struct {
+	schema Schema
+	rows   []StoredRow
+}
+
+// NewServer returns an empty provider.
+func NewServer() *Server {
+	return &Server{tables: make(map[string]*serverTable)}
+}
+
+// CreateTable registers a table.
+func (s *Server) CreateTable(schema Schema) error {
+	if schema.Name == "" || len(schema.Cols) == 0 || schema.DomainMax == 0 {
+		return fmt.Errorf("%w: %+v", ErrBadParams, schema)
+	}
+	if _, ok := s.tables[schema.Name]; ok {
+		return fmt.Errorf("%w: duplicate table %q", ErrBadParams, schema.Name)
+	}
+	s.tables[schema.Name] = &serverTable{schema: schema}
+	return nil
+}
+
+// Insert stores ciphertext rows.
+func (s *Server) Insert(table string, rows []StoredRow) error {
+	t, ok := s.tables[table]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	t.rows = append(t.rows, rows...)
+	return nil
+}
+
+// SelectTags returns rows whose tag for column col lies in [lo, hi],
+// along with the bytes that would cross the wire.
+func (s *Server) SelectTags(table string, col int, lo, hi uint64) ([]StoredRow, int, error) {
+	t, ok := s.tables[table]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	if col < 0 || col >= len(t.schema.Cols) {
+		return nil, 0, fmt.Errorf("%w: column %d", ErrBadParams, col)
+	}
+	var out []StoredRow
+	bytes := 0
+	for i := range t.rows {
+		tag := t.rows[i].Tags[col]
+		if tag >= lo && tag <= hi {
+			out = append(out, t.rows[i])
+			bytes += t.rows[i].WireSize()
+		}
+	}
+	return out, bytes, nil
+}
+
+// SelectAll ships the whole table (the no-index fallback).
+func (s *Server) SelectAll(table string) ([]StoredRow, int, error) {
+	t, ok := s.tables[table]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	bytes := 0
+	for i := range t.rows {
+		bytes += t.rows[i].WireSize()
+	}
+	return t.rows, bytes, nil
+}
+
+// RowCount returns the number of stored rows.
+func (s *Server) RowCount(table string) int {
+	t, ok := s.tables[table]
+	if !ok {
+		return 0
+	}
+	return len(t.rows)
+}
+
+// Client holds the keys and rewrites queries.
+type Client struct {
+	kind    IndexKind
+	buckets uint64
+	aead    cipher.AEAD
+	macKey  []byte
+	rnd     io.Reader
+	schemas map[string]Schema
+	// opeSlot is the per-value randomness width of the OPE mapping.
+	opeSlot uint
+}
+
+// NewClient builds a client. buckets is the bucketization fan-out
+// (IndexBucket only; must divide the domain meaningfully).
+func NewClient(kind IndexKind, masterKey []byte, buckets uint64) (*Client, error) {
+	if kind < IndexBucket || kind > IndexOPE {
+		return nil, fmt.Errorf("%w: kind %d", ErrBadParams, kind)
+	}
+	if kind == IndexBucket && buckets == 0 {
+		return nil, fmt.Errorf("%w: zero buckets", ErrBadParams)
+	}
+	if len(masterKey) == 0 {
+		return nil, fmt.Errorf("%w: empty key", ErrBadParams)
+	}
+	mac := hmac.New(sha256.New, masterKey)
+	mac.Write([]byte("encbase/aes"))
+	encKey := mac.Sum(nil)
+	block, err := aes.NewCipher(encKey[:32])
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	mac = hmac.New(sha256.New, masterKey)
+	mac.Write([]byte("encbase/mac"))
+	return &Client{
+		kind:    kind,
+		buckets: buckets,
+		aead:    aead,
+		macKey:  mac.Sum(nil),
+		rnd:     rand.Reader,
+		schemas: make(map[string]Schema),
+		opeSlot: 16,
+	}, nil
+}
+
+// CreateTable registers the schema on both sides.
+func (c *Client) CreateTable(s *Server, schema Schema) error {
+	if err := s.CreateTable(schema); err != nil {
+		return err
+	}
+	c.schemas[schema.Name] = schema
+	return nil
+}
+
+// tag computes the server-visible index tag of a value.
+func (c *Client) tag(schema Schema, col int, v uint64) uint64 {
+	switch c.kind {
+	case IndexBucket:
+		width := (schema.DomainMax + c.buckets - 1) / c.buckets
+		return v / width
+	case IndexDeterministic:
+		mac := hmac.New(sha256.New, c.macKey)
+		var buf [16]byte
+		binary.BigEndian.PutUint64(buf[:8], uint64(col))
+		binary.BigEndian.PutUint64(buf[8:], v)
+		mac.Write([]byte(schema.Name))
+		mac.Write(buf[:])
+		return binary.BigEndian.Uint64(mac.Sum(nil)[:8])
+	case IndexOPE:
+		// Strictly monotone keyed mapping: v*2^slot + PRF(v) mod 2^slot.
+		mac := hmac.New(sha256.New, c.macKey)
+		var buf [16]byte
+		binary.BigEndian.PutUint64(buf[:8], uint64(col))
+		binary.BigEndian.PutUint64(buf[8:], v)
+		mac.Write([]byte("ope"))
+		mac.Write(buf[:])
+		off := binary.BigEndian.Uint64(mac.Sum(nil)[:8]) & (uint64(1)<<c.opeSlot - 1)
+		return v<<c.opeSlot | off
+	default:
+		return 0
+	}
+}
+
+// tagRange rewrites a value interval into a tag interval.
+func (c *Client) tagRange(schema Schema, col int, lo, hi uint64) (uint64, uint64, error) {
+	switch c.kind {
+	case IndexBucket:
+		return c.tag(schema, col, lo), c.tag(schema, col, hi), nil
+	case IndexOPE:
+		// All tags of lo .. all tags of hi: [lo<<s, (hi<<s)|max].
+		return lo << c.opeSlot, hi<<c.opeSlot | (uint64(1)<<c.opeSlot - 1), nil
+	default:
+		return 0, 0, ErrNoRange
+	}
+}
+
+// encodeRow serializes plaintext values for encryption.
+func encodeRow(vals []uint64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint64(buf[i*8:], v)
+	}
+	return buf
+}
+
+func decodeRow(buf []byte) ([]uint64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("%w: ragged row", ErrBadParams)
+	}
+	vals := make([]uint64, len(buf)/8)
+	for i := range vals {
+		vals[i] = binary.BigEndian.Uint64(buf[i*8:])
+	}
+	return vals, nil
+}
+
+// EncryptRow seals one tuple and derives its index tags.
+func (c *Client) EncryptRow(table string, id uint64, vals []uint64) (StoredRow, error) {
+	schema, ok := c.schemas[table]
+	if !ok {
+		return StoredRow{}, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	if len(vals) != len(schema.Cols) {
+		return StoredRow{}, fmt.Errorf("%w: %d values for %d columns", ErrBadParams, len(vals), len(schema.Cols))
+	}
+	nonce := make([]byte, c.aead.NonceSize())
+	if _, err := io.ReadFull(c.rnd, nonce); err != nil {
+		return StoredRow{}, err
+	}
+	cipherText := append(nonce, c.aead.Seal(nil, nonce, encodeRow(vals), nil)...)
+	row := StoredRow{ID: id, Cipher: cipherText, Tags: make([]uint64, len(vals))}
+	for i, v := range vals {
+		if v >= schema.DomainMax {
+			return StoredRow{}, fmt.Errorf("%w: value %d outside domain", ErrBadParams, v)
+		}
+		row.Tags[i] = c.tag(schema, i, v)
+	}
+	return row, nil
+}
+
+// DecryptRow opens a stored tuple.
+func (c *Client) DecryptRow(row StoredRow) ([]uint64, error) {
+	ns := c.aead.NonceSize()
+	if len(row.Cipher) < ns {
+		return nil, fmt.Errorf("%w: short ciphertext", ErrBadParams)
+	}
+	plain, err := c.aead.Open(nil, row.Cipher[:ns], row.Cipher[ns:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("encbase: decrypting row %d: %w", row.ID, err)
+	}
+	return decodeRow(plain)
+}
+
+// Insert encrypts and ships rows, returning the bytes sent.
+func (c *Client) Insert(s *Server, table string, ids []uint64, rows [][]uint64) (int, error) {
+	stored := make([]StoredRow, len(rows))
+	bytes := 0
+	for i, vals := range rows {
+		row, err := c.EncryptRow(table, ids[i], vals)
+		if err != nil {
+			return 0, err
+		}
+		stored[i] = row
+		bytes += row.WireSize()
+	}
+	if err := s.Insert(table, stored); err != nil {
+		return 0, err
+	}
+	return bytes, nil
+}
+
+// QueryStats reports the cost and precision of one query.
+type QueryStats struct {
+	// RowsReturned is the superset size the server shipped.
+	RowsReturned int
+	// RowsMatched is the true result size after client post-filtering.
+	RowsMatched int
+	// BytesOnWire counts response payload bytes.
+	BytesOnWire int
+}
+
+// FalsePositiveRate is the fraction of shipped rows the client discarded.
+func (q QueryStats) FalsePositiveRate() float64 {
+	if q.RowsReturned == 0 {
+		return 0
+	}
+	return float64(q.RowsReturned-q.RowsMatched) / float64(q.RowsReturned)
+}
+
+// SelectRange runs a range query col ∈ [lo, hi]: rewrite to tags, fetch the
+// superset, decrypt, post-filter.
+func (c *Client) SelectRange(s *Server, table string, col int, lo, hi uint64) ([][]uint64, QueryStats, error) {
+	schema, ok := c.schemas[table]
+	if !ok {
+		return nil, QueryStats{}, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	var stored []StoredRow
+	var bytes int
+	var err error
+	if c.kind == IndexDeterministic {
+		// Deterministic tags cannot express ranges; the paper's fallback is
+		// shipping the whole table.
+		stored, bytes, err = s.SelectAll(table)
+	} else {
+		tagLo, tagHi, terr := c.tagRange(schema, col, lo, hi)
+		if terr != nil {
+			return nil, QueryStats{}, terr
+		}
+		stored, bytes, err = s.SelectTags(table, col, tagLo, tagHi)
+	}
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	stats := QueryStats{RowsReturned: len(stored), BytesOnWire: bytes}
+	var out [][]uint64
+	for _, row := range stored {
+		vals, err := c.DecryptRow(row)
+		if err != nil {
+			return nil, QueryStats{}, err
+		}
+		if vals[col] >= lo && vals[col] <= hi {
+			out = append(out, vals)
+		}
+	}
+	stats.RowsMatched = len(out)
+	sort.Slice(out, func(i, j int) bool { return out[i][col] < out[j][col] })
+	return out, stats, nil
+}
+
+// SelectEq runs an exact-match query col = v.
+func (c *Client) SelectEq(s *Server, table string, col int, v uint64) ([][]uint64, QueryStats, error) {
+	schema, ok := c.schemas[table]
+	if !ok {
+		return nil, QueryStats{}, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	tag := c.tag(schema, col, v)
+	stored, bytes, err := s.SelectTags(table, col, tag, tag)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	stats := QueryStats{RowsReturned: len(stored), BytesOnWire: bytes}
+	var out [][]uint64
+	for _, row := range stored {
+		vals, err := c.DecryptRow(row)
+		if err != nil {
+			return nil, QueryStats{}, err
+		}
+		if vals[col] == v {
+			out = append(out, vals)
+		}
+	}
+	stats.RowsMatched = len(out)
+	return out, stats, nil
+}

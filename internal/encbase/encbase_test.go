@@ -1,0 +1,242 @@
+package encbase
+
+import (
+	"errors"
+	mrand "math/rand"
+	"testing"
+)
+
+func setup(t testing.TB, kind IndexKind, buckets uint64, n int) (*Client, *Server) {
+	t.Helper()
+	srv := NewServer()
+	cl, err := NewClient(kind, []byte("test key"), buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := Schema{Name: "t", Cols: []string{"a", "b"}, DomainMax: 1 << 20}
+	if err := cl.CreateTable(srv, schema); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, n)
+	rows := make([][]uint64, n)
+	rng := mrand.New(mrand.NewSource(5))
+	for i := range rows {
+		ids[i] = uint64(i + 1)
+		rows[i] = []uint64{uint64(rng.Intn(1 << 20)), uint64(i)}
+	}
+	if _, err := cl.Insert(srv, "t", ids, rows); err != nil {
+		t.Fatal(err)
+	}
+	return cl, srv
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient(IndexBucket, []byte("k"), 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("zero buckets: %v", err)
+	}
+	if _, err := NewClient(IndexBucket, nil, 10); !errors.Is(err, ErrBadParams) {
+		t.Errorf("empty key: %v", err)
+	}
+	if _, err := NewClient(99, []byte("k"), 10); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad kind: %v", err)
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	cl, _ := setup(t, IndexBucket, 64, 0)
+	row, err := cl.EncryptRow("t", 7, []uint64{123, 456})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := cl.DecryptRow(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 123 || vals[1] != 456 {
+		t.Fatalf("got %v", vals)
+	}
+	// Tampering is detected (AES-GCM).
+	row.Cipher[len(row.Cipher)-1] ^= 1
+	if _, err := cl.DecryptRow(row); err == nil {
+		t.Fatal("tampered ciphertext decrypted")
+	}
+}
+
+func TestEncryptRejectsBadInput(t *testing.T) {
+	cl, _ := setup(t, IndexBucket, 64, 0)
+	if _, err := cl.EncryptRow("missing", 1, []uint64{1, 2}); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("missing table: %v", err)
+	}
+	if _, err := cl.EncryptRow("t", 1, []uint64{1}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad arity: %v", err)
+	}
+	if _, err := cl.EncryptRow("t", 1, []uint64{1 << 20, 2}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("domain overflow: %v", err)
+	}
+}
+
+func TestBucketRangeQueryIsSupersetThenExact(t *testing.T) {
+	cl, srv := setup(t, IndexBucket, 64, 5000)
+	rows, stats, err := cl.SelectRange(srv, "t", 0, 1000, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-filtered rows are exactly the true matches.
+	for _, r := range rows {
+		if r[0] < 1000 || r[0] > 50_000 {
+			t.Fatalf("false positive after filtering: %v", r)
+		}
+	}
+	if stats.RowsMatched != len(rows) {
+		t.Fatalf("stats mismatch: %+v vs %d", stats, len(rows))
+	}
+	// The superset is at least the match set, usually strictly larger.
+	if stats.RowsReturned < stats.RowsMatched {
+		t.Fatalf("returned %d < matched %d", stats.RowsReturned, stats.RowsMatched)
+	}
+	if stats.BytesOnWire == 0 {
+		t.Fatal("no bytes accounted")
+	}
+}
+
+func TestBucketPrivacyPerformanceTradeoff(t *testing.T) {
+	// Fewer buckets (more privacy) must ship at least as many rows.
+	coarseCl, coarseSrv := setup(t, IndexBucket, 4, 3000)
+	fineCl, fineSrv := setup(t, IndexBucket, 1024, 3000)
+	_, coarse, err := coarseCl.SelectRange(coarseSrv, "t", 0, 100_000, 110_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fine, err := fineCl.SelectRange(fineSrv, "t", 0, 100_000, 110_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.RowsMatched != fine.RowsMatched {
+		t.Fatalf("true matches differ: %d vs %d", coarse.RowsMatched, fine.RowsMatched)
+	}
+	if coarse.RowsReturned < fine.RowsReturned {
+		t.Fatalf("coarse buckets returned fewer rows (%d) than fine (%d)",
+			coarse.RowsReturned, fine.RowsReturned)
+	}
+	if coarse.FalsePositiveRate() < fine.FalsePositiveRate() {
+		t.Fatalf("coarse FP rate %f < fine %f", coarse.FalsePositiveRate(), fine.FalsePositiveRate())
+	}
+}
+
+func TestDeterministicExactMatch(t *testing.T) {
+	cl, srv := setup(t, IndexDeterministic, 0, 500)
+	rows, stats, err := cl.SelectEq(srv, "t", 1, 42) // column b holds i
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][1] != 42 {
+		t.Fatalf("got %v", rows)
+	}
+	// Deterministic tags are precise: no false positives (collisions aside).
+	if stats.FalsePositiveRate() != 0 {
+		t.Fatalf("fp rate %f", stats.FalsePositiveRate())
+	}
+	// Ranges degrade to shipping the whole table.
+	_, stats, err = cl.SelectRange(srv, "t", 1, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowsReturned != 500 {
+		t.Fatalf("deterministic range returned %d rows, want all 500", stats.RowsReturned)
+	}
+	if stats.RowsMatched != 11 {
+		t.Fatalf("matched %d", stats.RowsMatched)
+	}
+}
+
+func TestOPERangeIsExact(t *testing.T) {
+	cl, srv := setup(t, IndexOPE, 0, 2000)
+	rows, stats, err := cl.SelectRange(srv, "t", 1, 100, 199) // b = i
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 100 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if stats.FalsePositiveRate() != 0 {
+		t.Fatalf("OPE should be exact, fp rate %f", stats.FalsePositiveRate())
+	}
+}
+
+func TestOPETagsPreserveOrder(t *testing.T) {
+	cl, _ := setup(t, IndexOPE, 0, 0)
+	schema := cl.schemas["t"]
+	prev := uint64(0)
+	for v := uint64(1); v < 2000; v += 7 {
+		tag := cl.tag(schema, 0, v)
+		if tag <= prev {
+			t.Fatalf("order violated at %d", v)
+		}
+		prev = tag
+	}
+}
+
+func TestSelectEqBucketPostFilters(t *testing.T) {
+	cl, srv := setup(t, IndexBucket, 16, 2000)
+	rows, stats, err := cl.SelectEq(srv, "t", 1, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][1] != 77 {
+		t.Fatalf("got %v", rows)
+	}
+	// With 16 buckets over 2^20 and 2000 rows in col b (values 0..1999),
+	// the bucket of 77 contains many rows: a real superset.
+	if stats.RowsReturned <= stats.RowsMatched {
+		t.Fatalf("expected superset, got %+v", stats)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	srv := NewServer()
+	if err := srv.CreateTable(Schema{}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("empty schema: %v", err)
+	}
+	if err := srv.Insert("x", nil); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("missing table insert: %v", err)
+	}
+	if _, _, err := srv.SelectTags("x", 0, 0, 1); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("missing table select: %v", err)
+	}
+	if _, _, err := srv.SelectAll("x"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("missing table select all: %v", err)
+	}
+	if err := srv.CreateTable(Schema{Name: "t", Cols: []string{"a"}, DomainMax: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CreateTable(Schema{Name: "t", Cols: []string{"a"}, DomainMax: 10}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("duplicate table: %v", err)
+	}
+	if _, _, err := srv.SelectTags("t", 5, 0, 1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad column: %v", err)
+	}
+	if srv.RowCount("t") != 0 || srv.RowCount("x") != 0 {
+		t.Error("row counts")
+	}
+}
+
+func BenchmarkEncryptRow(b *testing.B) {
+	cl, _ := setup(b, IndexBucket, 64, 0)
+	vals := []uint64{12345, 67890}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.EncryptRow("t", uint64(i), vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectRangeBucketed(b *testing.B) {
+	cl, srv := setup(b, IndexBucket, 64, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cl.SelectRange(srv, "t", 0, 1000, 50_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

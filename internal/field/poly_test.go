@@ -1,0 +1,267 @@
+package field
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalKnownPolynomial(t *testing.T) {
+	// q(x) = 100x + 10, the first polynomial from Figure 1 of the paper.
+	q := Poly{New(10), New(100)}
+	cases := []struct{ x, want uint64 }{
+		{1, 110}, {2, 210}, {4, 410}, {0, 10},
+	}
+	for _, c := range cases {
+		if got := q.Eval(New(c.x)); got.Uint64() != c.want {
+			t.Errorf("q(%d) = %v, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestEvalEmptyAndConstant(t *testing.T) {
+	if got := (Poly{}).Eval(New(5)); got != 0 {
+		t.Errorf("empty poly eval = %v, want 0", got)
+	}
+	if got := (Poly{New(7)}).Eval(New(12345)); got.Uint64() != 7 {
+		t.Errorf("constant poly eval = %v, want 7", got)
+	}
+}
+
+func TestNewRandomPolyProperties(t *testing.T) {
+	secret := New(424242)
+	for degree := 0; degree <= 8; degree++ {
+		p, err := NewRandomPoly(secret, degree, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Degree() != degree {
+			t.Fatalf("degree %d poly has len-degree %d", degree, p.Degree())
+		}
+		if p[0] != secret {
+			t.Fatalf("constant term %v, want %v", p[0], secret)
+		}
+		if got := p.Eval(0); got != secret {
+			t.Fatalf("p(0) = %v, want secret %v", got, secret)
+		}
+		if degree > 0 && p[degree] == 0 {
+			t.Fatalf("leading coefficient is zero at degree %d", degree)
+		}
+	}
+}
+
+func TestNewRandomPolyNegativeDegree(t *testing.T) {
+	if _, err := NewRandomPoly(New(1), -1, rand.Reader); err == nil {
+		t.Fatal("expected error for negative degree")
+	}
+}
+
+func TestInterpolateAtZeroRoundTrip(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		degree := rng.Intn(6)
+		secret := New(rng.Uint64())
+		p, err := NewRandomPoly(secret, degree, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Evaluate at degree+1 distinct non-zero points.
+		points := make([]Point, degree+1)
+		used := map[uint64]bool{0: true}
+		for i := range points {
+			var x uint64
+			for used[x] {
+				x = 1 + uint64(rng.Intn(1_000_000))
+			}
+			used[x] = true
+			points[i] = Point{X: New(x), Y: p.Eval(New(x))}
+		}
+		got, err := InterpolateAtZero(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != secret {
+			t.Fatalf("trial %d: reconstructed %v, want %v", trial, got, secret)
+		}
+	}
+}
+
+func TestInterpolateAtZeroRejectsBadInput(t *testing.T) {
+	if _, err := InterpolateAtZero(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+	pts := []Point{{X: New(1), Y: New(2)}, {X: New(1), Y: New(3)}}
+	if _, err := InterpolateAtZero(pts); err == nil {
+		t.Error("expected error for duplicate x")
+	}
+	if _, err := InterpolateAtZero([]Point{{X: 0, Y: New(3)}}); err == nil {
+		t.Error("expected error for x = 0")
+	}
+}
+
+func TestLagrangeCoefficientsMatchDirectInterpolation(t *testing.T) {
+	xs := []Element{New(2), New(4), New(1), New(9)}
+	ws, err := LagrangeCoefficientsAtZero(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewRandomPoly(New(987654321), 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := make([]Element, len(xs))
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		ys[i] = p.Eval(x)
+		pts[i] = Point{X: x, Y: ys[i]}
+	}
+	direct, err := InterpolateAtZero(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaWeights, err := CombineAtZero(ws, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != viaWeights {
+		t.Fatalf("weights give %v, direct interpolation gives %v", viaWeights, direct)
+	}
+}
+
+func TestLagrangeCoefficientsRejectBadInput(t *testing.T) {
+	if _, err := LagrangeCoefficientsAtZero(nil); err == nil {
+		t.Error("expected error for no points")
+	}
+	if _, err := LagrangeCoefficientsAtZero([]Element{New(1), New(1)}); err == nil {
+		t.Error("expected error for duplicate x")
+	}
+	if _, err := LagrangeCoefficientsAtZero([]Element{0}); err == nil {
+		t.Error("expected error for x = 0")
+	}
+}
+
+func TestCombineAtZeroLengthMismatch(t *testing.T) {
+	if _, err := CombineAtZero([]Element{1}, []Element{1, 2}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+// Shamir shares are additively homomorphic: sharing v1 and v2 with
+// polynomials p1, p2 at the same evaluation points gives shares whose sums
+// are evaluations of p1+p2, whose constant term is v1+v2. This property is
+// what lets providers compute SUM aggregates in share space (paper Sec. V-A).
+func TestShareAdditivity(t *testing.T) {
+	additive := func(s1, s2 uint64) bool {
+		v1, v2 := New(s1), New(s2)
+		p1, err1 := NewRandomPoly(v1, 2, rand.Reader)
+		p2, err2 := NewRandomPoly(v2, 2, rand.Reader)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		xs := []Element{New(3), New(5), New(11)}
+		pts := make([]Point, len(xs))
+		for i, x := range xs {
+			pts[i] = Point{X: x, Y: p1.Eval(x).Add(p2.Eval(x))}
+		}
+		got, err := InterpolateAtZero(pts)
+		return err == nil && got == v1.Add(v2)
+	}
+	if err := quick.Check(additive, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterpolateFullPolynomial(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		degree := rng.Intn(5)
+		p, err := NewRandomPoly(New(rng.Uint64()), degree, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := make([]Point, degree+1)
+		for i := range pts {
+			x := New(uint64(i + 1))
+			pts[i] = Point{X: x, Y: p.Eval(x)}
+		}
+		got, err := Interpolate(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(p) {
+			t.Fatalf("trial %d: got %d coefficients, want %d", trial, len(got), len(p))
+		}
+		for i := range p {
+			if got[i] != p[i] {
+				t.Fatalf("trial %d: coefficient %d = %v, want %v", trial, i, got[i], p[i])
+			}
+		}
+	}
+}
+
+func TestInterpolateDetectsExcessDegree(t *testing.T) {
+	// Points from a degree-3 polynomial: interpolating any 4 gives degree 3,
+	// while 3 points give a (different) degree-2 fit — the basis of the
+	// share-consistency verifier.
+	p, err := NewRandomPoly(New(5), 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]Point, 5)
+	for i := range pts {
+		x := New(uint64(i + 1))
+		pts[i] = Point{X: x, Y: p.Eval(x)}
+	}
+	full, err := Interpolate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Degree() != 3 {
+		t.Fatalf("interpolating 5 consistent points gave degree %d, want 3", full.Degree())
+	}
+	// Corrupt one point: degree must exceed 3.
+	pts[2].Y = pts[2].Y.Add(New(1))
+	corrupt, err := Interpolate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt.Degree() <= 3 {
+		t.Fatalf("corrupted points interpolated to degree %d, want > 3", corrupt.Degree())
+	}
+}
+
+func TestInterpolateRejectsDuplicates(t *testing.T) {
+	pts := []Point{{X: New(1), Y: New(1)}, {X: New(1), Y: New(2)}}
+	if _, err := Interpolate(pts); err == nil {
+		t.Error("expected duplicate-x error")
+	}
+	if _, err := Interpolate(nil); err == nil {
+		t.Error("expected no-points error")
+	}
+}
+
+func BenchmarkEvalDegree3(b *testing.B) {
+	p, err := NewRandomPoly(New(123), 3, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := New(7)
+	for i := 0; i < b.N; i++ {
+		_ = p.Eval(x)
+	}
+}
+
+func BenchmarkInterpolateAtZeroK3(b *testing.B) {
+	p, _ := NewRandomPoly(New(123), 2, rand.Reader)
+	pts := []Point{
+		{X: New(2), Y: p.Eval(New(2))},
+		{X: New(4), Y: p.Eval(New(4))},
+		{X: New(1), Y: p.Eval(New(1))},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := InterpolateAtZero(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package opp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// NaiveScheme is the *insecure* straw-man construction from Sec. IV of the
+// paper: coefficients are monotonically increasing affine functions of the
+// secret value, f_j(v) = alpha_j·v + beta_j. The resulting share is itself
+// affine in v,
+//
+//	p_v(x_i) = (1 + Σ_j alpha_j·x_i^j)·v + Σ_j beta_j·x_i^j = A_i·v + B_i,
+//
+// so a provider that learns any two (value, share) pairs — or one pair plus
+// the intercept — recovers A_i and B_i and with them every secret it stores.
+// The paper uses exactly this argument ("if a service provider is able to
+// break this method for one secret item [it] can determine the complete set
+// of the secret values") to motivate the slotted-hash construction in
+// Scheme. BreakNaive implements the attack; the E11 experiment shows it
+// succeeds here and fails against Scheme.
+type NaiveScheme struct {
+	degree int
+	alphas []uint64 // alpha_j, j = 1..degree
+	betas  []uint64 // beta_j, j = 1..degree
+	xs     []uint64 // evaluation points, one per provider
+}
+
+// NewNaiveScheme builds the straw-man scheme. len(alphas) == len(betas) ==
+// degree; all alphas must be positive so the coefficient functions are
+// strictly increasing.
+func NewNaiveScheme(alphas, betas, xs []uint64) (*NaiveScheme, error) {
+	if len(alphas) == 0 || len(alphas) != len(betas) {
+		return nil, fmt.Errorf("%w: %d alphas, %d betas", ErrBadParams, len(alphas), len(betas))
+	}
+	for _, a := range alphas {
+		if a == 0 {
+			return nil, fmt.Errorf("%w: alpha must be positive", ErrBadParams)
+		}
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("%w: no evaluation points", ErrBadParams)
+	}
+	for _, x := range xs {
+		if x == 0 {
+			return nil, fmt.Errorf("%w: evaluation point 0", ErrBadParams)
+		}
+	}
+	return &NaiveScheme{
+		degree: len(alphas),
+		alphas: append([]uint64(nil), alphas...),
+		betas:  append([]uint64(nil), betas...),
+		xs:     append([]uint64(nil), xs...),
+	}, nil
+}
+
+// N returns the number of providers.
+func (ns *NaiveScheme) N() int { return len(ns.xs) }
+
+// ShareAt computes provider i's share of v under the straw-man scheme.
+func (ns *NaiveScheme) ShareAt(v uint64, provider int) (*big.Int, error) {
+	if provider < 0 || provider >= len(ns.xs) {
+		return nil, fmt.Errorf("%w: %d", ErrBadProvider, provider)
+	}
+	bv := new(big.Int).SetUint64(v)
+	x := new(big.Int).SetUint64(ns.xs[provider])
+	acc := new(big.Int)
+	xp := big.NewInt(1)
+	for j := 1; j <= ns.degree; j++ {
+		xp = new(big.Int).Mul(xp, x)
+		coef := new(big.Int).SetUint64(ns.alphas[j-1])
+		coef.Mul(coef, bv)
+		coef.Add(coef, new(big.Int).SetUint64(ns.betas[j-1]))
+		acc.Add(acc, new(big.Int).Mul(coef, xp))
+	}
+	return acc.Add(acc, bv), nil
+}
+
+// AffineModel is the linear relation share = A·v + B recovered by the
+// attack for one provider.
+type AffineModel struct {
+	A *big.Int
+	B *big.Int
+}
+
+// Invert recovers the secret behind a share under the model. It returns an
+// error if the share is not on the affine line (e.g. when the attack is
+// pointed at the slotted-hash scheme, whose shares are not affine in v).
+func (m AffineModel) Invert(share *big.Int) (uint64, error) {
+	diff := new(big.Int).Sub(share, m.B)
+	v, rem := new(big.Int).QuoRem(diff, m.A, new(big.Int))
+	if rem.Sign() != 0 || v.Sign() < 0 || v.BitLen() > 64 {
+		return 0, fmt.Errorf("%w: share not affine in the secret", ErrInconsistent)
+	}
+	return v.Uint64(), nil
+}
+
+// BreakNaive mounts the paper's known-plaintext attack from two (value,
+// share) pairs observed at a single provider: it solves for A and B in
+// share = A·v + B. The returned model inverts every other share the
+// provider stores. It fails (returns an error) when the two pairs are not
+// collinear with integral slope — which is exactly what happens against the
+// secure slotted-hash construction.
+func BreakNaive(v1 uint64, s1 *big.Int, v2 uint64, s2 *big.Int) (AffineModel, error) {
+	if v1 == v2 {
+		return AffineModel{}, fmt.Errorf("%w: need two distinct plaintexts", ErrBadParams)
+	}
+	if v1 > v2 {
+		v1, v2 = v2, v1
+		s1, s2 = s2, s1
+	}
+	dv := new(big.Int).SetUint64(v2 - v1)
+	ds := new(big.Int).Sub(s2, s1)
+	a, rem := new(big.Int).QuoRem(ds, dv, new(big.Int))
+	if rem.Sign() != 0 || a.Sign() <= 0 {
+		return AffineModel{}, fmt.Errorf("%w: pairs are not on an integral affine line", ErrInconsistent)
+	}
+	b := new(big.Int).Mul(a, new(big.Int).SetUint64(v1))
+	b.Sub(s1, b)
+	return AffineModel{A: a, B: b}, nil
+}

@@ -1,0 +1,204 @@
+package opp
+
+import (
+	"math/big"
+	"testing"
+)
+
+// The paper's running example of the insecure construction: fa(v)=3v+10,
+// fb(v)=v+27, fc(v)=5v+1, polynomial degree 3.
+func paperNaiveScheme(t testing.TB) *NaiveScheme {
+	t.Helper()
+	// Coefficients are listed j=1..3 as (c, b, a) powers x^1, x^2, x^3:
+	// the paper writes fa for x^3, fb for x^2, fc for x^1.
+	ns, err := NewNaiveScheme(
+		[]uint64{5, 1, 3},   // alpha_1 (x), alpha_2 (x^2), alpha_3 (x^3)
+		[]uint64{1, 27, 10}, // beta_1, beta_2, beta_3
+		[]uint64{2, 4, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ns
+}
+
+func TestNaiveSchemeValidation(t *testing.T) {
+	if _, err := NewNaiveScheme(nil, nil, []uint64{1}); err == nil {
+		t.Error("empty coefficients accepted")
+	}
+	if _, err := NewNaiveScheme([]uint64{1}, []uint64{1, 2}, []uint64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewNaiveScheme([]uint64{0}, []uint64{1}, []uint64{1}); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	if _, err := NewNaiveScheme([]uint64{1}, []uint64{1}, nil); err == nil {
+		t.Error("no eval points accepted")
+	}
+	if _, err := NewNaiveScheme([]uint64{1}, []uint64{1}, []uint64{0}); err == nil {
+		t.Error("zero eval point accepted")
+	}
+}
+
+func TestNaiveShareMatchesPaperFormula(t *testing.T) {
+	ns := paperNaiveScheme(t)
+	// The paper expands the share at x_i as
+	// (3x^3 + x^2 + 5x + 1)·v + (10x^3 + 27x^2 + x).
+	for p, x := range []uint64{2, 4, 1} {
+		a := 3*x*x*x + x*x + 5*x + 1
+		b := 10*x*x*x + 27*x*x + x
+		for _, v := range []uint64{0, 1, 17, 1000} {
+			got, err := ns.ShareAt(v, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := new(big.Int).SetUint64(a*v + b)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("provider %d v=%d: share %v, want %v", p, v, got, want)
+			}
+		}
+	}
+	if _, err := ns.ShareAt(1, 5); err == nil {
+		t.Error("bad provider accepted")
+	}
+}
+
+func TestNaiveSharePreservesOrder(t *testing.T) {
+	ns := paperNaiveScheme(t)
+	for p := 0; p < ns.N(); p++ {
+		prev, err := ns.ShareAt(0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := uint64(1); v < 100; v++ {
+			cur, err := ns.ShareAt(v, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cur.Cmp(prev) <= 0 {
+				t.Fatalf("provider %d: order violated at v=%d", p, v)
+			}
+			prev = cur
+		}
+	}
+}
+
+// The paper's attack: two known (value, share) pairs at one provider break
+// every other secret stored there.
+func TestBreakNaiveRecoversAllSecrets(t *testing.T) {
+	ns := paperNaiveScheme(t)
+	secrets := []uint64{10, 20, 40, 60, 80, 31337, 7}
+	provider := 0
+	shares := make([]*big.Int, len(secrets))
+	for i, v := range secrets {
+		sh, err := ns.ShareAt(v, provider)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares[i] = sh
+	}
+	// Adversary knows (10, share) and (20, share) — e.g. from public data.
+	model, err := BreakNaive(secrets[0], shares[0], secrets[1], shares[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range secrets {
+		got, err := model.Invert(shares[i])
+		if err != nil {
+			t.Fatalf("inverting share of %d: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("attack recovered %d, want %d", got, want)
+		}
+	}
+}
+
+func TestBreakNaiveOrderAgnostic(t *testing.T) {
+	ns := paperNaiveScheme(t)
+	s1, _ := ns.ShareAt(100, 1)
+	s2, _ := ns.ShareAt(7, 1)
+	model, err := BreakNaive(100, s1, 7, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := ns.ShareAt(55, 1)
+	got, err := model.Invert(s3)
+	if err != nil || got != 55 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+}
+
+func TestBreakNaiveRejectsSamePlaintext(t *testing.T) {
+	if _, err := BreakNaive(5, big.NewInt(1), 5, big.NewInt(2)); err == nil {
+		t.Error("identical plaintexts accepted")
+	}
+}
+
+// The attack must FAIL against the slotted-hash construction: shares are
+// not affine in v, so either the model derivation or the inversion of a
+// third share produces garbage. This is experiment E11's core assertion.
+func TestBreakFailsAgainstSlottedScheme(t *testing.T) {
+	s := testScheme(t, 1)
+	vals := []uint64{10, 20, 40, 60, 80, 5000, 123456}
+	shares := make([]*big.Int, len(vals))
+	for i, v := range vals {
+		sh, err := s.ShareAt(v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares[i] = sh.Int()
+	}
+	model, err := BreakNaive(vals[0], shares[0], vals[1], shares[1])
+	if err != nil {
+		// Non-integral slope: the attack already failed. Good.
+		return
+	}
+	recovered := 0
+	for i := 2; i < len(vals); i++ {
+		if got, err := model.Invert(shares[i]); err == nil && got == vals[i] {
+			recovered++
+		}
+	}
+	if recovered > 0 {
+		t.Fatalf("attack recovered %d of %d secrets from the slotted scheme", recovered, len(vals)-2)
+	}
+}
+
+func BenchmarkShareAt(b *testing.B) {
+	s := testScheme(b, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ShareAt(uint64(i)&0xffffffff, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructSearch(b *testing.B) {
+	s := testScheme(b, 1)
+	sh, err := s.ShareAt(123456789, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReconstructSearch(0, sh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructLagrange(b *testing.B) {
+	s := testScheme(b, 4)
+	shares, err := s.Split(123456789)
+	if err != nil {
+		b.Fatal(err)
+	}
+	providers := []int{0, 1, 2, 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReconstructLagrange(providers, shares); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

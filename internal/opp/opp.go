@@ -1,0 +1,355 @@
+// Package opp implements the paper's order-preserving polynomial share
+// construction (Sec. IV): secret values are split into shares that preserve
+// the ordering of the underlying domain, so a Database Service Provider can
+// filter range queries in share space and return *exactly* the required
+// tuples instead of the whole table.
+//
+// For a value v from the domain [0, 2^DomainBits), the sharing polynomial is
+//
+//	p_v(x) = c_d(v)·x^d + ... + c_1(v)·x + v
+//
+// where each coefficient c_j(v) is drawn from the v-th slot of a coefficient
+// domain partitioned into |DOM| equal slots:
+//
+//	c_j(v) = v · 2^SlotBits + h_j(v),   h_j(v) ∈ [0, 2^SlotBits)
+//
+// with h_j a keyed hash (HMAC-SHA256) known only to the data source. Each
+// c_j is strictly increasing in v, so for positive evaluation points
+// v1 < v2 ⇒ p_v1(x) < p_v2(x): shares preserve order. Because the slot
+// offset is pseudorandom per value, a provider that learns one (value,
+// share) pair learns nothing about the shares of other values — unlike the
+// straightforward monotone-function construction (see naive.go), which the
+// paper shows to be breakable and which this package implements together
+// with a working attack.
+//
+// Shares are fixed-width 192-bit unsigned integers serialized big-endian,
+// so share order is exactly lexicographic byte order and provider indexes
+// (B+-trees over []byte keys) stay oblivious to the construction.
+package opp
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// ShareSize is the width of an order-preserving share in bytes (192 bits).
+const ShareSize = 24
+
+// Share is an order-preserving share: a 192-bit unsigned integer in
+// big-endian byte order. Compare and bytes.Compare agree by construction.
+type Share [ShareSize]byte
+
+// Compare returns -1, 0, or +1 ordering s relative to o.
+func (s Share) Compare(o Share) int { return bytes.Compare(s[:], o[:]) }
+
+// Bytes returns the share as a byte slice (a copy).
+func (s Share) Bytes() []byte {
+	b := make([]byte, ShareSize)
+	copy(b, s[:])
+	return b
+}
+
+// ShareFromBytes parses a share from exactly ShareSize bytes.
+func ShareFromBytes(b []byte) (Share, error) {
+	var s Share
+	if len(b) != ShareSize {
+		return s, fmt.Errorf("opp: share must be %d bytes, got %d", ShareSize, len(b))
+	}
+	copy(s[:], b)
+	return s, nil
+}
+
+// Int returns the share value as a big integer.
+func (s Share) Int() *big.Int { return new(big.Int).SetBytes(s[:]) }
+
+func shareFromInt(v *big.Int) (Share, error) {
+	var s Share
+	if v.Sign() < 0 || v.BitLen() > ShareSize*8 {
+		return s, fmt.Errorf("opp: share value out of range (bitlen %d)", v.BitLen())
+	}
+	v.FillBytes(s[:])
+	return s, nil
+}
+
+// Params configures an order-preserving sharing scheme.
+type Params struct {
+	// Degree is the polynomial degree d; reconstruction by interpolation
+	// needs d+1 shares (the paper's exposition uses d = 3, k = 4).
+	Degree int
+	// DomainBits bounds secret values to [0, 2^DomainBits).
+	DomainBits uint
+	// SlotBits is the per-coefficient randomness width; larger slots give
+	// the keyed hash more room inside each slot. Defaults to 32 when zero.
+	SlotBits uint
+	// N is the number of providers.
+	N int
+}
+
+// Validation errors.
+var (
+	ErrBadParams    = errors.New("opp: invalid parameters")
+	ErrOutOfDomain  = errors.New("opp: value outside domain")
+	ErrBadProvider  = errors.New("opp: provider index out of range")
+	ErrNoPreimage   = errors.New("opp: share has no preimage in the domain")
+	ErrShortShares  = errors.New("opp: not enough shares for interpolation")
+	ErrInconsistent = errors.New("opp: shares are mutually inconsistent")
+)
+
+// Scheme derives order-preserving shares under a client master key.
+// A Scheme is immutable and safe for concurrent use.
+type Scheme struct {
+	params Params
+	key    []byte
+	// xs are the secret evaluation points, small positive integers so that
+	// shares fit in 192 bits; one per provider.
+	xs []uint64
+	// maxShare is the exclusive upper bound of any share value, used as a
+	// range-scan sentinel.
+	maxShare Share
+}
+
+const maxEvalPoint = 1 << 10 // evaluation points live in [1, 2^10]
+
+// NewScheme validates params and derives per-provider evaluation points
+// from the key. Different keys yield unrelated schemes.
+func NewScheme(p Params, key []byte) (*Scheme, error) {
+	if p.SlotBits == 0 {
+		p.SlotBits = 32
+	}
+	if p.Degree < 1 || p.Degree > 8 {
+		return nil, fmt.Errorf("%w: degree %d (want 1..8)", ErrBadParams, p.Degree)
+	}
+	if p.DomainBits < 1 || p.DomainBits > 61 {
+		return nil, fmt.Errorf("%w: domain bits %d (want 1..61)", ErrBadParams, p.DomainBits)
+	}
+	if p.SlotBits < 8 || p.SlotBits > 64 {
+		return nil, fmt.Errorf("%w: slot bits %d (want 8..64)", ErrBadParams, p.SlotBits)
+	}
+	if p.N < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadParams, p.N)
+	}
+	s := &Scheme{params: p, key: append([]byte(nil), key...)}
+	xs, err := deriveEvalPoints(key, p.N)
+	if err != nil {
+		return nil, err
+	}
+	s.xs = xs
+
+	// Verify the largest possible share fits in 192 bits: coefficients are
+	// < 2^(DomainBits+SlotBits), evaluation points <= maxEvalPoint.
+	maxCoef := new(big.Int).Lsh(big.NewInt(1), p.DomainBits+p.SlotBits)
+	x := new(big.Int).SetUint64(maxEvalPoint)
+	acc := new(big.Int).Lsh(big.NewInt(1), p.DomainBits)
+	xp := big.NewInt(1)
+	for j := 1; j <= p.Degree; j++ {
+		xp.Mul(xp, x)
+		acc.Add(acc, new(big.Int).Mul(maxCoef, xp))
+	}
+	if acc.BitLen() > ShareSize*8 {
+		return nil, fmt.Errorf("%w: shares would need %d bits (max %d); reduce degree, domain or slot bits",
+			ErrBadParams, acc.BitLen(), ShareSize*8)
+	}
+	max, err := shareFromInt(acc)
+	if err != nil {
+		return nil, err
+	}
+	s.maxShare = max
+	return s, nil
+}
+
+// deriveEvalPoints deterministically derives n distinct points in
+// [1, maxEvalPoint] from the key.
+func deriveEvalPoints(key []byte, n int) ([]uint64, error) {
+	if n > maxEvalPoint/2 {
+		return nil, fmt.Errorf("%w: n=%d exceeds evaluation point space", ErrBadParams, n)
+	}
+	xs := make([]uint64, 0, n)
+	seen := map[uint64]bool{0: true}
+	var counter uint64
+	for len(xs) < n {
+		mac := hmac.New(sha256.New, key)
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], counter)
+		counter++
+		mac.Write([]byte("sssdb/opp-eval-point"))
+		mac.Write(buf[:])
+		sum := mac.Sum(nil)
+		x := binary.BigEndian.Uint64(sum[:8])%maxEvalPoint + 1
+		if !seen[x] {
+			seen[x] = true
+			xs = append(xs, x)
+		}
+	}
+	return xs, nil
+}
+
+// Params returns a copy of the scheme parameters.
+func (s *Scheme) Params() Params { return s.params }
+
+// N returns the number of providers.
+func (s *Scheme) N() int { return s.params.N }
+
+// DomainMax returns the largest representable value, 2^DomainBits - 1.
+func (s *Scheme) DomainMax() uint64 {
+	return uint64(1)<<s.params.DomainBits - 1
+}
+
+// MaxShare returns an exclusive upper bound for all shares of this scheme,
+// usable as a +∞ sentinel in range scans.
+func (s *Scheme) MaxShare() Share { return s.maxShare }
+
+// EvalPoint exposes provider i's secret evaluation point; it is needed by
+// the client for Lagrange reconstruction and must not be shipped to
+// providers.
+func (s *Scheme) EvalPoint(i int) (uint64, error) {
+	if i < 0 || i >= len(s.xs) {
+		return 0, fmt.Errorf("%w: %d", ErrBadProvider, i)
+	}
+	return s.xs[i], nil
+}
+
+// coefficient returns c_j(v) = v·2^SlotBits + h_j(v) for j in [1, Degree].
+func (s *Scheme) coefficient(j int, v uint64) *big.Int {
+	mac := hmac.New(sha256.New, s.key)
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(j))
+	binary.BigEndian.PutUint64(buf[8:], v)
+	mac.Write([]byte("sssdb/opp-coefficient"))
+	mac.Write(buf[:])
+	sum := mac.Sum(nil)
+	var offset uint64
+	if s.params.SlotBits == 64 {
+		offset = binary.BigEndian.Uint64(sum[:8])
+	} else {
+		offset = binary.BigEndian.Uint64(sum[:8]) & (uint64(1)<<s.params.SlotBits - 1)
+	}
+	c := new(big.Int).SetUint64(v)
+	c.Lsh(c, s.params.SlotBits)
+	return c.Add(c, new(big.Int).SetUint64(offset))
+}
+
+// shareInt computes p_v(x) as a big integer.
+func (s *Scheme) shareInt(v, x uint64) *big.Int {
+	// Horner over coefficients c_d .. c_1, constant term v.
+	acc := s.coefficient(s.params.Degree, v)
+	bx := new(big.Int).SetUint64(x)
+	for j := s.params.Degree - 1; j >= 1; j-- {
+		acc.Mul(acc, bx)
+		acc.Add(acc, s.coefficient(j, v))
+	}
+	acc.Mul(acc, bx)
+	return acc.Add(acc, new(big.Int).SetUint64(v))
+}
+
+// ShareAt computes provider i's order-preserving share of v. It is
+// deterministic: the same (v, i) always yields the same share, which is what
+// allows the client to rewrite queries (paper Sec. V-A) without storing the
+// polynomials — they are regenerated as part of front-end query processing.
+func (s *Scheme) ShareAt(v uint64, provider int) (Share, error) {
+	if v > s.DomainMax() {
+		return Share{}, fmt.Errorf("%w: %d > %d", ErrOutOfDomain, v, s.DomainMax())
+	}
+	if provider < 0 || provider >= len(s.xs) {
+		return Share{}, fmt.Errorf("%w: %d", ErrBadProvider, provider)
+	}
+	return shareFromInt(s.shareInt(v, s.xs[provider]))
+}
+
+// Split computes all n providers' shares of v.
+func (s *Scheme) Split(v uint64) ([]Share, error) {
+	out := make([]Share, len(s.xs))
+	for i := range s.xs {
+		sh, err := s.ShareAt(v, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sh
+	}
+	return out, nil
+}
+
+// ReconstructSearch inverts a single provider's share by binary search over
+// the domain, exploiting strict monotonicity of ShareAt in v. It needs only
+// one share (plus the client key), runs in O(DomainBits) hash evaluations,
+// and is the fast path for decoding rows returned by range scans.
+func (s *Scheme) ReconstructSearch(provider int, sh Share) (uint64, error) {
+	if provider < 0 || provider >= len(s.xs) {
+		return 0, fmt.Errorf("%w: %d", ErrBadProvider, provider)
+	}
+	target := sh.Int()
+	x := s.xs[provider]
+	lo, hi := uint64(0), s.DomainMax()
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		switch s.shareInt(mid, x).Cmp(target) {
+		case 0:
+			return mid, nil
+		case -1:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	if s.shareInt(lo, x).Cmp(target) == 0 {
+		return lo, nil
+	}
+	return 0, ErrNoPreimage
+}
+
+// ReconstructLagrange recovers v from Degree+1 shares by exact rational
+// Lagrange interpolation at x = 0. This is the reconstruction method of the
+// paper's exposition; ReconstructSearch is the cheaper alternative enabled
+// by deterministic coefficient derivation. The two must always agree — the
+// verification layer cross-checks them.
+func (s *Scheme) ReconstructLagrange(providers []int, shares []Share) (uint64, error) {
+	k := s.params.Degree + 1
+	if len(providers) != len(shares) {
+		return 0, fmt.Errorf("opp: %d providers for %d shares", len(providers), len(shares))
+	}
+	if len(shares) < k {
+		return 0, fmt.Errorf("%w: have %d, need %d", ErrShortShares, len(shares), k)
+	}
+	providers = providers[:k]
+	shares = shares[:k]
+	seen := make(map[int]bool, k)
+	for _, p := range providers {
+		if p < 0 || p >= len(s.xs) {
+			return 0, fmt.Errorf("%w: %d", ErrBadProvider, p)
+		}
+		if seen[p] {
+			return 0, fmt.Errorf("opp: duplicate provider %d", p)
+		}
+		seen[p] = true
+	}
+	// v = Σ_i y_i Π_{j≠i} x_j / (x_j - x_i), exact over the rationals.
+	sum := new(big.Rat)
+	for i, pi := range providers {
+		xi := new(big.Int).SetUint64(s.xs[pi])
+		num := big.NewInt(1)
+		den := big.NewInt(1)
+		for j, pj := range providers {
+			if j == i {
+				continue
+			}
+			xj := new(big.Int).SetUint64(s.xs[pj])
+			num.Mul(num, xj)
+			den.Mul(den, new(big.Int).Sub(xj, xi))
+		}
+		term := new(big.Rat).SetInt(shares[i].Int())
+		term.Mul(term, new(big.Rat).SetFrac(num, den))
+		sum.Add(sum, term)
+	}
+	if !sum.IsInt() || sum.Sign() < 0 {
+		return 0, fmt.Errorf("%w: interpolated %s", ErrInconsistent, sum.RatString())
+	}
+	v := sum.Num()
+	if v.BitLen() > 64 || v.Uint64() > s.DomainMax() {
+		return 0, fmt.Errorf("%w: interpolated value outside domain", ErrInconsistent)
+	}
+	return v.Uint64(), nil
+}

@@ -1,0 +1,285 @@
+// Package pir implements the private information retrieval protocols the
+// paper surveys (Sec. II-B): the trivial protocol (ship the database), the
+// information-theoretic multi-server subcube family (2 servers at O(√N),
+// 2^d servers at O(d·N^(1/d)) — the replication route to sub-linear
+// communication the paper cites from Chor et al.), and the
+// Kushilevitz–Ostrovsky computational PIR built on quadratic residuosity
+// (qr.go), which reproduces Sion & Carbunar's finding that cPIR is slower
+// than shipping the whole database.
+//
+// All protocols retrieve record i from a replicated database of N
+// fixed-size records without any single server (or non-colluding coalition,
+// for the multi-server schemes) learning i. Every query and answer is
+// materialized as bytes so communication accounting is exact.
+package pir
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Errors.
+var (
+	ErrBadIndex   = errors.New("pir: record index out of range")
+	ErrBadRecords = errors.New("pir: invalid record set")
+)
+
+// Database is the replicated store: N records of equal size.
+type Database struct {
+	records    [][]byte
+	recordSize int
+}
+
+// NewDatabase validates and wraps a record set. All records must have the
+// same non-zero length.
+func NewDatabase(records [][]byte) (*Database, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrBadRecords)
+	}
+	size := len(records[0])
+	if size == 0 {
+		return nil, fmt.Errorf("%w: zero-length records", ErrBadRecords)
+	}
+	for i, r := range records {
+		if len(r) != size {
+			return nil, fmt.Errorf("%w: record %d has %d bytes, want %d", ErrBadRecords, i, len(r), size)
+		}
+	}
+	return &Database{records: records, recordSize: size}, nil
+}
+
+// Len returns the number of records.
+func (db *Database) Len() int { return len(db.records) }
+
+// RecordSize returns the per-record width in bytes.
+func (db *Database) RecordSize() int { return db.recordSize }
+
+// Record exposes a record for test oracles.
+func (db *Database) Record(i int) []byte { return db.records[i] }
+
+// Stats accounts one retrieval's communication.
+type Stats struct {
+	// Upload is the total query bytes sent to all servers.
+	Upload int
+	// Download is the total answer bytes received from all servers.
+	Download int
+	// Servers is the number of (non-colluding) servers involved.
+	Servers int
+}
+
+// Total is upload + download.
+func (s Stats) Total() int { return s.Upload + s.Download }
+
+// Trivial retrieves record i by downloading the entire database — the
+// baseline every PIR scheme must beat, and per Sion–Carbunar the one cPIR
+// does not.
+func Trivial(db *Database, i int) ([]byte, Stats, error) {
+	if i < 0 || i >= db.Len() {
+		return nil, Stats{}, fmt.Errorf("%w: %d", ErrBadIndex, i)
+	}
+	stats := Stats{
+		Upload:   1, // a single "send me everything" byte
+		Download: db.Len() * db.recordSize,
+		Servers:  1,
+	}
+	out := append([]byte(nil), db.records[i]...)
+	return out, stats, nil
+}
+
+// bitVector is a packed bit set used as a PIR query.
+type bitVector []byte
+
+func newBitVector(n int) bitVector { return make(bitVector, (n+7)/8) }
+
+func (b bitVector) get(i int) bool { return b[i/8]&(1<<(i%8)) != 0 }
+func (b bitVector) flip(i int)     { b[i/8] ^= 1 << (i % 8) }
+
+func randomBits(n int, rnd io.Reader) (bitVector, error) {
+	b := newBitVector(n)
+	if _, err := io.ReadFull(rnd, b); err != nil {
+		return nil, err
+	}
+	// Mask unused tail bits for clean serialization.
+	if n%8 != 0 {
+		b[len(b)-1] &= byte(1<<(n%8)) - 1
+	}
+	return b, nil
+}
+
+// xorInto accumulates src into dst.
+func xorInto(dst, src []byte) {
+	for i := range src {
+		dst[i] ^= src[i]
+	}
+}
+
+// TwoServerMatrix runs the classic √N two-server scheme: the database is a
+// rows×cols grid of records; each server receives a row-selection bit
+// vector (the vectors differ exactly in the target row) and returns the
+// XOR of its selected grid rows. The client XORs the two answers to obtain
+// the target row and picks the target column. Each query is √N bits and
+// each answer √N records, so communication is O(√N) versus the trivial
+// O(N) — the paper's "replicate the database at several servers" route.
+func TwoServerMatrix(db *Database, i int, rnd io.Reader) ([]byte, Stats, error) {
+	if i < 0 || i >= db.Len() {
+		return nil, Stats{}, fmt.Errorf("%w: %d", ErrBadIndex, i)
+	}
+	n := db.Len()
+	cols := intSqrtCeil(n)
+	rows := (n + cols - 1) / cols
+	targetRow, targetCol := i/cols, i%cols
+
+	q1, err := randomBits(rows, rnd)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	q2 := append(bitVector(nil), q1...)
+	q2.flip(targetRow)
+
+	answer := func(q bitVector) []byte {
+		// The "server": XOR of all selected grid rows.
+		acc := make([]byte, cols*db.recordSize)
+		for r := 0; r < rows; r++ {
+			if !q.get(r) {
+				continue
+			}
+			for c := 0; c < cols; c++ {
+				idx := r*cols + c
+				if idx >= n {
+					break
+				}
+				xorInto(acc[c*db.recordSize:(c+1)*db.recordSize], db.records[idx])
+			}
+		}
+		return acc
+	}
+	a1 := answer(q1)
+	a2 := answer(q2)
+	xorInto(a1, a2)
+	rec := a1[targetCol*db.recordSize : (targetCol+1)*db.recordSize]
+	stats := Stats{
+		Upload:   len(q1) + len(q2),
+		Download: 2 * cols * db.recordSize,
+		Servers:  2,
+	}
+	return append([]byte(nil), rec...), stats, nil
+}
+
+// Subcube runs the d-dimensional subcube scheme with 2^d servers: the
+// database is a d-dimensional grid with side ~N^(1/d); the client samples a
+// random subset per dimension and sends each of the 2^d servers one
+// combination of the subsets with/without the target coordinate toggled.
+// Each server returns the XOR of the records in the product of its subsets
+// (one record width); XOR of all 2^d answers isolates the target. Upload is
+// d·N^(1/d) bits per server, download one record per server:
+// communication O(2^d · d · N^(1/d)).
+func Subcube(db *Database, d, i int, rnd io.Reader) ([]byte, Stats, error) {
+	if d < 1 || d > 4 {
+		return nil, Stats{}, fmt.Errorf("%w: dimension %d (want 1..4)", ErrBadRecords, d)
+	}
+	if i < 0 || i >= db.Len() {
+		return nil, Stats{}, fmt.Errorf("%w: %d", ErrBadIndex, i)
+	}
+	n := db.Len()
+	side := intRootCeil(n, d)
+	// Coordinates of the target in the d-cube.
+	coords := make([]int, d)
+	rest := i
+	for axis := d - 1; axis >= 0; axis-- {
+		coords[axis] = rest % side
+		rest /= side
+	}
+	// Base subsets S_1..S_d and their toggled variants.
+	base := make([]bitVector, d)
+	toggled := make([]bitVector, d)
+	for axis := 0; axis < d; axis++ {
+		s, err := randomBits(side, rnd)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		base[axis] = s
+		tv := append(bitVector(nil), s...)
+		tv.flip(coords[axis])
+		toggled[axis] = tv
+	}
+	// Each server j in {0,1}^d evaluates the XOR over the subset product.
+	result := make([]byte, db.recordSize)
+	upload := 0
+	for j := 0; j < 1<<d; j++ {
+		sets := make([]bitVector, d)
+		for axis := 0; axis < d; axis++ {
+			if j&(1<<axis) != 0 {
+				sets[axis] = toggled[axis]
+			} else {
+				sets[axis] = base[axis]
+			}
+			upload += len(sets[axis])
+		}
+		answer := subcubeAnswer(db, side, sets)
+		xorInto(result, answer)
+	}
+	stats := Stats{
+		Upload:   upload,
+		Download: (1 << d) * db.recordSize,
+		Servers:  1 << d,
+	}
+	return result, stats, nil
+}
+
+// subcubeAnswer is the server side: XOR of records whose coordinates lie in
+// every dimension's subset.
+func subcubeAnswer(db *Database, side int, sets []bitVector) []byte {
+	d := len(sets)
+	acc := make([]byte, db.recordSize)
+	coords := make([]int, d)
+	var walk func(axis, index int)
+	walk = func(axis, index int) {
+		if axis == d {
+			if index < db.Len() {
+				xorInto(acc, db.records[index])
+			}
+			return
+		}
+		for c := 0; c < side; c++ {
+			if !sets[axis].get(c) {
+				continue
+			}
+			coords[axis] = c
+			walk(axis+1, index*side+c)
+		}
+	}
+	walk(0, 0)
+	return acc
+}
+
+// intSqrtCeil returns ceil(sqrt(n)).
+func intSqrtCeil(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}
+
+// intRootCeil returns the smallest s with s^d >= n.
+func intRootCeil(n, d int) int {
+	s := 1
+	for pow(s, d) < n {
+		s++
+	}
+	return s
+}
+
+func pow(s, d int) int {
+	p := 1
+	for i := 0; i < d; i++ {
+		p *= s
+	}
+	return p
+}
+
+// Equal reports whether a retrieved record matches the expected one; a
+// helper for experiment harnesses.
+func Equal(a, b []byte) bool { return bytes.Equal(a, b) }

@@ -1,0 +1,195 @@
+package pir
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// QRScheme is the Kushilevitz–Ostrovsky single-server computational PIR
+// based on quadratic residuosity. The database is viewed as an s×t bit
+// matrix. The client sends one group element per column — a quadratic
+// residue for every column except the target, where it sends a
+// pseudo-residue (Jacobi symbol +1 but a non-residue). The server answers
+// with one group element per row: the product of the query elements at the
+// row's set bits. The answer for the target row is a non-residue iff the
+// target bit is 1, which only the client (holding the factorization) can
+// test.
+//
+// The server performs Θ(N) modular multiplications per query — the
+// computational cost on which Sion & Carbunar base their conclusion that
+// cPIR loses to the trivial protocol (experiment E5).
+type QRScheme struct {
+	p, q *big.Int // private factorization
+	n    *big.Int // public modulus
+	bits int
+}
+
+// NewQRScheme generates a modulus of the given bit size (the client's key
+// material). 512 bits keeps tests fast; real deployments would use 2048+.
+func NewQRScheme(modulusBits int, rnd io.Reader) (*QRScheme, error) {
+	if modulusBits < 64 || modulusBits > 4096 {
+		return nil, fmt.Errorf("%w: modulus bits %d", ErrBadRecords, modulusBits)
+	}
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	p, err := rand.Prime(rnd, modulusBits/2)
+	if err != nil {
+		return nil, err
+	}
+	q, err := rand.Prime(rnd, modulusBits/2)
+	if err != nil {
+		return nil, err
+	}
+	return &QRScheme{p: p, q: q, n: new(big.Int).Mul(p, q), bits: modulusBits}, nil
+}
+
+// legendre computes the Legendre symbol (a/p) for odd prime p via Euler's
+// criterion; returns 1, -1, or 0.
+func legendre(a, p *big.Int) int {
+	e := new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(1)), 1)
+	r := new(big.Int).Exp(new(big.Int).Mod(a, p), e, p)
+	switch {
+	case r.Sign() == 0:
+		return 0
+	case r.Cmp(big.NewInt(1)) == 0:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// isQR reports whether a is a quadratic residue mod n (client-side test
+// using the factorization).
+func (s *QRScheme) isQR(a *big.Int) bool {
+	return legendre(a, s.p) == 1 && legendre(a, s.q) == 1
+}
+
+// sample draws a random element with the requested residuosity but always
+// Jacobi symbol +1, so the server cannot tell the difference.
+func (s *QRScheme) sample(wantQR bool, rnd io.Reader) (*big.Int, error) {
+	for {
+		x, err := rand.Int(rnd, s.n)
+		if err != nil {
+			return nil, err
+		}
+		if x.Sign() == 0 {
+			continue
+		}
+		lp, lq := legendre(x, s.p), legendre(x, s.q)
+		if lp == 0 || lq == 0 {
+			continue
+		}
+		if wantQR && lp == 1 && lq == 1 {
+			return x, nil
+		}
+		if !wantQR && lp == -1 && lq == -1 {
+			return x, nil
+		}
+	}
+}
+
+// RetrieveBit privately retrieves bit i of a database of N bits, returning
+// the bit, the communication stats, and the number of server-side modular
+// multiplications (the compute cost driver).
+func (s *QRScheme) RetrieveBit(bits []byte, totalBits, i int, rnd io.Reader) (bool, Stats, int, error) {
+	if i < 0 || i >= totalBits {
+		return false, Stats{}, 0, fmt.Errorf("%w: %d", ErrBadIndex, i)
+	}
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	cols := intSqrtCeil(totalBits)
+	rows := (totalBits + cols - 1) / cols
+	tRow, tCol := i/cols, i%cols
+
+	// Client query: one element per column.
+	query := make([]*big.Int, cols)
+	for c := 0; c < cols; c++ {
+		x, err := s.sample(c != tCol, rnd)
+		if err != nil {
+			return false, Stats{}, 0, err
+		}
+		query[c] = x
+	}
+	// Server: per row, multiply the query elements at set bits. Squaring
+	// the element at clear bits keeps the work data-independent (as the
+	// original scheme does by multiplying z^2 vs z^2·x) — we follow the
+	// standard formulation: z_r = Π_c w_{r,c}, where w = x_c^2 when the bit
+	// is 0 and x_c when it is 1... using x_c vs x_c^2 preserves residuosity
+	// of the product exactly when an odd number of non-residues enter; only
+	// the target column's element is a non-residue, so z_{tRow} is a
+	// non-residue iff bit(tRow, tCol) = 1.
+	answers := make([]*big.Int, rows)
+	mulCount := 0
+	sq := new(big.Int)
+	for r := 0; r < rows; r++ {
+		acc := big.NewInt(1)
+		for c := 0; c < cols; c++ {
+			idx := r*cols + c
+			bit := idx < totalBits && bits[idx/8]&(1<<(idx%8)) != 0
+			w := query[c]
+			if !bit {
+				// x² is a residue whatever x is, so 0-bits never flip the
+				// product's residuosity.
+				sq.Mul(w, w)
+				sq.Mod(sq, s.n)
+				w = sq
+				mulCount++
+			}
+			acc.Mul(acc, w)
+			acc.Mod(acc, s.n)
+			mulCount++
+		}
+		answers[r] = acc
+	}
+	// Client decodes: the target row's answer is a QR iff the bit is 0.
+	bit := !s.isQR(answers[tRow])
+	elem := (s.bits + 7) / 8
+	stats := Stats{
+		Upload:   cols * elem,
+		Download: rows * elem,
+		Servers:  1,
+	}
+	return bit, stats, mulCount, nil
+}
+
+// RetrieveRecord retrieves a whole record by running RetrieveBit per bit of
+// the record column-block. It exists to give E5 a record-level cost figure;
+// the per-bit loop is exactly why cPIR's compute cost explodes.
+func (s *QRScheme) RetrieveRecord(db *Database, i int, rnd io.Reader) ([]byte, Stats, int, error) {
+	if i < 0 || i >= db.Len() {
+		return nil, Stats{}, 0, fmt.Errorf("%w: %d", ErrBadIndex, i)
+	}
+	// Flatten the database to bits, record-major.
+	recBits := db.recordSize * 8
+	totalBits := db.Len() * recBits
+	flat := make([]byte, (totalBits+7)/8)
+	for r, rec := range db.records {
+		for b := 0; b < recBits; b++ {
+			if rec[b/8]&(1<<(b%8)) != 0 {
+				idx := r*recBits + b
+				flat[idx/8] |= 1 << (idx % 8)
+			}
+		}
+	}
+	out := make([]byte, db.recordSize)
+	var total Stats
+	muls := 0
+	for b := 0; b < recBits; b++ {
+		bit, st, m, err := s.RetrieveBit(flat, totalBits, i*recBits+b, rnd)
+		if err != nil {
+			return nil, Stats{}, 0, err
+		}
+		if bit {
+			out[b/8] |= 1 << (b % 8)
+		}
+		total.Upload += st.Upload
+		total.Download += st.Download
+		muls += m
+	}
+	total.Servers = 1
+	return out, total, muls, nil
+}

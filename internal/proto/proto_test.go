@@ -1,0 +1,245 @@
+package proto
+
+import (
+	"errors"
+	mrand "math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// allMessages returns one populated instance of every message type.
+func allMessages() []Message {
+	spec := TableSpec{
+		Name: "employees",
+		Columns: []ColumnSpec{
+			{Name: "salary#o", Kind: KindOPP, Indexed: true},
+			{Name: "salary#f", Kind: KindField},
+			{Name: "note", Kind: KindPlain, Indexed: false},
+		},
+	}
+	rows := []Row{
+		{ID: 1, Cells: [][]byte{{1, 2, 3}, {4}, nil}},
+		{ID: 2, Cells: [][]byte{{9}, {8, 7}, []byte("public")}},
+	}
+	filter := &Filter{Col: "salary#o", Op: FilterRange, Lo: []byte{1}, Hi: []byte{2, 2}}
+	return []Message{
+		&PingRequest{},
+		&CreateTableRequest{Spec: spec},
+		&DropTableRequest{Table: "employees"},
+		&ListTablesRequest{},
+		&InsertRequest{Table: "employees", Rows: rows},
+		&DeleteRequest{Table: "employees", RowIDs: []uint64{1, 99, 1 << 60}},
+		&UpdateRequest{Table: "employees", Rows: rows[:1]},
+		&ScanRequest{Table: "employees", Filter: filter, Projection: []string{"salary#f"}, Limit: 10, WithProof: true},
+		&ScanRequest{Table: "employees"},
+		&AggregateRequest{Table: "employees", Op: AggMedian, OrderCol: "salary#o", ValueCol: "salary#f", Filter: filter},
+		&AggregateRequest{Table: "employees", Op: AggSum, ValueCol: "salary#f", GroupCol: "dept#o"},
+		&GroupResult{Groups: []GroupPartial{
+			{Key: []byte{1, 2}, Count: 3, Sum: 999},
+			{Key: []byte{9}, Count: 1, Sum: 0},
+		}},
+		&GroupResult{},
+		&JoinRequest{
+			LeftTable: "employees", LeftCol: "eid#o",
+			RightTable: "managers", RightCol: "eid#o",
+			LeftProj: []string{"salary#f"}, RightProj: []string{"mid#f"},
+			Filter: &Filter{Col: "dept#o", Op: FilterEq, Lo: []byte{7}},
+		},
+		&DigestRequest{Table: "employees", Col: "salary#o"},
+		&OKResponse{Affected: 42},
+		&ErrorResponse{Code: CodeNoSuchTable, Msg: "employees"},
+		&RowsResponse{Columns: []string{"a", "b", "c"}, Rows: rows, Proof: []byte{0xde, 0xad}},
+		&RowsResponse{},
+		&AggResult{Count: 7, Sum: 123456, HasRow: true, Row: rows[0]},
+		&AggResult{Count: 0},
+		&JoinResult{
+			Columns: []string{"salary#f", "mid#f"},
+			Rows: []JoinedRow{
+				{LeftID: 1, RightID: 2, Cells: [][]byte{{1}, {2}}},
+				{LeftID: 3, RightID: 4},
+			},
+		},
+		&DigestResult{Root: []byte{1, 2, 3, 4}, Count: 1000},
+		&TablesResponse{Specs: []TableSpec{spec}},
+		&TablesResponse{},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, m := range allMessages() {
+		buf := Encode(m)
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%T round trip mismatch:\n  sent %#v\n  got  %#v", m, m, got)
+		}
+	}
+}
+
+func TestDecodeRejectsEmptyAndUnknown(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Decode([]byte{0xff}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Decode([]byte{0}); err == nil {
+		t.Error("kind 0 accepted")
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	buf := Encode(&OKResponse{Affected: 1})
+	buf = append(buf, 0xaa)
+	if _, err := Decode(buf); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// Every truncation of every message must fail cleanly, never panic, never
+// succeed (except prefix-complete messages, which cannot occur because
+// Decode demands full consumption).
+func TestDecodeTruncationsNeverPanic(t *testing.T) {
+	for _, m := range allMessages() {
+		buf := Encode(m)
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := Decode(buf[:cut]); err == nil {
+				// A shorter valid encoding would mean ambiguous framing.
+				t.Errorf("%T: truncation to %d bytes decoded successfully", m, cut)
+			}
+		}
+	}
+}
+
+// Random mutations must never panic (error or mis-decode are both
+// acceptable; the transport adds CRC, this is defense in depth).
+func TestDecodeRandomCorruptionNeverPanics(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(11))
+	for _, m := range allMessages() {
+		orig := Encode(m)
+		for trial := 0; trial < 200; trial++ {
+			buf := append([]byte(nil), orig...)
+			for flips := 0; flips < 1+rng.Intn(4); flips++ {
+				buf[rng.Intn(len(buf))] ^= byte(1 + rng.Intn(255))
+			}
+			_, _ = Decode(buf) // must not panic
+		}
+	}
+}
+
+func TestTableSpecValidate(t *testing.T) {
+	good := TableSpec{Name: "t", Columns: []ColumnSpec{{Name: "a", Kind: KindOPP, Indexed: true}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+	cases := []TableSpec{
+		{Name: "", Columns: []ColumnSpec{{Name: "a", Kind: KindOPP}}},
+		{Name: "t"},
+		{Name: "t", Columns: []ColumnSpec{{Name: "", Kind: KindOPP}}},
+		{Name: "t", Columns: []ColumnSpec{{Name: "a", Kind: KindOPP}, {Name: "a", Kind: KindPlain}}},
+		{Name: "t", Columns: []ColumnSpec{{Name: "a", Kind: 0}}},
+		{Name: "t", Columns: []ColumnSpec{{Name: "a", Kind: KindField, Indexed: true}}},
+	}
+	for i, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	spec := TableSpec{Name: "t", Columns: []ColumnSpec{
+		{Name: "a", Kind: KindOPP}, {Name: "b", Kind: KindField},
+	}}
+	if got := spec.ColumnIndex("b"); got != 1 {
+		t.Errorf("ColumnIndex(b) = %d", got)
+	}
+	if got := spec.ColumnIndex("zz"); got != -1 {
+		t.Errorf("ColumnIndex(zz) = %d", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if KindOPP.String() != "opp" || KindField.String() != "field" || KindPlain.String() != "plain" {
+		t.Error("ColKind strings wrong")
+	}
+	if !strings.Contains(ColKind(9).String(), "9") {
+		t.Error("unknown ColKind string")
+	}
+	if FilterEq.String() != "eq" || FilterRange.String() != "range" {
+		t.Error("FilterOp strings wrong")
+	}
+	if !strings.Contains(FilterOp(9).String(), "9") {
+		t.Error("unknown FilterOp string")
+	}
+	for op, want := range map[AggOp]string{
+		AggCount: "count", AggSum: "sum", AggMin: "min", AggMax: "max", AggMedian: "median",
+	} {
+		if op.String() != want {
+			t.Errorf("AggOp %d = %q", op, op.String())
+		}
+	}
+	if !strings.Contains(AggOp(99).String(), "99") {
+		t.Error("unknown AggOp string")
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	e := &RemoteError{Code: CodeNoSuchTable, Msg: "employees"}
+	if !strings.Contains(e.Error(), "no such table") || !strings.Contains(e.Error(), "employees") {
+		t.Errorf("error text: %q", e.Error())
+	}
+	var codes []ErrorCode
+	for c := CodeUnknown; c <= CodeInternal; c++ {
+		codes = append(codes, c)
+	}
+	for _, c := range codes {
+		if c.String() == "" {
+			t.Errorf("code %d has empty string", c)
+		}
+	}
+}
+
+func TestEncodeSizeAccounting(t *testing.T) {
+	// An insert of 1000 rows with one 24-byte OPP cell and one 8-byte field
+	// cell should be close to the raw payload size — the protocol must not
+	// bloat communication-cost measurements.
+	rows := make([]Row, 1000)
+	for i := range rows {
+		rows[i] = Row{ID: uint64(i), Cells: [][]byte{make([]byte, 24), make([]byte, 8)}}
+	}
+	buf := Encode(&InsertRequest{Table: "t", Rows: rows})
+	payload := 1000 * (24 + 8)
+	if len(buf) > payload+payload/4+64 {
+		t.Errorf("encoded %d bytes for %d payload bytes (overhead too high)", len(buf), payload)
+	}
+}
+
+func BenchmarkEncodeInsert1000(b *testing.B) {
+	rows := make([]Row, 1000)
+	for i := range rows {
+		rows[i] = Row{ID: uint64(i), Cells: [][]byte{make([]byte, 24), make([]byte, 8)}}
+	}
+	msg := &InsertRequest{Table: "t", Rows: rows}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(msg)
+	}
+}
+
+func BenchmarkDecodeInsert1000(b *testing.B) {
+	rows := make([]Row, 1000)
+	for i := range rows {
+		rows[i] = Row{ID: uint64(i), Cells: [][]byte{make([]byte, 24), make([]byte, 8)}}
+	}
+	buf := Encode(&InsertRequest{Table: "t", Rows: rows})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package proto defines the wire protocol between the data source (client)
+// and the Database Service Providers, with a hand-rolled binary codec so
+// every experiment can account for communication cost byte-for-byte — the
+// axis on which the paper compares secret sharing against encryption and
+// PIR against trivial download.
+//
+// Providers operate purely in share space: they see 24-byte order-preserving
+// shares, 8-byte field shares, and opaque plaintext cells (public data),
+// never client values. Column naming conventions (the "#o"/"#f" twin
+// columns for each client column) live in the client; the protocol only
+// knows column kinds.
+package proto
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ColKind describes what a provider-side column holds.
+type ColKind uint8
+
+const (
+	// KindOPP is a 24-byte order-preserving share (filterable, orderable).
+	KindOPP ColKind = 1
+	// KindField is an 8-byte GF(2^61-1) Shamir share (summable).
+	KindField ColKind = 2
+	// KindPlain is an opaque plaintext byte string (public data columns).
+	KindPlain ColKind = 3
+)
+
+func (k ColKind) String() string {
+	switch k {
+	case KindOPP:
+		return "opp"
+	case KindField:
+		return "field"
+	case KindPlain:
+		return "plain"
+	default:
+		return fmt.Sprintf("ColKind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is a known kind.
+func (k ColKind) Valid() bool { return k >= KindOPP && k <= KindPlain }
+
+// ColumnSpec declares one provider-side column.
+type ColumnSpec struct {
+	Name string
+	Kind ColKind
+	// Indexed requests a B+-tree index over the column's cell bytes.
+	// Only OPP and Plain columns can be indexed.
+	Indexed bool
+}
+
+// TableSpec declares a provider-side table.
+type TableSpec struct {
+	Name    string
+	Columns []ColumnSpec
+}
+
+// ColumnIndex returns the position of the named column or -1.
+func (t *TableSpec) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural sanity of a spec.
+func (t *TableSpec) Validate() error {
+	if t.Name == "" {
+		return errors.New("proto: empty table name")
+	}
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("proto: table %q has no columns", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Columns))
+	for _, c := range t.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("proto: table %q has an unnamed column", t.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("proto: table %q: duplicate column %q", t.Name, c.Name)
+		}
+		seen[c.Name] = true
+		if !c.Kind.Valid() {
+			return fmt.Errorf("proto: table %q column %q: bad kind %d", t.Name, c.Name, c.Kind)
+		}
+		if c.Indexed && c.Kind == KindField {
+			return fmt.Errorf("proto: table %q column %q: field shares cannot be indexed", t.Name, c.Name)
+		}
+	}
+	return nil
+}
+
+// Row is one table row: a client-assigned id (identical across providers,
+// which is what lets the client zip shares back together) and one cell per
+// column in spec order.
+type Row struct {
+	ID    uint64
+	Cells [][]byte
+}
+
+// FilterOp selects the comparison a provider applies in share space.
+type FilterOp uint8
+
+const (
+	// FilterEq matches cells exactly equal to Lo.
+	FilterEq FilterOp = 1
+	// FilterRange matches cells in the inclusive interval [Lo, Hi].
+	FilterRange FilterOp = 2
+)
+
+func (op FilterOp) String() string {
+	switch op {
+	case FilterEq:
+		return "eq"
+	case FilterRange:
+		return "range"
+	default:
+		return fmt.Sprintf("FilterOp(%d)", uint8(op))
+	}
+}
+
+// Filter is a share-space predicate on a single column. The provider never
+// learns what client-side values the bounds encode.
+type Filter struct {
+	Col string
+	Op  FilterOp
+	Lo  []byte
+	Hi  []byte // used by FilterRange only
+}
+
+// AggOp is a provider-side partial aggregation operator.
+type AggOp uint8
+
+const (
+	// AggCount returns the number of matching rows.
+	AggCount AggOp = 1
+	// AggSum returns the field-share sum of ValueCol over matching rows;
+	// by share linearity the client interpolates the true sum from k
+	// provider partial sums.
+	AggSum AggOp = 2
+	// AggMin returns the matching row minimizing OrderCol.
+	AggMin AggOp = 3
+	// AggMax returns the matching row maximizing OrderCol.
+	AggMax AggOp = 4
+	// AggMedian returns the matching row at the lower-median position of
+	// OrderCol. Order preservation makes this the same logical row at every
+	// provider.
+	AggMedian AggOp = 5
+)
+
+func (op AggOp) String() string {
+	switch op {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggMedian:
+		return "median"
+	default:
+		return fmt.Sprintf("AggOp(%d)", uint8(op))
+	}
+}
+
+// ErrorCode classifies provider-side failures.
+type ErrorCode uint16
+
+const (
+	CodeUnknown ErrorCode = iota
+	CodeNoSuchTable
+	CodeTableExists
+	CodeNoSuchColumn
+	CodeBadRequest
+	CodeDuplicateRow
+	CodeNoSuchRow
+	CodeInternal
+)
+
+func (c ErrorCode) String() string {
+	switch c {
+	case CodeNoSuchTable:
+		return "no such table"
+	case CodeTableExists:
+		return "table exists"
+	case CodeNoSuchColumn:
+		return "no such column"
+	case CodeBadRequest:
+		return "bad request"
+	case CodeDuplicateRow:
+		return "duplicate row id"
+	case CodeNoSuchRow:
+		return "no such row id"
+	case CodeInternal:
+		return "internal error"
+	default:
+		return "unknown error"
+	}
+}
+
+// RemoteError is a provider failure surfaced to the client.
+type RemoteError struct {
+	Code ErrorCode
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("provider: %s: %s", e.Code, e.Msg)
+}

@@ -1,0 +1,182 @@
+package psi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+)
+
+// corpus builds two document sets with a known overlap.
+func corpus(aSize, bSize, overlap int) (a, b [][]byte, wantIdx []int) {
+	for i := 0; i < aSize; i++ {
+		a = append(a, []byte(fmt.Sprintf("doc-a-%d", i)))
+	}
+	for i := 0; i < bSize-overlap; i++ {
+		b = append(b, []byte(fmt.Sprintf("doc-b-%d", i)))
+	}
+	for i := 0; i < overlap; i++ {
+		idx := i * (aSize / max(overlap, 1))
+		if idx >= aSize {
+			idx = aSize - 1
+		}
+		b = append(b, a[idx])
+		wantIdx = append(wantIdx, idx)
+	}
+	sort.Ints(wantIdx)
+	return a, b, wantIdx
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestCommutativeIntersectCorrectness(t *testing.T) {
+	a, b, want := corpus(40, 30, 7)
+	got, stats, err := CommutativeIntersect(a, b, CEConfig{ModulusBits: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// 2(|A|+|B|) modexps.
+	if stats.ModExps != 2*(len(a)+len(b)) {
+		t.Fatalf("modexps = %d, want %d", stats.ModExps, 2*(len(a)+len(b)))
+	}
+	if stats.BytesExchanged == 0 {
+		t.Fatal("no bytes accounted")
+	}
+}
+
+func TestCommutativeEmptyAndDisjoint(t *testing.T) {
+	got, _, err := CommutativeIntersect(nil, nil, CEConfig{ModulusBits: 256})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	a, b, _ := corpus(10, 10, 0)
+	got, _, err = CommutativeIntersect(a, b, CEConfig{ModulusBits: 256})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("disjoint: %v %v", got, err)
+	}
+}
+
+func TestCommutativeValidation(t *testing.T) {
+	if _, _, err := CommutativeIntersect(nil, nil, CEConfig{ModulusBits: 64}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("small modulus: %v", err)
+	}
+}
+
+func TestShareIntersectCorrectness(t *testing.T) {
+	a, b, want := corpus(100, 80, 13)
+	got, stats, err := ShareIntersect(a, b, SSConfig{SharedKey: []byte("shared")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if stats.ModExps != 0 {
+		t.Fatalf("sharing protocol should not exponentiate, did %d", stats.ModExps)
+	}
+	if stats.BytesExchanged == 0 || stats.HashOps == 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestShareIntersectValidation(t *testing.T) {
+	if _, _, err := ShareIntersect(nil, nil, SSConfig{}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("no key: %v", err)
+	}
+	if _, _, err := ShareIntersect(nil, nil, SSConfig{SharedKey: []byte("k"), Providers: 99}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("too many providers: %v", err)
+	}
+}
+
+func TestShareIntersectEmpty(t *testing.T) {
+	got, _, err := ShareIntersect(nil, nil, SSConfig{SharedKey: []byte("k")})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+}
+
+func TestProtocolsAgree(t *testing.T) {
+	a, b, _ := corpus(60, 45, 9)
+	ce, _, err := CommutativeIntersect(a, b, CEConfig{ModulusBits: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, _, err := ShareIntersect(a, b, SSConfig{SharedKey: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(ce)
+	if fmt.Sprint(ce) != fmt.Sprint(ss) {
+		t.Fatalf("protocols disagree: %v vs %v", ce, ss)
+	}
+}
+
+// The paper's central claim for E3: the encryption-based protocol is
+// orders of magnitude more expensive than the sharing-based one on the
+// same corpus.
+func TestSharingBeatsEncryptionOnPaperCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	// Scaled-down version of "10 docs × 1000 words vs 100 docs × 1000
+	// words": 10×100 vs 100×100 words as elements.
+	var a, b [][]byte
+	for d := 0; d < 10; d++ {
+		for w := 0; w < 100; w++ {
+			a = append(a, []byte(fmt.Sprintf("word-%d", d*61+w)))
+		}
+	}
+	for d := 0; d < 100; d++ {
+		for w := 0; w < 100; w++ {
+			b = append(b, []byte(fmt.Sprintf("word-%d", d*17+w*3)))
+		}
+	}
+	start := time.Now()
+	_, ceStats, err := CommutativeIntersect(a, b, CEConfig{ModulusBits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceTime := time.Since(start)
+	start = time.Now()
+	_, ssStats, err := ShareIntersect(a, b, SSConfig{SharedKey: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssTime := time.Since(start)
+	if ceTime < 5*ssTime {
+		t.Fatalf("encryption PSI (%v) not clearly slower than sharing PSI (%v)", ceTime, ssTime)
+	}
+	if ceStats.ModExps == 0 || ssStats.ModExps != 0 {
+		t.Fatalf("cost model broken: ce=%+v ss=%+v", ceStats, ssStats)
+	}
+}
+
+func BenchmarkCommutativePSI100x100(b *testing.B) {
+	x, y, _ := corpus(100, 100, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := CommutativeIntersect(x, y, CEConfig{ModulusBits: 512}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSharePSI100x100(b *testing.B) {
+	x, y, _ := corpus(100, 100, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ShareIntersect(x, y, SSConfig{SharedKey: []byte("k")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

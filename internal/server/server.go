@@ -1,0 +1,121 @@
+// Package server adapts a provider's store to the wire protocol: it
+// dispatches decoded request messages to storage operations and maps
+// storage errors onto protocol error codes. One Provider instance is one
+// DAS_i of the paper.
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"sssdb/internal/proto"
+	"sssdb/internal/store"
+	"sssdb/internal/transport"
+)
+
+// Provider handles protocol requests against a store.
+type Provider struct {
+	store *store.Store
+}
+
+// New wraps a store.
+func New(st *store.Store) *Provider {
+	return &Provider{store: st}
+}
+
+// Store exposes the underlying store (for tests and tooling).
+func (p *Provider) Store() *store.Store { return p.store }
+
+var _ transport.Handler = (*Provider)(nil)
+
+// Handle implements transport.Handler.
+func (p *Provider) Handle(req proto.Message) proto.Message {
+	switch m := req.(type) {
+	case *proto.PingRequest:
+		return &proto.OKResponse{}
+	case *proto.CreateTableRequest:
+		if err := p.store.CreateTable(m.Spec); err != nil {
+			return errResponse(err)
+		}
+		return &proto.OKResponse{}
+	case *proto.DropTableRequest:
+		if err := p.store.DropTable(m.Table); err != nil {
+			return errResponse(err)
+		}
+		return &proto.OKResponse{}
+	case *proto.ListTablesRequest:
+		return &proto.TablesResponse{Specs: p.store.ListTables()}
+	case *proto.InsertRequest:
+		if err := p.store.Insert(m.Table, m.Rows); err != nil {
+			return errResponse(err)
+		}
+		return &proto.OKResponse{Affected: uint64(len(m.Rows))}
+	case *proto.DeleteRequest:
+		affected, err := p.store.Delete(m.Table, m.RowIDs)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &proto.OKResponse{Affected: affected}
+	case *proto.UpdateRequest:
+		if err := p.store.Update(m.Table, m.Rows); err != nil {
+			return errResponse(err)
+		}
+		return &proto.OKResponse{Affected: uint64(len(m.Rows))}
+	case *proto.ScanRequest:
+		resp, err := p.store.Scan(m.Table, m.Filter, m.Projection, m.Limit, m.WithProof)
+		if err != nil {
+			return errResponse(err)
+		}
+		return resp
+	case *proto.AggregateRequest:
+		if m.GroupCol != "" {
+			res, err := p.store.AggregateGrouped(m.Table, m.Op, m.ValueCol, m.GroupCol, m.Filter)
+			if err != nil {
+				return errResponse(err)
+			}
+			return res
+		}
+		res, err := p.store.Aggregate(m.Table, m.Op, m.OrderCol, m.ValueCol, m.Filter)
+		if err != nil {
+			return errResponse(err)
+		}
+		return res
+	case *proto.JoinRequest:
+		res, err := p.store.Join(m)
+		if err != nil {
+			return errResponse(err)
+		}
+		return res
+	case *proto.DigestRequest:
+		res, err := p.store.Digest(m.Table, m.Col)
+		if err != nil {
+			return errResponse(err)
+		}
+		return res
+	default:
+		return &proto.ErrorResponse{
+			Code: proto.CodeBadRequest,
+			Msg:  fmt.Sprintf("unexpected message %T", req),
+		}
+	}
+}
+
+// errResponse maps storage errors to protocol codes.
+func errResponse(err error) *proto.ErrorResponse {
+	code := proto.CodeInternal
+	switch {
+	case errors.Is(err, store.ErrNoSuchTable):
+		code = proto.CodeNoSuchTable
+	case errors.Is(err, store.ErrTableExists):
+		code = proto.CodeTableExists
+	case errors.Is(err, store.ErrNoSuchColumn):
+		code = proto.CodeNoSuchColumn
+	case errors.Is(err, store.ErrBadRequest):
+		code = proto.CodeBadRequest
+	case errors.Is(err, store.ErrDuplicateRow):
+		code = proto.CodeDuplicateRow
+	case errors.Is(err, store.ErrNoSuchRow):
+		code = proto.CodeNoSuchRow
+	}
+	return &proto.ErrorResponse{Code: code, Msg: err.Error()}
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"sssdb/internal/proto"
+	"sssdb/internal/store"
+	"sssdb/internal/transport"
+)
+
+func newProvider(t testing.TB) *Provider {
+	t.Helper()
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(st)
+}
+
+func spec() proto.TableSpec {
+	return proto.TableSpec{
+		Name: "t",
+		Columns: []proto.ColumnSpec{
+			{Name: "a#o", Kind: proto.KindOPP, Indexed: true},
+			{Name: "a#f", Kind: proto.KindField},
+		},
+	}
+}
+
+func cell24(v uint64) []byte {
+	c := make([]byte, 24)
+	binary.BigEndian.PutUint64(c[16:], v)
+	return c
+}
+
+func cell8(v uint64) []byte {
+	c := make([]byte, 8)
+	binary.BigEndian.PutUint64(c, v)
+	return c
+}
+
+func TestHandleFullLifecycle(t *testing.T) {
+	p := newProvider(t)
+	conn := transport.NewLocal(p)
+	defer conn.Close()
+
+	call := func(req proto.Message) proto.Message {
+		t.Helper()
+		resp, err := conn.Call(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if _, ok := call(&proto.PingRequest{}).(*proto.OKResponse); !ok {
+		t.Fatal("ping failed")
+	}
+	if _, ok := call(&proto.CreateTableRequest{Spec: spec()}).(*proto.OKResponse); !ok {
+		t.Fatal("create failed")
+	}
+	rows := []proto.Row{
+		{ID: 1, Cells: [][]byte{cell24(10), cell8(30)}},
+		{ID: 2, Cells: [][]byte{cell24(20), cell8(60)}},
+		{ID: 3, Cells: [][]byte{cell24(30), cell8(90)}},
+	}
+	okResp, ok := call(&proto.InsertRequest{Table: "t", Rows: rows}).(*proto.OKResponse)
+	if !ok || okResp.Affected != 3 {
+		t.Fatalf("insert: %#v", okResp)
+	}
+	tbls, ok := call(&proto.ListTablesRequest{}).(*proto.TablesResponse)
+	if !ok || len(tbls.Specs) != 1 {
+		t.Fatalf("list: %#v", tbls)
+	}
+	scan, ok := call(&proto.ScanRequest{
+		Table:  "t",
+		Filter: &proto.Filter{Col: "a#o", Op: proto.FilterRange, Lo: cell24(10), Hi: cell24(20)},
+	}).(*proto.RowsResponse)
+	if !ok || len(scan.Rows) != 2 {
+		t.Fatalf("scan: %#v", scan)
+	}
+	agg, ok := call(&proto.AggregateRequest{
+		Table: "t", Op: proto.AggSum, ValueCol: "a#f",
+	}).(*proto.AggResult)
+	if !ok || agg.Sum != 180 || agg.Count != 3 {
+		t.Fatalf("agg: %#v", agg)
+	}
+	join, ok := call(&proto.JoinRequest{
+		LeftTable: "t", LeftCol: "a#o", RightTable: "t", RightCol: "a#o",
+	}).(*proto.JoinResult)
+	if !ok || len(join.Rows) != 3 {
+		t.Fatalf("join: %#v", join)
+	}
+	dig, ok := call(&proto.DigestRequest{Table: "t", Col: "a#o"}).(*proto.DigestResult)
+	if !ok || dig.Count != 3 {
+		t.Fatalf("digest: %#v", dig)
+	}
+	upd, ok := call(&proto.UpdateRequest{Table: "t", Rows: []proto.Row{
+		{ID: 1, Cells: [][]byte{cell24(99), cell8(297)}},
+	}}).(*proto.OKResponse)
+	if !ok || upd.Affected != 1 {
+		t.Fatalf("update: %#v", upd)
+	}
+	del, ok := call(&proto.DeleteRequest{Table: "t", RowIDs: []uint64{2}}).(*proto.OKResponse)
+	if !ok || del.Affected != 1 {
+		t.Fatalf("delete: %#v", del)
+	}
+	if _, ok := call(&proto.DropTableRequest{Table: "t"}).(*proto.OKResponse); !ok {
+		t.Fatal("drop failed")
+	}
+}
+
+func TestErrorCodeMapping(t *testing.T) {
+	p := newProvider(t)
+	check := func(req proto.Message, want proto.ErrorCode) {
+		t.Helper()
+		resp := p.Handle(req)
+		e, ok := resp.(*proto.ErrorResponse)
+		if !ok {
+			t.Fatalf("%T: got %#v, want error", req, resp)
+		}
+		if e.Code != want {
+			t.Fatalf("%T: code %v, want %v", req, e.Code, want)
+		}
+	}
+	check(&proto.ScanRequest{Table: "missing"}, proto.CodeNoSuchTable)
+	check(&proto.DropTableRequest{Table: "missing"}, proto.CodeNoSuchTable)
+
+	if resp := p.Handle(&proto.CreateTableRequest{Spec: spec()}); resp.Kind() != proto.KOK {
+		t.Fatalf("create: %#v", resp)
+	}
+	check(&proto.CreateTableRequest{Spec: spec()}, proto.CodeTableExists)
+	check(&proto.ScanRequest{Table: "t", Projection: []string{"zz"}}, proto.CodeNoSuchColumn)
+	check(&proto.ScanRequest{Table: "t", WithProof: true}, proto.CodeBadRequest)
+	check(&proto.UpdateRequest{Table: "t", Rows: []proto.Row{
+		{ID: 9, Cells: [][]byte{cell24(1), cell8(1)}},
+	}}, proto.CodeNoSuchRow)
+
+	if resp := p.Handle(&proto.InsertRequest{Table: "t", Rows: []proto.Row{
+		{ID: 1, Cells: [][]byte{cell24(1), cell8(1)}},
+	}}); resp.Kind() != proto.KOK {
+		t.Fatalf("insert: %#v", resp)
+	}
+	check(&proto.InsertRequest{Table: "t", Rows: []proto.Row{
+		{ID: 1, Cells: [][]byte{cell24(1), cell8(1)}},
+	}}, proto.CodeDuplicateRow)
+
+	// A response message arriving as a request is rejected.
+	check(&proto.OKResponse{}, proto.CodeBadRequest)
+}
+
+func TestGroupedAggregateDispatch(t *testing.T) {
+	p := newProvider(t)
+	if resp := p.Handle(&proto.CreateTableRequest{Spec: spec()}); resp.Kind() != proto.KOK {
+		t.Fatalf("create: %#v", resp)
+	}
+	rows := []proto.Row{
+		{ID: 1, Cells: [][]byte{cell24(10), cell8(5)}},
+		{ID: 2, Cells: [][]byte{cell24(10), cell8(7)}},
+		{ID: 3, Cells: [][]byte{cell24(20), cell8(1)}},
+	}
+	if resp := p.Handle(&proto.InsertRequest{Table: "t", Rows: rows}); resp.Kind() != proto.KOK {
+		t.Fatalf("insert: %#v", resp)
+	}
+	resp := p.Handle(&proto.AggregateRequest{
+		Table: "t", Op: proto.AggSum, ValueCol: "a#f", GroupCol: "a#o",
+	})
+	gr, ok := resp.(*proto.GroupResult)
+	if !ok {
+		t.Fatalf("got %#v", resp)
+	}
+	if len(gr.Groups) != 2 || gr.Groups[0].Count != 2 || gr.Groups[0].Sum != 12 || gr.Groups[1].Sum != 1 {
+		t.Fatalf("groups: %+v", gr.Groups)
+	}
+	// Grouped errors map to protocol codes too.
+	errResp := p.Handle(&proto.AggregateRequest{
+		Table: "t", Op: proto.AggMedian, ValueCol: "a#f", GroupCol: "a#o",
+	})
+	if e, ok := errResp.(*proto.ErrorResponse); !ok || e.Code != proto.CodeBadRequest {
+		t.Fatalf("grouped median: %#v", errResp)
+	}
+}
+
+func TestStoreAccessor(t *testing.T) {
+	p := newProvider(t)
+	if p.Store() == nil {
+		t.Fatal("Store() returned nil")
+	}
+}

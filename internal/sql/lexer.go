@@ -1,0 +1,169 @@
+// Package sql implements the query language of the data source front end:
+// a lexer, recursive-descent parser, and AST for the SQL dialect the paper's
+// examples use — CREATE TABLE, INSERT, SELECT with exact-match, range,
+// LIKE-prefix and BETWEEN predicates, aggregates (SUM, AVG, COUNT, MIN,
+// MAX, MEDIAN), two-table equijoins, UPDATE, and DELETE.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol // ( ) , . * =
+	TokOp     // = < > <= >= !=
+)
+
+// Token is one lexical unit with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// keywords of the dialect; stored upper-case.
+var keywords = map[string]bool{
+	"CREATE": true, "PUBLIC": true, "TABLE": true, "DROP": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"BETWEEN": true, "LIKE": true, "JOIN": true, "ON": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "LIMIT": true,
+	"GROUP": true, "BY": true, "ORDER": true, "ASC": true, "DESC": true,
+	"HAVING": true, "EXPLAIN": true, "IN": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"MEDIAN": true,
+	"INT":    true, "DECIMAL": true, "VARCHAR": true, "BLOB": true,
+	"VERIFIED": true,
+}
+
+// SyntaxError reports a lexical or grammatical problem with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: position %d: %s", e.Pos, e.Msg)
+}
+
+func errorf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes the input.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			seenDot := false
+			for i < n {
+				d := input[i]
+				if d == '.' {
+					if seenDot {
+						return nil, errorf(i, "malformed number")
+					}
+					seenDot = true
+					i++
+					continue
+				}
+				if d < '0' || d > '9' {
+					break
+				}
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					// Doubled quote escapes a quote.
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, errorf(start, "unterminated string literal")
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case c == '<' || c == '>' || c == '!':
+			start := i
+			op := string(c)
+			i++
+			if i < n && input[i] == '=' {
+				op += "="
+				i++
+			}
+			if op == "!" {
+				return nil, errorf(start, "unexpected '!'")
+			}
+			toks = append(toks, Token{Kind: TokOp, Text: op, Pos: start})
+		case c == '=':
+			toks = append(toks, Token{Kind: TokOp, Text: "=", Pos: i})
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '*' || c == '-' || c == '+':
+			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
+			i++
+		case c == ';':
+			// Statement terminator, ignored at the end.
+			i++
+		default:
+			return nil, errorf(i, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '#' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,938 @@
+// Package store is the storage engine a Database Service Provider runs:
+// share-space tables with B+-tree indexes, WAL-backed durability with
+// snapshot compaction, and the provider-side operators of the paper's query
+// model — exact-match and range filtering over order-preserving shares,
+// partial aggregation over field shares, and same-domain equijoins
+// (Sec. V-A). The engine never sees client values, only shares and opaque
+// plaintext cells.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"sssdb/internal/btree"
+	"sssdb/internal/field"
+	"sssdb/internal/merkle"
+	"sssdb/internal/proto"
+	"sssdb/internal/wal"
+)
+
+// Cell width invariants per column kind.
+const (
+	oppCellSize   = 24 // matches opp.ShareSize
+	fieldCellSize = 8
+)
+
+// Typed errors; the server maps them onto protocol error codes.
+var (
+	ErrNoSuchTable  = errors.New("store: no such table")
+	ErrTableExists  = errors.New("store: table already exists")
+	ErrNoSuchColumn = errors.New("store: no such column")
+	ErrBadRequest   = errors.New("store: bad request")
+	ErrDuplicateRow = errors.New("store: duplicate row id")
+	ErrNoSuchRow    = errors.New("store: no such row id")
+)
+
+// Store is one provider's database. All operations are serialized by an
+// internal mutex; the transport layer may deliver requests concurrently.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	log    *wal.Log
+	tables map[string]*table
+}
+
+type table struct {
+	spec proto.TableSpec
+	rows map[uint64]proto.Row
+	// indexes maps an indexed column name to a B+-tree whose keys are
+	// cell||rowID (value empty); the rowID suffix disambiguates duplicate
+	// shares.
+	indexes map[string]*btree.Tree
+	// merkles caches per-column Merkle state; invalidated by mutations.
+	merkles map[string]*merkleState
+}
+
+type merkleState struct {
+	keys   [][]byte // index keys in order
+	rowIDs []uint64
+	leaves []merkle.Hash
+	tree   *merkle.Tree
+	root   merkle.Hash
+}
+
+// Open creates a store rooted at dir; pass "" for a memory-only store
+// (tests, benchmarks). With a directory, state is recovered from
+// snapshot + WAL and mutations are logged before being applied.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir, tables: make(map[string]*table)}
+	if dir == "" {
+		return s, nil
+	}
+	snap, err := wal.LoadSnapshot(s.snapshotPath())
+	if err != nil {
+		return nil, fmt.Errorf("store: loading snapshot: %w", err)
+	}
+	if snap != nil {
+		if err := s.restoreSnapshot(snap); err != nil {
+			return nil, err
+		}
+	}
+	if err := wal.Replay(s.walPath(), func(rec []byte) error {
+		msg, err := proto.Decode(rec)
+		if err != nil {
+			return fmt.Errorf("store: decoding WAL record: %w", err)
+		}
+		return s.apply(msg)
+	}); err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(s.walPath())
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	return s, nil
+}
+
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "store.snapshot") }
+func (s *Store) walPath() string      { return filepath.Join(s.dir, "store.wal") }
+
+// Close releases the WAL.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.Close()
+	s.log = nil
+	return err
+}
+
+// logMutation appends the already-validated mutation to the WAL.
+func (s *Store) logMutation(msg proto.Message) error {
+	if s.log == nil {
+		return nil
+	}
+	if err := s.log.Append(proto.Encode(msg)); err != nil {
+		return err
+	}
+	return s.log.Sync()
+}
+
+// apply executes a mutation without logging; used by both the public
+// mutation methods (after logging) and WAL replay.
+func (s *Store) apply(msg proto.Message) error {
+	switch m := msg.(type) {
+	case *proto.CreateTableRequest:
+		return s.applyCreateTable(&m.Spec)
+	case *proto.DropTableRequest:
+		return s.applyDropTable(m.Table)
+	case *proto.InsertRequest:
+		return s.applyInsert(m.Table, m.Rows)
+	case *proto.DeleteRequest:
+		_, err := s.applyDelete(m.Table, m.RowIDs)
+		return err
+	case *proto.UpdateRequest:
+		return s.applyUpdate(m.Table, m.Rows)
+	default:
+		return fmt.Errorf("%w: non-mutation message %T in WAL", ErrBadRequest, msg)
+	}
+}
+
+// --- DDL ---
+
+// CreateTable creates an empty table from the spec.
+func (s *Store) CreateTable(spec proto.TableSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if _, ok := s.tables[spec.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrTableExists, spec.Name)
+	}
+	if err := s.logMutation(&proto.CreateTableRequest{Spec: spec}); err != nil {
+		return err
+	}
+	return s.applyCreateTable(&spec)
+}
+
+func (s *Store) applyCreateTable(spec *proto.TableSpec) error {
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if _, ok := s.tables[spec.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrTableExists, spec.Name)
+	}
+	t := &table{
+		spec:    *spec,
+		rows:    make(map[uint64]proto.Row),
+		indexes: make(map[string]*btree.Tree),
+		merkles: make(map[string]*merkleState),
+	}
+	for _, c := range spec.Columns {
+		if c.Indexed {
+			t.indexes[c.Name] = btree.New()
+		}
+	}
+	s.tables[spec.Name] = t
+	return nil
+}
+
+// DropTable removes a table.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	if err := s.logMutation(&proto.DropTableRequest{Table: name}); err != nil {
+		return err
+	}
+	return s.applyDropTable(name)
+}
+
+func (s *Store) applyDropTable(name string) error {
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+// ListTables returns all table specs, sorted by name.
+func (s *Store) ListTables() []proto.TableSpec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	specs := make([]proto.TableSpec, 0, len(s.tables))
+	for _, t := range s.tables {
+		specs = append(specs, t.spec)
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs
+}
+
+// --- Validation helpers ---
+
+func (s *Store) table(name string) (*table, error) {
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// validateRow checks arity and per-kind cell widths.
+func (t *table) validateRow(row proto.Row) error {
+	if len(row.Cells) != len(t.spec.Columns) {
+		return fmt.Errorf("%w: row %d has %d cells, table %q has %d columns",
+			ErrBadRequest, row.ID, len(row.Cells), t.spec.Name, len(t.spec.Columns))
+	}
+	for i, c := range t.spec.Columns {
+		cell := row.Cells[i]
+		switch c.Kind {
+		case proto.KindOPP:
+			if len(cell) != oppCellSize {
+				return fmt.Errorf("%w: row %d column %q: OPP cell must be %d bytes, got %d",
+					ErrBadRequest, row.ID, c.Name, oppCellSize, len(cell))
+			}
+		case proto.KindField:
+			if len(cell) != fieldCellSize {
+				return fmt.Errorf("%w: row %d column %q: field cell must be %d bytes, got %d",
+					ErrBadRequest, row.ID, c.Name, fieldCellSize, len(cell))
+			}
+		}
+	}
+	return nil
+}
+
+// indexKey builds the composite key cell||rowID.
+func indexKey(cell []byte, rowID uint64) []byte {
+	k := make([]byte, len(cell)+8)
+	copy(k, cell)
+	binary.BigEndian.PutUint64(k[len(cell):], rowID)
+	return k
+}
+
+func copyRow(row proto.Row) proto.Row {
+	out := proto.Row{ID: row.ID, Cells: make([][]byte, len(row.Cells))}
+	for i, c := range row.Cells {
+		out.Cells[i] = append([]byte(nil), c...)
+	}
+	return out
+}
+
+func (t *table) invalidateMerkles() {
+	for k := range t.merkles {
+		delete(t.merkles, k)
+	}
+}
+
+func (t *table) indexInsert(row proto.Row) {
+	for name, idx := range t.indexes {
+		ci := t.spec.ColumnIndex(name)
+		idx.Set(indexKey(row.Cells[ci], row.ID), nil)
+	}
+}
+
+func (t *table) indexDelete(row proto.Row) {
+	for name, idx := range t.indexes {
+		ci := t.spec.ColumnIndex(name)
+		idx.Delete(indexKey(row.Cells[ci], row.ID))
+	}
+}
+
+// --- DML ---
+
+// Insert adds rows; every row id must be fresh. The batch is atomic: any
+// validation failure rejects the whole batch before anything is applied.
+func (s *Store) Insert(name string, rows []proto.Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.table(name)
+	if err != nil {
+		return err
+	}
+	seen := make(map[uint64]bool, len(rows))
+	for _, row := range rows {
+		if err := t.validateRow(row); err != nil {
+			return err
+		}
+		if seen[row.ID] {
+			return fmt.Errorf("%w: %d (within batch)", ErrDuplicateRow, row.ID)
+		}
+		seen[row.ID] = true
+		if _, exists := t.rows[row.ID]; exists {
+			return fmt.Errorf("%w: %d", ErrDuplicateRow, row.ID)
+		}
+	}
+	if err := s.logMutation(&proto.InsertRequest{Table: name, Rows: rows}); err != nil {
+		return err
+	}
+	return s.applyInsert(name, rows)
+}
+
+func (s *Store) applyInsert(name string, rows []proto.Row) error {
+	t, err := s.table(name)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := t.validateRow(row); err != nil {
+			return err
+		}
+		if _, exists := t.rows[row.ID]; exists {
+			return fmt.Errorf("%w: %d", ErrDuplicateRow, row.ID)
+		}
+		r := copyRow(row)
+		t.rows[r.ID] = r
+		t.indexInsert(r)
+	}
+	t.invalidateMerkles()
+	return nil
+}
+
+// Delete removes rows by id, returning how many existed.
+func (s *Store) Delete(name string, ids []uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.table(name); err != nil {
+		return 0, err
+	}
+	if err := s.logMutation(&proto.DeleteRequest{Table: name, RowIDs: ids}); err != nil {
+		return 0, err
+	}
+	return s.applyDelete(name, ids)
+}
+
+func (s *Store) applyDelete(name string, ids []uint64) (uint64, error) {
+	t, err := s.table(name)
+	if err != nil {
+		return 0, err
+	}
+	var affected uint64
+	for _, id := range ids {
+		row, ok := t.rows[id]
+		if !ok {
+			continue
+		}
+		t.indexDelete(row)
+		delete(t.rows, id)
+		affected++
+	}
+	if affected > 0 {
+		t.invalidateMerkles()
+	}
+	return affected, nil
+}
+
+// Update replaces existing rows in full (the paper's eager update path).
+func (s *Store) Update(name string, rows []proto.Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.table(name)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := t.validateRow(row); err != nil {
+			return err
+		}
+		if _, ok := t.rows[row.ID]; !ok {
+			return fmt.Errorf("%w: %d", ErrNoSuchRow, row.ID)
+		}
+	}
+	if err := s.logMutation(&proto.UpdateRequest{Table: name, Rows: rows}); err != nil {
+		return err
+	}
+	return s.applyUpdate(name, rows)
+}
+
+func (s *Store) applyUpdate(name string, rows []proto.Row) error {
+	t, err := s.table(name)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := t.validateRow(row); err != nil {
+			return err
+		}
+		old, ok := t.rows[row.ID]
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrNoSuchRow, row.ID)
+		}
+		t.indexDelete(old)
+		r := copyRow(row)
+		t.rows[r.ID] = r
+		t.indexInsert(r)
+	}
+	if len(rows) > 0 {
+		t.invalidateMerkles()
+	}
+	return nil
+}
+
+// --- Snapshot / compaction ---
+
+// Compact writes a snapshot of the full state and truncates the WAL.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	data := s.encodeSnapshot()
+	if err := wal.SaveSnapshot(s.snapshotPath(), data); err != nil {
+		return err
+	}
+	if s.log != nil {
+		return s.log.Reset()
+	}
+	return nil
+}
+
+// encodeSnapshot serializes state as a sequence of length-prefixed protocol
+// messages (CreateTable + Insert per table), reusing the wire codec.
+func (s *Store) encodeSnapshot() []byte {
+	var buf []byte
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	appendMsg := func(m proto.Message) {
+		body := proto.Encode(m)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+		buf = append(buf, body...)
+	}
+	for _, name := range names {
+		t := s.tables[name]
+		appendMsg(&proto.CreateTableRequest{Spec: t.spec})
+		ids := t.sortedIDs()
+		const batch = 4096
+		for off := 0; off < len(ids); off += batch {
+			end := off + batch
+			if end > len(ids) {
+				end = len(ids)
+			}
+			rows := make([]proto.Row, 0, end-off)
+			for _, id := range ids[off:end] {
+				rows = append(rows, t.rows[id])
+			}
+			appendMsg(&proto.InsertRequest{Table: name, Rows: rows})
+		}
+	}
+	return buf
+}
+
+func (s *Store) restoreSnapshot(data []byte) error {
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return fmt.Errorf("%w: truncated snapshot", ErrBadRequest)
+		}
+		n := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint64(len(data)) < uint64(n) {
+			return fmt.Errorf("%w: truncated snapshot record", ErrBadRequest)
+		}
+		msg, err := proto.Decode(data[:n])
+		if err != nil {
+			return fmt.Errorf("store: snapshot record: %w", err)
+		}
+		data = data[n:]
+		if err := s.apply(msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *table) sortedIDs() []uint64 {
+	ids := make([]uint64, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// --- Reads ---
+
+// resolveProjection maps projection names to column indices (all columns
+// when empty).
+func (t *table) resolveProjection(projection []string) ([]string, []int, error) {
+	if len(projection) == 0 {
+		names := make([]string, len(t.spec.Columns))
+		idx := make([]int, len(t.spec.Columns))
+		for i, c := range t.spec.Columns {
+			names[i] = c.Name
+			idx[i] = i
+		}
+		return names, idx, nil
+	}
+	idx := make([]int, len(projection))
+	for i, name := range projection {
+		ci := t.spec.ColumnIndex(name)
+		if ci < 0 {
+			return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, name)
+		}
+		idx[i] = ci
+	}
+	return projection, idx, nil
+}
+
+// matchingIDs returns the row ids satisfying the filter in index order when
+// an index is available, insertion-id order otherwise. A nil filter matches
+// every row.
+func (t *table) matchingIDs(f *proto.Filter) ([]uint64, error) {
+	if f == nil {
+		return t.sortedIDs(), nil
+	}
+	ci := t.spec.ColumnIndex(f.Col)
+	if ci < 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, f.Col)
+	}
+	if t.spec.Columns[ci].Kind == proto.KindField {
+		return nil, fmt.Errorf("%w: cannot filter on field-share column %q", ErrBadRequest, f.Col)
+	}
+	var lo, hi []byte
+	switch f.Op {
+	case proto.FilterEq:
+		lo, hi = f.Lo, f.Lo
+	case proto.FilterRange:
+		lo, hi = f.Lo, f.Hi
+	default:
+		return nil, fmt.Errorf("%w: unknown filter op %d", ErrBadRequest, f.Op)
+	}
+	if idx, ok := t.indexes[f.Col]; ok {
+		// Composite keys are cell||rowID: scan [lo||0^8, hi||0xff^8].
+		start := indexKey(lo, 0)
+		end := indexKey(hi, ^uint64(0))
+		var ids []uint64
+		idx.AscendRange(start, append(end, 0), func(k, _ []byte) bool {
+			ids = append(ids, binary.BigEndian.Uint64(k[len(k)-8:]))
+			return true
+		})
+		return ids, nil
+	}
+	// Unindexed: full scan comparing cell bytes.
+	var ids []uint64
+	for _, id := range t.sortedIDs() {
+		cell := t.rows[id].Cells[ci]
+		if bytes.Compare(cell, lo) >= 0 && bytes.Compare(cell, hi) <= 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
+}
+
+// Scan returns rows matching the filter, projected and capped at limit
+// (0 = unlimited). With withProof it also returns a Merkle completeness
+// proof; the filter column must then be indexed and limit must be zero.
+func (s *Store) Scan(name string, f *proto.Filter, projection []string, limit uint64, withProof bool) (*proto.RowsResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.table(name)
+	if err != nil {
+		return nil, err
+	}
+	cols, colIdx, err := t.resolveProjection(projection)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := t.matchingIDs(f)
+	if err != nil {
+		return nil, err
+	}
+	if limit > 0 && uint64(len(ids)) > limit {
+		ids = ids[:limit]
+	}
+	resp := &proto.RowsResponse{Columns: cols}
+	for _, id := range ids {
+		row := t.rows[id]
+		out := proto.Row{ID: id, Cells: make([][]byte, len(colIdx))}
+		for i, ci := range colIdx {
+			out.Cells[i] = row.Cells[ci]
+		}
+		resp.Rows = append(resp.Rows, out)
+	}
+	if withProof {
+		if f == nil {
+			return nil, fmt.Errorf("%w: proof requires a filter", ErrBadRequest)
+		}
+		if limit > 0 {
+			return nil, fmt.Errorf("%w: proof incompatible with limit", ErrBadRequest)
+		}
+		proof, err := t.proveScan(f)
+		if err != nil {
+			return nil, err
+		}
+		resp.Proof = proof
+	}
+	return resp, nil
+}
+
+// RowDigest hashes a row's full content; it is the Merkle leaf payload and
+// is exported so client and server derive identical digests.
+func RowDigest(row proto.Row) []byte {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], row.ID)
+	h.Write(buf[:])
+	for _, c := range row.Cells {
+		binary.BigEndian.PutUint64(buf[:], uint64(len(c)))
+		h.Write(buf[:])
+		h.Write(c)
+	}
+	return h.Sum(nil)
+}
+
+// merkleFor returns (building if needed) the Merkle state of an indexed
+// column.
+func (t *table) merkleFor(col string) (*merkleState, error) {
+	idx, ok := t.indexes[col]
+	if !ok {
+		return nil, fmt.Errorf("%w: column %q is not indexed", ErrBadRequest, col)
+	}
+	if m, ok := t.merkles[col]; ok {
+		return m, nil
+	}
+	m := &merkleState{}
+	idx.Ascend(func(k, _ []byte) bool {
+		key := append([]byte(nil), k...)
+		rowID := binary.BigEndian.Uint64(key[len(key)-8:])
+		m.keys = append(m.keys, key)
+		m.rowIDs = append(m.rowIDs, rowID)
+		m.leaves = append(m.leaves, merkle.LeafHash(key, RowDigest(t.rows[rowID])))
+		return true
+	})
+	m.tree = merkle.New(m.leaves)
+	m.root = m.tree.Root()
+	t.merkles[col] = m
+	return m, nil
+}
+
+// proveScan builds the completeness proof for a filter over an indexed
+// column: the run of matching leaves extended by one fence on each side.
+func (t *table) proveScan(f *proto.Filter) ([]byte, error) {
+	m, err := t.merkleFor(f.Col)
+	if err != nil {
+		return nil, err
+	}
+	var lo, hi []byte
+	switch f.Op {
+	case proto.FilterEq:
+		lo, hi = f.Lo, f.Lo
+	case proto.FilterRange:
+		lo, hi = f.Lo, f.Hi
+	default:
+		return nil, fmt.Errorf("%w: unknown filter op", ErrBadRequest)
+	}
+	start := sort.Search(len(m.keys), func(i int) bool {
+		return bytes.Compare(m.keys[i], indexKey(lo, 0)) >= 0
+	})
+	end := sort.Search(len(m.keys), func(i int) bool {
+		return bytes.Compare(m.keys[i], indexKey(hi, ^uint64(0))) > 0
+	})
+	runStart, runEnd := start, end
+	p := &merkle.RangeProof{N: uint64(len(m.keys))}
+	if start > 0 {
+		runStart = start - 1
+		p.LeftFence = &merkle.FenceLeaf{
+			Key:       m.keys[runStart],
+			RowDigest: RowDigest(t.rows[m.rowIDs[runStart]]),
+		}
+	}
+	if end < len(m.keys) {
+		runEnd = end + 1
+		p.RightFence = &merkle.FenceLeaf{
+			Key:       m.keys[end],
+			RowDigest: RowDigest(t.rows[m.rowIDs[end]]),
+		}
+	}
+	p.Start = uint64(runStart)
+	hashes, err := m.tree.ProveRange(runStart, runEnd)
+	if err != nil {
+		return nil, err
+	}
+	p.Hashes = hashes
+	return p.Marshal(), nil
+}
+
+// Digest returns the Merkle root and leaf count of an indexed column.
+func (s *Store) Digest(name, col string) (*proto.DigestResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.table(name)
+	if err != nil {
+		return nil, err
+	}
+	m, err := t.merkleFor(col)
+	if err != nil {
+		return nil, err
+	}
+	root := m.root
+	return &proto.DigestResult{Root: root[:], Count: uint64(len(m.leaves))}, nil
+}
+
+// Aggregate computes a provider-side partial aggregate (Sec. V-A: providers
+// "perform an intermediate computation"; the data source combines k of
+// them).
+func (s *Store) Aggregate(name string, op proto.AggOp, orderCol, valueCol string, f *proto.Filter) (*proto.AggResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.table(name)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := t.matchingIDs(f)
+	if err != nil {
+		return nil, err
+	}
+	res := &proto.AggResult{Count: uint64(len(ids))}
+	switch op {
+	case proto.AggCount:
+		return res, nil
+	case proto.AggSum:
+		vi := t.spec.ColumnIndex(valueCol)
+		if vi < 0 {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, valueCol)
+		}
+		if t.spec.Columns[vi].Kind != proto.KindField {
+			return nil, fmt.Errorf("%w: SUM needs a field-share column, %q is %s",
+				ErrBadRequest, valueCol, t.spec.Columns[vi].Kind)
+		}
+		var sum field.Element
+		for _, id := range ids {
+			sum = sum.Add(field.New(binary.BigEndian.Uint64(t.rows[id].Cells[vi])))
+		}
+		res.Sum = sum.Uint64()
+		return res, nil
+	case proto.AggMin, proto.AggMax, proto.AggMedian:
+		oi := t.spec.ColumnIndex(orderCol)
+		if oi < 0 {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, orderCol)
+		}
+		if t.spec.Columns[oi].Kind == proto.KindField {
+			return nil, fmt.Errorf("%w: cannot order by field-share column %q", ErrBadRequest, orderCol)
+		}
+		if len(ids) == 0 {
+			return res, nil
+		}
+		var pickID uint64
+		switch op {
+		case proto.AggMin, proto.AggMax:
+			pickID = ids[0]
+			best := t.rows[ids[0]].Cells[oi]
+			for _, id := range ids[1:] {
+				cell := t.rows[id].Cells[oi]
+				cmp := bytes.Compare(cell, best)
+				if (op == proto.AggMin && cmp < 0) || (op == proto.AggMax && cmp > 0) {
+					best, pickID = cell, id
+				}
+			}
+		case proto.AggMedian:
+			// Sort matched ids by order cell; order preservation makes the
+			// lower-median row identical at every provider.
+			sorted := append([]uint64(nil), ids...)
+			sort.Slice(sorted, func(a, b int) bool {
+				ca := t.rows[sorted[a]].Cells[oi]
+				cb := t.rows[sorted[b]].Cells[oi]
+				if c := bytes.Compare(ca, cb); c != 0 {
+					return c < 0
+				}
+				return sorted[a] < sorted[b]
+			})
+			pickID = sorted[(len(sorted)-1)/2]
+		}
+		res.HasRow = true
+		res.Row = t.rows[pickID]
+		return res, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown aggregate op %d", ErrBadRequest, op)
+	}
+}
+
+// AggregateGrouped partitions the matching rows by the group column's cell
+// bytes and computes COUNT (and, when valueCol is set, the field-share SUM)
+// per group. Groups are returned in key-byte order, which for OPP columns
+// is value order — identical at every provider, so the client can align
+// group partials positionally. Only COUNT/SUM are grouped provider-side;
+// other aggregates fall back to client-side computation.
+func (s *Store) AggregateGrouped(name string, op proto.AggOp, valueCol, groupCol string, f *proto.Filter) (*proto.GroupResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.table(name)
+	if err != nil {
+		return nil, err
+	}
+	if op != proto.AggCount && op != proto.AggSum {
+		return nil, fmt.Errorf("%w: grouped aggregation supports COUNT and SUM, not %s", ErrBadRequest, op)
+	}
+	gi := t.spec.ColumnIndex(groupCol)
+	if gi < 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, groupCol)
+	}
+	if t.spec.Columns[gi].Kind == proto.KindField {
+		return nil, fmt.Errorf("%w: cannot group by field-share column %q", ErrBadRequest, groupCol)
+	}
+	vi := -1
+	if op == proto.AggSum {
+		vi = t.spec.ColumnIndex(valueCol)
+		if vi < 0 {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, valueCol)
+		}
+		if t.spec.Columns[vi].Kind != proto.KindField {
+			return nil, fmt.Errorf("%w: grouped SUM needs a field-share column, %q is %s",
+				ErrBadRequest, valueCol, t.spec.Columns[vi].Kind)
+		}
+	}
+	ids, err := t.matchingIDs(f)
+	if err != nil {
+		return nil, err
+	}
+	partials := make(map[string]*proto.GroupPartial)
+	for _, id := range ids {
+		row := t.rows[id]
+		key := string(row.Cells[gi])
+		g, ok := partials[key]
+		if !ok {
+			g = &proto.GroupPartial{Key: append([]byte(nil), row.Cells[gi]...)}
+			partials[key] = g
+		}
+		g.Count++
+		if vi >= 0 {
+			sum := field.New(g.Sum).Add(field.New(binary.BigEndian.Uint64(row.Cells[vi])))
+			g.Sum = sum.Uint64()
+		}
+	}
+	res := &proto.GroupResult{Groups: make([]proto.GroupPartial, 0, len(partials))}
+	for _, g := range partials {
+		res.Groups = append(res.Groups, *g)
+	}
+	sort.Slice(res.Groups, func(i, j int) bool {
+		return bytes.Compare(res.Groups[i].Key, res.Groups[j].Key) < 0
+	})
+	return res, nil
+}
+
+// Join equijoins two tables on byte-equality of the named columns,
+// optionally pre-filtering the left side. Share determinism within one
+// domain makes this exactly the client-level referential join of Sec. V-A.
+func (s *Store) Join(req *proto.JoinRequest) (*proto.JoinResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lt, err := s.table(req.LeftTable)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := s.table(req.RightTable)
+	if err != nil {
+		return nil, err
+	}
+	lci := lt.spec.ColumnIndex(req.LeftCol)
+	if lci < 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, req.LeftCol)
+	}
+	rci := rt.spec.ColumnIndex(req.RightCol)
+	if rci < 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, req.RightCol)
+	}
+	if lt.spec.Columns[lci].Kind == proto.KindField || rt.spec.Columns[rci].Kind == proto.KindField {
+		return nil, fmt.Errorf("%w: cannot join on field-share columns", ErrBadRequest)
+	}
+	lNames, lIdx, err := lt.resolveProjection(req.LeftProj)
+	if err != nil {
+		return nil, err
+	}
+	rNames, rIdx, err := rt.resolveProjection(req.RightProj)
+	if err != nil {
+		return nil, err
+	}
+	leftIDs, err := lt.matchingIDs(req.Filter)
+	if err != nil {
+		return nil, err
+	}
+	// Hash join: build on the right side.
+	build := make(map[string][]uint64, len(rt.rows))
+	for _, rid := range rt.sortedIDs() {
+		cell := rt.rows[rid].Cells[rci]
+		build[string(cell)] = append(build[string(cell)], rid)
+	}
+	out := &proto.JoinResult{Columns: append(append([]string(nil), lNames...), rNames...)}
+	for _, lid := range leftIDs {
+		lrow := lt.rows[lid]
+		for _, rid := range build[string(lrow.Cells[lci])] {
+			rrow := rt.rows[rid]
+			cells := make([][]byte, 0, len(lIdx)+len(rIdx))
+			for _, ci := range lIdx {
+				cells = append(cells, lrow.Cells[ci])
+			}
+			for _, ci := range rIdx {
+				cells = append(cells, rrow.Cells[ci])
+			}
+			out.Rows = append(out.Rows, proto.JoinedRow{LeftID: lid, RightID: rid, Cells: cells})
+		}
+	}
+	return out, nil
+}
+
+// RowCount returns the number of rows in a table.
+func (s *Store) RowCount(name string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.table(name)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.rows), nil
+}

@@ -1,0 +1,867 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"sssdb/internal/field"
+	"sssdb/internal/merkle"
+	"sssdb/internal/proto"
+	"sssdb/internal/wal"
+)
+
+func testSpec() proto.TableSpec {
+	return proto.TableSpec{
+		Name: "employees",
+		Columns: []proto.ColumnSpec{
+			{Name: "salary#o", Kind: proto.KindOPP, Indexed: true},
+			{Name: "salary#f", Kind: proto.KindField},
+			{Name: "note", Kind: proto.KindPlain},
+		},
+	}
+}
+
+// oppCell fabricates a deterministic 24-byte order-preserving cell whose
+// byte order follows v.
+func oppCell(v uint64) []byte {
+	c := make([]byte, oppCellSize)
+	binary.BigEndian.PutUint64(c[16:], v)
+	return c
+}
+
+func fieldCell(v uint64) []byte {
+	c := make([]byte, fieldCellSize)
+	binary.BigEndian.PutUint64(c, v)
+	return c
+}
+
+func row(id, salary uint64) proto.Row {
+	return proto.Row{
+		ID:    id,
+		Cells: [][]byte{oppCell(salary), fieldCell(salary * 3), []byte(fmt.Sprintf("n%d", id))},
+	}
+}
+
+func memStore(t testing.TB) *Store {
+	t.Helper()
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustCreate(t testing.TB, s *Store) {
+	t.Helper()
+	if err := s.CreateTable(testSpec()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateDropList(t *testing.T) {
+	s := memStore(t)
+	mustCreate(t, s)
+	if err := s.CreateTable(testSpec()); !errors.Is(err, ErrTableExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	specs := s.ListTables()
+	if len(specs) != 1 || specs[0].Name != "employees" {
+		t.Fatalf("ListTables = %v", specs)
+	}
+	if err := s.DropTable("employees"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropTable("employees"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("double drop: %v", err)
+	}
+	if len(s.ListTables()) != 0 {
+		t.Fatal("table not dropped")
+	}
+	bad := testSpec()
+	bad.Columns = nil
+	if err := s.CreateTable(bad); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("invalid spec: %v", err)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	s := memStore(t)
+	mustCreate(t, s)
+	if err := s.Insert("nope", []proto.Row{row(1, 10)}); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("missing table: %v", err)
+	}
+	// Wrong arity.
+	if err := s.Insert("employees", []proto.Row{{ID: 1, Cells: [][]byte{oppCell(1)}}}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("bad arity: %v", err)
+	}
+	// Wrong OPP width.
+	badOpp := row(1, 10)
+	badOpp.Cells[0] = []byte{1, 2, 3}
+	if err := s.Insert("employees", []proto.Row{badOpp}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("bad opp width: %v", err)
+	}
+	// Wrong field width.
+	badField := row(1, 10)
+	badField.Cells[1] = []byte{1}
+	if err := s.Insert("employees", []proto.Row{badField}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("bad field width: %v", err)
+	}
+	// Valid rows, duplicate within batch.
+	if err := s.Insert("employees", []proto.Row{row(1, 10), row(1, 20)}); !errors.Is(err, ErrDuplicateRow) {
+		t.Fatalf("in-batch duplicate: %v", err)
+	}
+	if err := s.Insert("employees", []proto.Row{row(1, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("employees", []proto.Row{row(1, 20)}); !errors.Is(err, ErrDuplicateRow) {
+		t.Fatalf("cross-batch duplicate: %v", err)
+	}
+	// Failed batch is atomic: nothing from it was applied.
+	if n, _ := s.RowCount("employees"); n != 1 {
+		t.Fatalf("rows = %d, want 1", n)
+	}
+}
+
+func TestScanAll(t *testing.T) {
+	s := memStore(t)
+	mustCreate(t, s)
+	for i := uint64(1); i <= 5; i++ {
+		if err := s.Insert("employees", []proto.Row{row(i, i*10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := s.Scan("employees", nil, nil, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 5 || len(resp.Columns) != 3 {
+		t.Fatalf("rows=%d cols=%v", len(resp.Rows), resp.Columns)
+	}
+	// Limit.
+	resp, err = s.Scan("employees", nil, nil, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 2 {
+		t.Fatalf("limited rows = %d", len(resp.Rows))
+	}
+	// Projection.
+	resp, err = s.Scan("employees", nil, []string{"salary#f"}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Columns) != 1 || resp.Columns[0] != "salary#f" || len(resp.Rows[0].Cells) != 1 {
+		t.Fatalf("projection wrong: %v", resp.Columns)
+	}
+	if _, err := s.Scan("employees", nil, []string{"missing"}, 0, false); !errors.Is(err, ErrNoSuchColumn) {
+		t.Fatalf("bad projection: %v", err)
+	}
+}
+
+func TestScanFilters(t *testing.T) {
+	s := memStore(t)
+	mustCreate(t, s)
+	salaries := []uint64{10, 20, 40, 60, 80, 20}
+	for i, sal := range salaries {
+		if err := s.Insert("employees", []proto.Row{row(uint64(i+1), sal)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Equality on indexed OPP column, with duplicates.
+	resp, err := s.Scan("employees", &proto.Filter{
+		Col: "salary#o", Op: proto.FilterEq, Lo: oppCell(20),
+	}, nil, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 2 {
+		t.Fatalf("eq matched %d rows, want 2", len(resp.Rows))
+	}
+	// Range [20, 60].
+	resp, err = s.Scan("employees", &proto.Filter{
+		Col: "salary#o", Op: proto.FilterRange, Lo: oppCell(20), Hi: oppCell(60),
+	}, nil, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 4 {
+		t.Fatalf("range matched %d rows, want 4", len(resp.Rows))
+	}
+	// Rows come back in index (share) order.
+	var prev []byte
+	for _, r := range resp.Rows {
+		if prev != nil && bytes.Compare(prev, r.Cells[0]) > 0 {
+			t.Fatal("range scan not in share order")
+		}
+		prev = r.Cells[0]
+	}
+	// Unindexed plain column filter (full scan path).
+	resp, err = s.Scan("employees", &proto.Filter{
+		Col: "note", Op: proto.FilterEq, Lo: []byte("n3"),
+	}, nil, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0].ID != 3 {
+		t.Fatalf("plain filter: %v", resp.Rows)
+	}
+	// Filtering on a field-share column is rejected.
+	if _, err := s.Scan("employees", &proto.Filter{
+		Col: "salary#f", Op: proto.FilterEq, Lo: fieldCell(30),
+	}, nil, 0, false); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("field filter: %v", err)
+	}
+	// Unknown filter column / op.
+	if _, err := s.Scan("employees", &proto.Filter{Col: "zz", Op: proto.FilterEq}, nil, 0, false); !errors.Is(err, ErrNoSuchColumn) {
+		t.Fatalf("bad filter col: %v", err)
+	}
+	if _, err := s.Scan("employees", &proto.Filter{Col: "salary#o", Op: 99}, nil, 0, false); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("bad filter op: %v", err)
+	}
+}
+
+func TestDeleteAndUpdate(t *testing.T) {
+	s := memStore(t)
+	mustCreate(t, s)
+	for i := uint64(1); i <= 4; i++ {
+		if err := s.Insert("employees", []proto.Row{row(i, i*10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	affected, err := s.Delete("employees", []uint64{2, 3, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if affected != 2 {
+		t.Fatalf("affected = %d", affected)
+	}
+	// Deleted rows are gone from scans and indexes.
+	resp, err := s.Scan("employees", &proto.Filter{
+		Col: "salary#o", Op: proto.FilterRange, Lo: oppCell(0), Hi: oppCell(100),
+	}, nil, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 2 {
+		t.Fatalf("rows after delete = %d", len(resp.Rows))
+	}
+	// Update moves the row in the index.
+	updated := row(1, 75)
+	if err := s.Update("employees", []proto.Row{updated}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = s.Scan("employees", &proto.Filter{
+		Col: "salary#o", Op: proto.FilterEq, Lo: oppCell(75),
+	}, nil, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0].ID != 1 {
+		t.Fatalf("updated row not found: %v", resp.Rows)
+	}
+	resp, err = s.Scan("employees", &proto.Filter{
+		Col: "salary#o", Op: proto.FilterEq, Lo: oppCell(10),
+	}, nil, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 0 {
+		t.Fatal("old index entry survived update")
+	}
+	if err := s.Update("employees", []proto.Row{row(42, 5)}); !errors.Is(err, ErrNoSuchRow) {
+		t.Fatalf("update missing row: %v", err)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	s := memStore(t)
+	mustCreate(t, s)
+	salaries := []uint64{10, 20, 40, 60, 80}
+	for i, sal := range salaries {
+		if err := s.Insert("employees", []proto.Row{row(uint64(i+1), sal)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	filter := &proto.Filter{Col: "salary#o", Op: proto.FilterRange, Lo: oppCell(20), Hi: oppCell(60)}
+
+	count, err := s.Aggregate("employees", proto.AggCount, "", "", filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Count != 3 {
+		t.Fatalf("count = %d", count.Count)
+	}
+	sum, err := s.Aggregate("employees", proto.AggSum, "", "salary#f", filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// field cells hold salary*3: (20+40+60)*3 = 360.
+	if sum.Sum != 360 {
+		t.Fatalf("sum = %d", sum.Sum)
+	}
+	min, err := s.Aggregate("employees", proto.AggMin, "salary#o", "salary#f", filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !min.HasRow || min.Row.ID != 2 {
+		t.Fatalf("min row = %+v", min)
+	}
+	max, err := s.Aggregate("employees", proto.AggMax, "salary#o", "salary#f", filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !max.HasRow || max.Row.ID != 4 {
+		t.Fatalf("max row = %+v", max)
+	}
+	med, err := s.Aggregate("employees", proto.AggMedian, "salary#o", "salary#f", filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !med.HasRow || med.Row.ID != 3 {
+		t.Fatalf("median row = %+v", med)
+	}
+	// Empty match.
+	none := &proto.Filter{Col: "salary#o", Op: proto.FilterEq, Lo: oppCell(7777)}
+	res, err := s.Aggregate("employees", proto.AggMedian, "salary#o", "salary#f", none)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 0 || res.HasRow {
+		t.Fatalf("empty median: %+v", res)
+	}
+	// Error cases.
+	if _, err := s.Aggregate("employees", proto.AggSum, "", "salary#o", filter); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("sum over opp: %v", err)
+	}
+	if _, err := s.Aggregate("employees", proto.AggSum, "", "zz", filter); !errors.Is(err, ErrNoSuchColumn) {
+		t.Fatalf("sum over missing: %v", err)
+	}
+	if _, err := s.Aggregate("employees", proto.AggMin, "salary#f", "", filter); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("min over field: %v", err)
+	}
+	if _, err := s.Aggregate("employees", proto.AggMin, "zz", "", filter); !errors.Is(err, ErrNoSuchColumn) {
+		t.Fatalf("min over missing: %v", err)
+	}
+	if _, err := s.Aggregate("employees", 99, "", "", nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("bad op: %v", err)
+	}
+}
+
+// Partial sums across providers must reconstruct the true sum; the store
+// only needs to sum mod p, which this test checks against field arithmetic.
+func TestAggregateSumModular(t *testing.T) {
+	s := memStore(t)
+	mustCreate(t, s)
+	// Use values near the modulus to exercise wraparound.
+	big1 := field.Modulus - 5
+	r1 := row(1, 10)
+	r1.Cells[1] = fieldCell(big1)
+	r2 := row(2, 20)
+	r2.Cells[1] = fieldCell(17)
+	if err := s.Insert("employees", []proto.Row{r1, r2}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Aggregate("employees", proto.AggSum, "", "salary#f", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := field.New(big1).Add(field.New(17)).Uint64()
+	if res.Sum != want {
+		t.Fatalf("sum = %d, want %d", res.Sum, want)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	s := memStore(t)
+	mustCreate(t, s)
+	managers := proto.TableSpec{
+		Name: "managers",
+		Columns: []proto.ColumnSpec{
+			{Name: "eid#o", Kind: proto.KindOPP, Indexed: true},
+			{Name: "level#f", Kind: proto.KindField},
+		},
+	}
+	if err := s.CreateTable(managers); err != nil {
+		t.Fatal(err)
+	}
+	// employees keyed by salary#o here standing in for eid; rows 1..4.
+	for i := uint64(1); i <= 4; i++ {
+		if err := s.Insert("employees", []proto.Row{row(i, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// managers reference eids 2 and 4; eid 2 twice.
+	mrow := func(id, eid, lvl uint64) proto.Row {
+		return proto.Row{ID: id, Cells: [][]byte{oppCell(eid), fieldCell(lvl)}}
+	}
+	if err := s.Insert("managers", []proto.Row{mrow(1, 2, 100), mrow(2, 4, 200), mrow(3, 2, 300)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Join(&proto.JoinRequest{
+		LeftTable: "employees", LeftCol: "salary#o",
+		RightTable: "managers", RightCol: "eid#o",
+		LeftProj: []string{"salary#f"}, RightProj: []string{"level#f"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("join produced %d rows, want 3", len(res.Rows))
+	}
+	if len(res.Columns) != 2 || res.Columns[0] != "salary#f" || res.Columns[1] != "level#f" {
+		t.Fatalf("join columns: %v", res.Columns)
+	}
+	matched := map[[2]uint64]bool{}
+	for _, jr := range res.Rows {
+		matched[[2]uint64{jr.LeftID, jr.RightID}] = true
+		if len(jr.Cells) != 2 {
+			t.Fatalf("joined cells: %d", len(jr.Cells))
+		}
+	}
+	for _, want := range [][2]uint64{{2, 1}, {4, 2}, {2, 3}} {
+		if !matched[want] {
+			t.Fatalf("missing pair %v; got %v", want, matched)
+		}
+	}
+	// Filter restricts the left side.
+	res, err = s.Join(&proto.JoinRequest{
+		LeftTable: "employees", LeftCol: "salary#o",
+		RightTable: "managers", RightCol: "eid#o",
+		Filter: &proto.Filter{Col: "salary#o", Op: proto.FilterEq, Lo: oppCell(4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].LeftID != 4 {
+		t.Fatalf("filtered join: %+v", res.Rows)
+	}
+	// Error cases.
+	if _, err := s.Join(&proto.JoinRequest{LeftTable: "zz", RightTable: "managers", LeftCol: "a", RightCol: "b"}); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("join missing table: %v", err)
+	}
+	if _, err := s.Join(&proto.JoinRequest{
+		LeftTable: "employees", LeftCol: "salary#f",
+		RightTable: "managers", RightCol: "eid#o",
+	}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("join on field col: %v", err)
+	}
+	if _, err := s.Join(&proto.JoinRequest{
+		LeftTable: "employees", LeftCol: "nope",
+		RightTable: "managers", RightCol: "eid#o",
+	}); !errors.Is(err, ErrNoSuchColumn) {
+		t.Fatalf("join on missing col: %v", err)
+	}
+}
+
+func TestDigestAndProof(t *testing.T) {
+	s := memStore(t)
+	mustCreate(t, s)
+	salaries := []uint64{10, 20, 40, 60, 80}
+	for i, sal := range salaries {
+		if err := s.Insert("employees", []proto.Row{row(uint64(i+1), sal)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dig, err := s.Digest("employees", "salary#o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dig.Count != 5 || len(dig.Root) != merkle.HashSize {
+		t.Fatalf("digest: %+v", dig)
+	}
+	// Digest changes with data.
+	if err := s.Insert("employees", []proto.Row{row(6, 70)}); err != nil {
+		t.Fatal(err)
+	}
+	dig2, err := s.Digest("employees", "salary#o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(dig.Root, dig2.Root) || dig2.Count != 6 {
+		t.Fatal("digest did not change after insert")
+	}
+	// Digest of unindexed column fails.
+	if _, err := s.Digest("employees", "salary#f"); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("digest unindexed: %v", err)
+	}
+
+	// Verified range scan: the returned rows + proof must recompute the root.
+	f := &proto.Filter{Col: "salary#o", Op: proto.FilterRange, Lo: oppCell(20), Hi: oppCell(60)}
+	resp, err := s.Scan("employees", f, nil, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 3 || resp.Proof == nil {
+		t.Fatalf("rows=%d proof=%v", len(resp.Rows), resp.Proof != nil)
+	}
+	p, err := merkle.UnmarshalRangeProof(resp.Proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the leaf run: left fence + matched rows + right fence.
+	var run []merkle.Hash
+	if p.LeftFence != nil {
+		run = append(run, merkle.LeafHash(p.LeftFence.Key, p.LeftFence.RowDigest))
+	}
+	for _, r := range resp.Rows {
+		key := indexKey(r.Cells[0], r.ID)
+		run = append(run, merkle.LeafHash(key, RowDigest(r)))
+	}
+	if p.RightFence != nil {
+		run = append(run, merkle.LeafHash(p.RightFence.Key, p.RightFence.RowDigest))
+	}
+	root, err := merkle.VerifyRange(int(p.N), int(p.Start), run, p.Hashes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(root[:], dig2.Root) {
+		t.Fatal("recomputed root does not match digest")
+	}
+
+	// Proof restrictions.
+	if _, err := s.Scan("employees", nil, nil, 0, true); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("proof without filter: %v", err)
+	}
+	if _, err := s.Scan("employees", f, nil, 2, true); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("proof with limit: %v", err)
+	}
+	if _, err := s.Scan("employees", &proto.Filter{Col: "note", Op: proto.FilterEq, Lo: []byte("n1")}, nil, 0, true); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("proof on unindexed column: %v", err)
+	}
+}
+
+func TestProofAtEdges(t *testing.T) {
+	s := memStore(t)
+	mustCreate(t, s)
+	for i, sal := range []uint64{10, 20, 30} {
+		if err := s.Insert("employees", []proto.Row{row(uint64(i+1), sal)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dig, err := s.Digest("employees", "salary#o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify := func(lo, hi uint64, wantRows int) {
+		t.Helper()
+		f := &proto.Filter{Col: "salary#o", Op: proto.FilterRange, Lo: oppCell(lo), Hi: oppCell(hi)}
+		resp, err := s.Scan("employees", f, nil, 0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Rows) != wantRows {
+			t.Fatalf("[%d,%d]: %d rows, want %d", lo, hi, len(resp.Rows), wantRows)
+		}
+		p, err := merkle.UnmarshalRangeProof(resp.Proof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var run []merkle.Hash
+		if p.LeftFence != nil {
+			run = append(run, merkle.LeafHash(p.LeftFence.Key, p.LeftFence.RowDigest))
+		}
+		for _, r := range resp.Rows {
+			run = append(run, merkle.LeafHash(indexKey(r.Cells[0], r.ID), RowDigest(r)))
+		}
+		if p.RightFence != nil {
+			run = append(run, merkle.LeafHash(p.RightFence.Key, p.RightFence.RowDigest))
+		}
+		root, err := merkle.VerifyRange(int(p.N), int(p.Start), run, p.Hashes)
+		if err != nil {
+			t.Fatalf("[%d,%d]: %v", lo, hi, err)
+		}
+		if !bytes.Equal(root[:], dig.Root) {
+			t.Fatalf("[%d,%d]: root mismatch", lo, hi)
+		}
+	}
+	verify(0, 100, 3) // whole table, no fences
+	verify(0, 5, 0)   // empty result at left edge
+	verify(50, 99, 0) // empty result at right edge
+	verify(15, 17, 0) // empty result in the middle, two fences
+	verify(10, 10, 1) // leftmost row
+	verify(30, 30, 1) // rightmost row
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, s)
+	for i := uint64(1); i <= 10; i++ {
+		if err := s.Insert("employees", []proto.Row{row(i, i*5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Delete("employees", []uint64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update("employees", []proto.Row{row(4, 999)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	n, err := s2.RowCount("employees")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Fatalf("rows after reopen = %d, want 9", n)
+	}
+	resp, err := s2.Scan("employees", &proto.Filter{
+		Col: "salary#o", Op: proto.FilterEq, Lo: oppCell(999),
+	}, nil, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0].ID != 4 {
+		t.Fatal("update lost across reopen")
+	}
+}
+
+func TestCompactionAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, s)
+	for i := uint64(1); i <= 20; i++ {
+		if err := s.Insert("employees", []proto.Row{row(i, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compaction mutations land in the fresh WAL.
+	if err := s.Insert("employees", []proto.Row{row(21, 21)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete("employees", []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	n, err := s2.RowCount("employees")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("rows = %d, want 20", n)
+	}
+	// Memory store Compact is a no-op.
+	mem := memStore(t)
+	if err := mem.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, s)
+	if err := s.Insert("employees", []proto.Row{row(1, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the snapshot payload: the checksum must catch it.
+	path := s.snapshotPath()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestOpenRejectsTruncatedSnapshotRecord(t *testing.T) {
+	dir := t.TempDir()
+	// A snapshot with a valid checksum but a truncated record stream.
+	bogus := []byte{0, 0, 0, 99} // claims a 99-byte record, provides none
+	if err := wal.SaveSnapshot(filepath.Join(dir, "store.snapshot"), bogus); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("got %v, want ErrBadRequest", err)
+	}
+}
+
+// Differential test: random mutations against a plain map oracle, checked
+// through scans, with one reopen in the middle.
+func TestRandomizedWithOracleAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, s)
+	oracle := make(map[uint64]uint64) // id -> salary
+	rng := mrand.New(mrand.NewSource(99))
+	nextID := uint64(1)
+
+	mutate := func(steps int) {
+		for i := 0; i < steps; i++ {
+			switch rng.Intn(3) {
+			case 0: // insert
+				id := nextID
+				nextID++
+				sal := uint64(rng.Intn(1000))
+				if err := s.Insert("employees", []proto.Row{row(id, sal)}); err != nil {
+					t.Fatal(err)
+				}
+				oracle[id] = sal
+			case 1: // delete random existing
+				for id := range oracle {
+					if _, err := s.Delete("employees", []uint64{id}); err != nil {
+						t.Fatal(err)
+					}
+					delete(oracle, id)
+					break
+				}
+			case 2: // update random existing
+				for id := range oracle {
+					sal := uint64(rng.Intn(1000))
+					if err := s.Update("employees", []proto.Row{row(id, sal)}); err != nil {
+						t.Fatal(err)
+					}
+					oracle[id] = sal
+					break
+				}
+			}
+		}
+	}
+	check := func() {
+		t.Helper()
+		lo, hi := uint64(200), uint64(700)
+		resp, err := s.Scan("employees", &proto.Filter{
+			Col: "salary#o", Op: proto.FilterRange, Lo: oppCell(lo), Hi: oppCell(hi),
+		}, nil, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []uint64
+		for id, sal := range oracle {
+			if sal >= lo && sal <= hi {
+				want = append(want, id)
+			}
+		}
+		if len(resp.Rows) != len(want) {
+			t.Fatalf("scan matched %d rows, oracle %d", len(resp.Rows), len(want))
+		}
+		got := make([]uint64, 0, len(resp.Rows))
+		for _, r := range resp.Rows {
+			got = append(got, r.ID)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("row set mismatch: got %v want %v", got, want)
+			}
+		}
+		n, err := s.RowCount("employees")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(oracle) {
+			t.Fatalf("RowCount %d, oracle %d", n, len(oracle))
+		}
+	}
+
+	mutate(400)
+	check()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	mutate(200)
+	check()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	check()
+	mutate(100)
+	check()
+}
+
+func BenchmarkInsertBatch100(b *testing.B) {
+	s := memStore(b)
+	if err := s.CreateTable(testSpec()); err != nil {
+		b.Fatal(err)
+	}
+	id := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := make([]proto.Row, 100)
+		for j := range rows {
+			rows[j] = row(id, id%100000)
+			id++
+		}
+		if err := s.Insert("employees", rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexedRangeScan(b *testing.B) {
+	s := memStore(b)
+	if err := s.CreateTable(testSpec()); err != nil {
+		b.Fatal(err)
+	}
+	for i := uint64(1); i <= 50_000; i++ {
+		if err := s.Insert("employees", []proto.Row{row(i, i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	f := &proto.Filter{Col: "salary#o", Op: proto.FilterRange, Lo: oppCell(20_000), Hi: oppCell(20_500)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := s.Scan("employees", f, nil, 0, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resp.Rows) != 501 {
+			b.Fatalf("matched %d", len(resp.Rows))
+		}
+	}
+}

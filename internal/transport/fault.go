@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"sssdb/internal/proto"
+)
+
+// ErrInjectedCrash is returned by a faulty connection in crash mode; it
+// models a provider that is down or unreachable (the paper's benign
+// failure model).
+var ErrInjectedCrash = errors.New("transport: injected provider crash")
+
+// Corrupter mutates a provider response in flight, modeling a malicious
+// provider (the paper's malicious failure model). It may return the message
+// unchanged.
+type Corrupter func(resp proto.Message) proto.Message
+
+// FaultyConn wraps a Conn with switchable fault injection. Faults can be
+// toggled while queries run, letting experiments crash a provider
+// mid-workload.
+type FaultyConn struct {
+	inner Conn
+
+	mu      sync.Mutex
+	crashed bool
+	delay   time.Duration
+	corrupt Corrupter
+}
+
+// NewFaulty wraps inner with fault controls (all disabled initially).
+func NewFaulty(inner Conn) *FaultyConn {
+	return &FaultyConn{inner: inner}
+}
+
+// Crash makes every subsequent call fail with ErrInjectedCrash.
+func (c *FaultyConn) Crash() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed = true
+}
+
+// Recover clears crash mode.
+func (c *FaultyConn) Recover() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed = false
+}
+
+// SetDelay injects a fixed latency before each call.
+func (c *FaultyConn) SetDelay(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delay = d
+}
+
+// SetCorrupter installs (or clears, with nil) a response corrupter.
+func (c *FaultyConn) SetCorrupter(f Corrupter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.corrupt = f
+}
+
+// Call implements Conn.
+func (c *FaultyConn) Call(req proto.Message) (proto.Message, error) {
+	c.mu.Lock()
+	crashed, delay, corrupt := c.crashed, c.delay, c.corrupt
+	c.mu.Unlock()
+	if crashed {
+		return nil, ErrInjectedCrash
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	resp, err := c.inner.Call(req)
+	if err != nil {
+		return nil, err
+	}
+	if corrupt != nil {
+		resp = corrupt(resp)
+	}
+	return resp, nil
+}
+
+// Stats implements Conn.
+func (c *FaultyConn) Stats() Stats { return c.inner.Stats() }
+
+// Close implements Conn.
+func (c *FaultyConn) Close() error { return c.inner.Close() }

@@ -1,0 +1,320 @@
+// Package transport moves protocol messages between the data source and
+// providers. Two interchangeable implementations exist: a framed TCP
+// transport for real deployments (cmd/dasd) and an in-process loopback that
+// runs the identical encode/decode path — so unit tests and benchmarks
+// measure exactly the bytes a network deployment would move, without socket
+// noise.
+//
+// The package also provides fault injection (crash, delay, response
+// corruption) used by the fault-tolerance and malicious-provider
+// experiments (E10, E14).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sssdb/internal/proto"
+)
+
+// maxFrameSize bounds one frame; matches the proto list limits.
+const maxFrameSize = 256 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed reports use of a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// ErrFrameCorrupt reports a frame failing its checksum.
+var ErrFrameCorrupt = errors.New("transport: corrupt frame")
+
+// Stats counts traffic through a Conn. Byte counts include framing
+// overhead, mirroring what a network capture would show.
+type Stats struct {
+	BytesSent     uint64
+	BytesReceived uint64
+	Calls         uint64
+}
+
+// Conn is a synchronous request/response channel to one provider.
+// Implementations are safe for concurrent use; calls are serialized.
+type Conn interface {
+	// Call sends a request and waits for the provider's response.
+	Call(req proto.Message) (proto.Message, error)
+	// Stats returns a snapshot of traffic counters.
+	Stats() Stats
+	// Close releases the connection.
+	Close() error
+}
+
+// Handler is the provider side of a transport: it consumes one request and
+// produces one response.
+type Handler interface {
+	Handle(req proto.Message) proto.Message
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(proto.Message) proto.Message
+
+// Handle calls f.
+func (f HandlerFunc) Handle(req proto.Message) proto.Message { return f(req) }
+
+// counters is an embedded atomic stats block.
+type counters struct {
+	sent  atomic.Uint64
+	recv  atomic.Uint64
+	calls atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		BytesSent:     c.sent.Load(),
+		BytesReceived: c.recv.Load(),
+		Calls:         c.calls.Load(),
+	}
+}
+
+// frameLen returns the on-wire size of a message body: 8-byte header
+// (length + crc) plus the payload.
+func frameLen(body []byte) uint64 { return uint64(len(body)) + 8 }
+
+// writeFrame writes one length+crc framed message body.
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(body, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one framed message body.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[0:4])
+	want := binary.BigEndian.Uint32(hdr[4:8])
+	if length > maxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(body, crcTable) != want {
+		return nil, ErrFrameCorrupt
+	}
+	return body, nil
+}
+
+// --- In-process loopback ---
+
+type localConn struct {
+	counters
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+}
+
+// NewLocal returns a Conn that delivers requests to h in-process, running
+// the full encode/decode path in both directions so byte accounting matches
+// a network deployment exactly.
+func NewLocal(h Handler) Conn {
+	return &localConn{handler: h}
+}
+
+func (c *localConn) Call(req proto.Message) (proto.Message, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	reqBody := proto.Encode(req)
+	c.sent.Add(frameLen(reqBody))
+	c.calls.Add(1)
+	// Decode on the "server side" to guarantee the handler sees exactly
+	// what a remote server would.
+	serverReq, err := proto.Decode(reqBody)
+	if err != nil {
+		return nil, err
+	}
+	resp := c.handler.Handle(serverReq)
+	respBody := proto.Encode(resp)
+	c.recv.Add(frameLen(respBody))
+	return proto.Decode(respBody)
+}
+
+func (c *localConn) Stats() Stats { return c.snapshot() }
+
+func (c *localConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// --- TCP ---
+
+type tcpConn struct {
+	counters
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// Dial connects to a provider at addr (host:port).
+func Dial(addr string) (Conn, error) {
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout connects with a per-call deadline: any Call that does not
+// complete within timeout fails (and the caller's failover logic treats the
+// provider as down). Zero disables deadlines.
+func DialTimeout(addr string, timeout time.Duration) (Conn, error) {
+	dialTimeout := timeout
+	if dialTimeout == 0 {
+		dialTimeout = 30 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &tcpConn{conn: nc, timeout: timeout}, nil
+}
+
+func (c *tcpConn) Call(req proto.Message) (proto.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, ErrClosed
+	}
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, err
+		}
+	}
+	body := proto.Encode(req)
+	if err := writeFrame(c.conn, body); err != nil {
+		return nil, err
+	}
+	c.sent.Add(frameLen(body))
+	c.calls.Add(1)
+	respBody, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	c.recv.Add(frameLen(respBody))
+	return proto.Decode(respBody)
+}
+
+func (c *tcpConn) Stats() Stats { return c.snapshot() }
+
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Server accepts framed connections and dispatches them to a Handler.
+type Server struct {
+	handler Handler
+	ln      net.Listener
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewServer starts serving h on ln. It returns immediately; use Close to
+// stop.
+func NewServer(ln net.Listener, h Handler) *Server {
+	s := &Server{
+		handler: h,
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				// Transient accept error: keep serving.
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		nc.Close()
+	}()
+	for {
+		body, err := readFrame(nc)
+		if err != nil {
+			return // client went away or sent garbage; drop the connection
+		}
+		req, err := proto.Decode(body)
+		var resp proto.Message
+		if err != nil {
+			resp = &proto.ErrorResponse{Code: proto.CodeBadRequest, Msg: err.Error()}
+		} else {
+			resp = s.handler.Handle(req)
+		}
+		if err := writeFrame(nc, proto.Encode(resp)); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}

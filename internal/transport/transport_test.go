@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"sssdb/internal/proto"
+)
+
+// echoHandler responds to Ping with OK and echoes scan requests back as
+// row responses carrying the table name, letting tests verify dispatch.
+type echoHandler struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (h *echoHandler) Handle(req proto.Message) proto.Message {
+	h.mu.Lock()
+	h.calls++
+	h.mu.Unlock()
+	switch m := req.(type) {
+	case *proto.PingRequest:
+		return &proto.OKResponse{Affected: 7}
+	case *proto.ScanRequest:
+		return &proto.RowsResponse{Columns: []string{m.Table}}
+	default:
+		return &proto.ErrorResponse{Code: proto.CodeBadRequest, Msg: "unexpected"}
+	}
+}
+
+func TestLocalConnRoundTrip(t *testing.T) {
+	h := &echoHandler{}
+	c := NewLocal(h)
+	defer c.Close()
+	resp, err := c.Call(&proto.PingRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, isOK := resp.(*proto.OKResponse)
+	if !isOK || ok.Affected != 7 {
+		t.Fatalf("got %#v", resp)
+	}
+	resp, err = c.Call(&proto.ScanRequest{Table: "employees"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, isRows := resp.(*proto.RowsResponse)
+	if !isRows || len(rows.Columns) != 1 || rows.Columns[0] != "employees" {
+		t.Fatalf("got %#v", resp)
+	}
+	if h.calls != 2 {
+		t.Fatalf("handler saw %d calls", h.calls)
+	}
+}
+
+func TestLocalConnStats(t *testing.T) {
+	c := NewLocal(&echoHandler{})
+	defer c.Close()
+	if _, err := c.Call(&proto.PingRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Calls != 1 {
+		t.Fatalf("calls = %d", st.Calls)
+	}
+	// Ping is 1 body byte + 8 frame header.
+	if st.BytesSent != 9 {
+		t.Fatalf("sent = %d, want 9", st.BytesSent)
+	}
+	if st.BytesReceived == 0 {
+		t.Fatal("received = 0")
+	}
+}
+
+func TestLocalConnClosed(t *testing.T) {
+	c := NewLocal(&echoHandler{})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(&proto.PingRequest{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, &echoHandler{})
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 10; i++ {
+		resp, err := c.Call(&proto.ScanRequest{Table: "t"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := resp.(*proto.RowsResponse); !ok {
+			t.Fatalf("got %#v", resp)
+		}
+	}
+	st := c.Stats()
+	if st.Calls != 10 || st.BytesSent == 0 || st.BytesReceived == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &echoHandler{}
+	srv := NewServer(ln, h)
+	defer srv.Close()
+
+	const clients = 8
+	const callsEach = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(srv.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < callsEach; j++ {
+				if _, err := c.Call(&proto.PingRequest{}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if h.calls != clients*callsEach {
+		t.Fatalf("handler saw %d calls, want %d", h.calls, clients*callsEach)
+	}
+}
+
+func TestTCPServerRejectsGarbage(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, &echoHandler{})
+	defer srv.Close()
+
+	// A valid frame holding an undecodable body gets an ErrorResponse.
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := writeFrame(nc, []byte{0xff, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := readFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := proto.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := resp.(*proto.ErrorResponse); !ok || e.Code != proto.CodeBadRequest {
+		t.Fatalf("got %#v", resp)
+	}
+}
+
+func TestTCPClosedConn(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, &echoHandler{})
+	defer srv.Close()
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil { // double close is fine
+		t.Fatal(err)
+	}
+	if _, err := c.Call(&proto.PingRequest{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestFaultyCrashAndRecover(t *testing.T) {
+	f := NewFaulty(NewLocal(&echoHandler{}))
+	defer f.Close()
+	if _, err := f.Call(&proto.PingRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash()
+	if _, err := f.Call(&proto.PingRequest{}); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("got %v", err)
+	}
+	f.Recover()
+	if _, err := f.Call(&proto.PingRequest{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultyCorrupter(t *testing.T) {
+	f := NewFaulty(NewLocal(&echoHandler{}))
+	defer f.Close()
+	f.SetCorrupter(func(resp proto.Message) proto.Message {
+		if ok, is := resp.(*proto.OKResponse); is {
+			ok.Affected = 666
+		}
+		return resp
+	})
+	resp, err := f.Call(&proto.PingRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok := resp.(*proto.OKResponse); ok.Affected != 666 {
+		t.Fatalf("corrupter not applied: %#v", ok)
+	}
+	f.SetCorrupter(nil)
+	resp, err = f.Call(&proto.PingRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok := resp.(*proto.OKResponse); ok.Affected != 7 {
+		t.Fatalf("corrupter still applied: %#v", ok)
+	}
+}
+
+func TestFaultyDelay(t *testing.T) {
+	f := NewFaulty(NewLocal(&echoHandler{}))
+	defer f.Close()
+	f.SetDelay(30 * time.Millisecond)
+	start := time.Now()
+	if _, err := f.Call(&proto.PingRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delay not applied: %v", elapsed)
+	}
+}
+
+func TestFaultyStatsPassThrough(t *testing.T) {
+	f := NewFaulty(NewLocal(&echoHandler{}))
+	defer f.Close()
+	if _, err := f.Call(&proto.PingRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().Calls != 1 {
+		t.Fatalf("stats %+v", f.Stats())
+	}
+}
+
+func BenchmarkLocalCall(b *testing.B) {
+	c := NewLocal(&echoHandler{})
+	defer c.Close()
+	req := &proto.ScanRequest{Table: "t"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPCall(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(ln, &echoHandler{})
+	defer srv.Close()
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	req := &proto.PingRequest{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package wal provides a CRC-framed append-only write-ahead log and
+// atomic snapshot files, the durability substrate of a provider's store.
+//
+// Record framing on disk:
+//
+//	+----------------+----------------+------------------+
+//	| length  uint32 | crc32c  uint32 | payload (length) |
+//	+----------------+----------------+------------------+
+//
+// Replay stops cleanly at the first torn or corrupt record (the common
+// crash shape for an append-only file), reporting how many bytes of the
+// file were valid so the caller can truncate the tail.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a record whose checksum failed mid-file (not at the
+// tail), indicating damage rather than a torn append.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// maxRecordSize bounds a single record; larger writes indicate a bug.
+const maxRecordSize = 64 << 20
+
+// Log is an append-only record log. Not safe for concurrent use; the store
+// serializes writers.
+type Log struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// Open opens (creating if needed) the log at path for appending. Any torn
+// tail from a previous crash is truncated away first.
+func Open(path string) (*Log, error) {
+	valid, _, err := scan(path, nil)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, bw: bufio.NewWriterSize(f, 64<<10)}, nil
+}
+
+// Append writes one record. The data is buffered; call Sync to force it to
+// stable storage.
+func (l *Log) Append(record []byte) error {
+	if len(record) > maxRecordSize {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(record))
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(record)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(record, crcTable))
+	if _, err := l.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.bw.Write(record); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (l *Log) Sync() error {
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	if err := l.bw.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Reset truncates the log to empty (after a successful snapshot).
+func (l *Log) Reset() error {
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Replay invokes fn for every valid record in the log at path in append
+// order. A missing file is not an error (zero records). A torn tail is
+// ignored; corruption before the tail returns ErrCorrupt.
+func Replay(path string, fn func(record []byte) error) error {
+	_, _, err := scan(path, fn)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// scan walks records, returning the byte offset of the end of the last
+// valid record and the record count.
+func scan(path string, fn func([]byte) error) (validBytes int64, records int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	size := st.Size()
+	br := bufio.NewReaderSize(f, 64<<10)
+	var offset int64
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			// Clean EOF or torn header: stop at the last valid offset.
+			return offset, records, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if int64(length) > maxRecordSize || offset+8+int64(length) > size {
+			// Torn or absurd tail.
+			return offset, records, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return offset, records, nil
+		}
+		if crc32.Checksum(payload, crcTable) != want {
+			if offset+8+int64(length) == size {
+				// Torn final record.
+				return offset, records, nil
+			}
+			return offset, records, fmt.Errorf("%w at offset %d", ErrCorrupt, offset)
+		}
+		offset += 8 + int64(length)
+		records++
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return offset, records, err
+			}
+		}
+	}
+}
+
+// SaveSnapshot writes data atomically to path via a temp file + rename, so
+// a crash never leaves a half-written snapshot visible.
+func SaveSnapshot(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("wal: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(data, crcTable))
+	if _, err := tmp.Write(sum[:]); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot, verifying its
+// checksum. A missing file returns (nil, nil).
+func LoadSnapshot(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("%w: snapshot too short", ErrCorrupt)
+	}
+	want := binary.LittleEndian.Uint32(raw[:4])
+	data := raw[4:]
+	if crc32.Checksum(data, crcTable) != want {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	return data, nil
+}

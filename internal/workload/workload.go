@@ -1,0 +1,194 @@
+// Package workload generates the synthetic datasets the experiments run
+// on: employee tables shaped like the paper's running example, the
+// document corpus of the Sec. II-A intersection anecdote (10×1000 and
+// 100×1000 words), a "1 million medical records"-style generator, and the
+// private-friends/public-restaurants mash-up of Sec. V-D. Generators are
+// deterministic in their seed so experiment runs are reproducible.
+package workload
+
+import (
+	"fmt"
+	mrand "math/rand"
+
+	"sssdb/internal/client"
+)
+
+// firstNames is the pool for VARCHAR(8) name columns (uppercase so the
+// paper's base-27 alphabet also covers them).
+var firstNames = []string{
+	"JOHN", "ALICE", "BOB", "CAROL", "DAVE", "ERIN", "FRANK", "GRACE",
+	"HEIDI", "IVAN", "JUDY", "KEVIN", "LAURA", "MALLORY", "NIAJ", "OLIVIA",
+	"PEGGY", "QUENTIN", "RUPERT", "SYBIL", "TRENT", "URSULA", "VICTOR",
+	"WENDY", "XAVIER", "YOLANDA", "ZED", "FATIH", "AMR", "DIVY",
+}
+
+// Employees holds a generated employee table.
+type Employees struct {
+	// Rows matches CREATE TABLE employees (name VARCHAR(8), salary INT,
+	// dept INT).
+	Rows [][]client.Value
+	// SalaryMax bounds generated salaries (exclusive).
+	SalaryMax int64
+	// Depts is the number of departments.
+	Depts int64
+}
+
+// EmployeesSchema is the DDL the generated rows fit.
+const EmployeesSchema = `CREATE TABLE employees (name VARCHAR(8), salary INT, dept INT)`
+
+// GenEmployees generates n employees with salaries uniform in
+// [0, salaryMax) across depts departments.
+func GenEmployees(n int, salaryMax, depts int64, seed int64) *Employees {
+	rng := mrand.New(mrand.NewSource(seed))
+	e := &Employees{SalaryMax: salaryMax, Depts: depts}
+	for i := 0; i < n; i++ {
+		name := firstNames[rng.Intn(len(firstNames))]
+		if len(name) > 8 {
+			name = name[:8]
+		}
+		e.Rows = append(e.Rows, []client.Value{
+			client.StringValue(name),
+			client.IntValue(rng.Int63n(salaryMax)),
+			client.IntValue(rng.Int63n(depts)),
+		})
+	}
+	return e
+}
+
+// GenEmployeesZipf generates salaries from a Zipf distribution (skewed
+// workloads for selectivity sweeps).
+func GenEmployeesZipf(n int, salaryMax, depts int64, s float64, seed int64) *Employees {
+	rng := mrand.New(mrand.NewSource(seed))
+	zipf := mrand.NewZipf(rng, s, 1, uint64(salaryMax-1))
+	e := &Employees{SalaryMax: salaryMax, Depts: depts}
+	for i := 0; i < n; i++ {
+		e.Rows = append(e.Rows, []client.Value{
+			client.StringValue(firstNames[rng.Intn(len(firstNames))]),
+			client.IntValue(int64(zipf.Uint64())),
+			client.IntValue(rng.Int63n(depts)),
+		})
+	}
+	return e
+}
+
+// ManagersSchema pairs with EmployeesSchema for the Sec. V-A join: the eid
+// columns share the INT domain.
+const ManagersSchema = `CREATE TABLE managers (eid INT, level INT)`
+
+// EmployeesWithIDSchema is the join variant of the employee table.
+const EmployeesWithIDSchema = `CREATE TABLE employees (eid INT, name VARCHAR(8), salary INT)`
+
+// JoinWorkload holds matched employee/manager tables.
+type JoinWorkload struct {
+	Employees [][]client.Value // (eid, name, salary)
+	Managers  [][]client.Value // (eid, level)
+}
+
+// GenJoin generates nEmp employees and nMgr managers whose eids reference
+// employees (referential join keys, same INT domain).
+func GenJoin(nEmp, nMgr int, seed int64) *JoinWorkload {
+	rng := mrand.New(mrand.NewSource(seed))
+	w := &JoinWorkload{}
+	for i := 0; i < nEmp; i++ {
+		w.Employees = append(w.Employees, []client.Value{
+			client.IntValue(int64(i + 1)),
+			client.StringValue(firstNames[rng.Intn(len(firstNames))]),
+			client.IntValue(rng.Int63n(200_000)),
+		})
+	}
+	for i := 0; i < nMgr; i++ {
+		w.Managers = append(w.Managers, []client.Value{
+			client.IntValue(int64(rng.Intn(nEmp) + 1)),
+			client.IntValue(int64(rng.Intn(10))),
+		})
+	}
+	return w
+}
+
+// Documents generates a corpus of docs documents of wordsPerDoc words each
+// drawn from a vocabulary of vocab words — the unit of the paper's
+// intersection cost anecdote. Each element is a distinct "word" string;
+// the flattened, deduplicated word set is returned.
+func Documents(docs, wordsPerDoc, vocab int, seed int64) [][]byte {
+	rng := mrand.New(mrand.NewSource(seed))
+	seen := make(map[int]bool)
+	var words [][]byte
+	for d := 0; d < docs; d++ {
+		for w := 0; w < wordsPerDoc; w++ {
+			id := rng.Intn(vocab)
+			if !seen[id] {
+				seen[id] = true
+				words = append(words, []byte(fmt.Sprintf("word-%06d", id)))
+			}
+		}
+	}
+	return words
+}
+
+// MedicalSchema shapes the "1 million medical records" dataset.
+const MedicalSchema = `CREATE TABLE medical (pid INT, name VARCHAR(8), diagnosis INT, cost DECIMAL(2))`
+
+// GenMedical generates n medical records.
+func GenMedical(n int, seed int64) [][]client.Value {
+	rng := mrand.New(mrand.NewSource(seed))
+	rows := make([][]client.Value, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, []client.Value{
+			client.IntValue(int64(i + 1)),
+			client.StringValue(firstNames[rng.Intn(len(firstNames))]),
+			client.IntValue(int64(rng.Intn(1000))),
+			client.DecimalValue(rng.Int63n(10_000_00), 2),
+		})
+	}
+	return rows
+}
+
+// Mash-up workload (Sec. V-D): private friends, public restaurants.
+
+// FriendsSchema is the private side of the mash-up.
+const FriendsSchema = `CREATE TABLE friends (name VARCHAR(8), zip INT)`
+
+// RestaurantsSchema is the public side of the mash-up.
+const RestaurantsSchema = `CREATE PUBLIC TABLE restaurants (rname VARCHAR(10), zip INT)`
+
+// Mashup holds both sides with zips drawn from a common pool so joins have
+// hits.
+type Mashup struct {
+	Friends     [][]client.Value
+	Restaurants [][]client.Value
+}
+
+// GenMashup generates nFriends private rows and nRestaurants public rows
+// over zipPool distinct zip codes.
+func GenMashup(nFriends, nRestaurants, zipPool int, seed int64) *Mashup {
+	rng := mrand.New(mrand.NewSource(seed))
+	zip := func() client.Value { return client.IntValue(int64(90_000 + rng.Intn(zipPool))) }
+	m := &Mashup{}
+	for i := 0; i < nFriends; i++ {
+		m.Friends = append(m.Friends, []client.Value{
+			client.StringValue(firstNames[rng.Intn(len(firstNames))]),
+			zip(),
+		})
+	}
+	for i := 0; i < nRestaurants; i++ {
+		m.Restaurants = append(m.Restaurants, []client.Value{
+			client.StringValue(fmt.Sprintf("PLACE%04d", i)),
+			zip(),
+		})
+	}
+	return m
+}
+
+// Names generates n uppercase names for the non-numeric-data experiment.
+func Names(n int, seed int64) []string {
+	rng := mrand.New(mrand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		base := firstNames[rng.Intn(len(firstNames))]
+		if len(base) > 5 {
+			base = base[:5]
+		}
+		out[i] = base
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"sssdb/internal/client"
+)
+
+func TestGenEmployeesShapeAndDeterminism(t *testing.T) {
+	a := GenEmployees(100, 200_000, 10, 42)
+	b := GenEmployees(100, 200_000, 10, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("generator not deterministic")
+	}
+	if len(a.Rows) != 100 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	for _, row := range a.Rows {
+		if len(row) != 3 {
+			t.Fatalf("arity %d", len(row))
+		}
+		if row[0].Kind != client.KindString || len(row[0].S) > 8 {
+			t.Fatalf("bad name %v", row[0])
+		}
+		if row[1].Kind != client.KindInt || row[1].I < 0 || row[1].I >= 200_000 {
+			t.Fatalf("bad salary %v", row[1])
+		}
+		if row[2].I < 0 || row[2].I >= 10 {
+			t.Fatalf("bad dept %v", row[2])
+		}
+	}
+	c := GenEmployees(100, 200_000, 10, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestGenEmployeesZipf(t *testing.T) {
+	e := GenEmployeesZipf(1000, 10_000, 5, 1.2, 7)
+	if len(e.Rows) != 1000 {
+		t.Fatalf("rows = %d", len(e.Rows))
+	}
+	// Zipf should concentrate mass at small salaries.
+	small := 0
+	for _, row := range e.Rows {
+		if row[1].I < 100 {
+			small++
+		}
+	}
+	if small < 500 {
+		t.Fatalf("zipf not skewed: %d/1000 below 100", small)
+	}
+}
+
+func TestGenJoinReferentialIntegrity(t *testing.T) {
+	w := GenJoin(50, 200, 3)
+	if len(w.Employees) != 50 || len(w.Managers) != 200 {
+		t.Fatal("sizes wrong")
+	}
+	for _, m := range w.Managers {
+		eid := m[0].I
+		if eid < 1 || eid > 50 {
+			t.Fatalf("dangling eid %d", eid)
+		}
+	}
+}
+
+func TestDocumentsDedup(t *testing.T) {
+	words := Documents(10, 1000, 5000, 1)
+	seen := make(map[string]bool)
+	for _, w := range words {
+		if seen[string(w)] {
+			t.Fatalf("duplicate word %s", w)
+		}
+		seen[string(w)] = true
+	}
+	if len(words) == 0 || len(words) > 5000 {
+		t.Fatalf("words = %d", len(words))
+	}
+}
+
+func TestGenMedical(t *testing.T) {
+	rows := GenMedical(500, 2)
+	if len(rows) != 500 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].I != int64(i+1) {
+			t.Fatalf("pid %d at %d", r[0].I, i)
+		}
+		if r[3].Kind != client.KindDecimal || r[3].Scale != 2 {
+			t.Fatalf("cost %v", r[3])
+		}
+	}
+}
+
+func TestGenMashup(t *testing.T) {
+	m := GenMashup(20, 100, 50, 9)
+	if len(m.Friends) != 20 || len(m.Restaurants) != 100 {
+		t.Fatal("sizes wrong")
+	}
+	for _, f := range m.Friends {
+		if f[1].I < 90_000 || f[1].I >= 90_050 {
+			t.Fatalf("zip %d out of pool", f[1].I)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names(50, 4)
+	if len(names) != 50 {
+		t.Fatal("count")
+	}
+	for _, n := range names {
+		if len(n) == 0 || len(n) > 5 {
+			t.Fatalf("bad name %q", n)
+		}
+	}
+}

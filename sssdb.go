@@ -1,0 +1,220 @@
+// Package sssdb is a secret-sharing database-as-a-service: a Go
+// implementation of the outsourcing framework from "Database Management as
+// a Service: Challenges and Opportunities" (Agrawal, El Abbadi, Emekci,
+// Metwally — ICDE 2009).
+//
+// Instead of encrypting outsourced data, sssdb splits every value into
+// shares spread across n independent Database Service Providers:
+//
+//   - a random Shamir share over GF(2^61-1) per provider — information-
+//     theoretically secure, additively homomorphic (providers compute SUM
+//     partials without learning anything), reconstructable from any k;
+//   - an order-preserving polynomial share per provider (Sec. IV of the
+//     paper) — deterministic per value domain, so providers can filter
+//     exact-match and range predicates, order rows for MIN/MAX/MEDIAN, and
+//     execute same-domain equijoins entirely in share space.
+//
+// The client (the paper's "data source D") speaks SQL:
+//
+//	cluster, _ := sssdb.OpenLocal(3, sssdb.Options{K: 2, MasterKey: key})
+//	defer cluster.Close()
+//	db := cluster.Client
+//	db.Exec(`CREATE TABLE employees (name VARCHAR(8), salary INT)`)
+//	db.Exec(`INSERT INTO employees VALUES ('JOHN', 42000)`)
+//	res, _ := db.Exec(`SELECT name FROM employees WHERE salary BETWEEN 10000 AND 50000`)
+//
+// Appending VERIFIED to a SELECT (or setting Options.Verified) turns on the
+// trust machinery: Merkle completeness proofs per provider, cross-provider
+// row-set voting, and robust share reconstruction that identifies which
+// providers returned corrupted data.
+//
+// The packages under internal/ implement every subsystem — field
+// arithmetic, Shamir sharing, order-preserving polynomials, the provider
+// storage engine (B+-tree indexes, WAL durability), the wire protocol, the
+// SQL front end — plus the baselines the paper argues against (encrypted
+// outsourcing, PIR, commutative-encryption PSI). See DESIGN.md for the map
+// and EXPERIMENTS.md for the reproduced results.
+package sssdb
+
+import (
+	"fmt"
+	"time"
+
+	"sssdb/internal/client"
+	"sssdb/internal/proto"
+	"sssdb/internal/server"
+	"sssdb/internal/store"
+	"sssdb/internal/transport"
+)
+
+// Client is the data source: it owns the master key, outsources tables as
+// shares, rewrites SQL into share-space requests, and reconstructs results
+// from any K of N providers.
+type Client = client.Client
+
+// Options configures a Client; see the field docs in internal/client.
+type Options = client.Options
+
+// Result is the outcome of one statement.
+type Result = client.Result
+
+// Value is a typed cell value.
+type Value = client.Value
+
+// AuditReport summarizes a verified full-table sweep.
+type AuditReport = client.AuditReport
+
+// Value kind tags.
+const (
+	KindInt     = client.KindInt
+	KindDecimal = client.KindDecimal
+	KindString  = client.KindString
+	KindBytes   = client.KindBytes
+)
+
+// Value constructors, re-exported for bulk loading via InsertValues.
+var (
+	IntValue     = client.IntValue
+	DecimalValue = client.DecimalValue
+	StringValue  = client.StringValue
+	BytesValue   = client.BytesValue
+)
+
+// Common errors surfaced by Exec.
+var (
+	ErrNoSuchTable  = client.ErrNoSuchTable
+	ErrNoSuchColumn = client.ErrNoSuchColumn
+	ErrTypeMismatch = client.ErrTypeMismatch
+	ErrUnsupported  = client.ErrUnsupported
+	ErrNotEnough    = client.ErrNotEnough
+	ErrVerification = client.ErrVerification
+)
+
+// Open connects a data source to n providers listening at the given TCP
+// addresses (for providers started with cmd/dasd). The address order is
+// significant: providers are identified by their position, which selects
+// the secret evaluation point their shares are computed at.
+func Open(addrs []string, opts Options) (*Client, error) {
+	return OpenTimeout(addrs, opts, 0)
+}
+
+// OpenTimeout is Open with a per-call deadline: a provider that does not
+// answer within timeout is treated as crashed and the client fails over to
+// the remaining providers (reads need only K of N). Zero disables
+// deadlines.
+func OpenTimeout(addrs []string, opts Options, timeout time.Duration) (*Client, error) {
+	conns := make([]transport.Conn, 0, len(addrs))
+	for _, addr := range addrs {
+		conn, err := transport.DialTimeout(addr, timeout)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("sssdb: connecting to provider %q: %w", addr, err)
+		}
+		conns = append(conns, conn)
+	}
+	return client.New(conns, opts)
+}
+
+// Cluster is an in-process deployment: n provider engines plus a connected
+// client, for examples, tests, and single-machine use. All traffic still
+// flows through the real wire codec, so byte accounting matches a network
+// deployment. Fault-injection knobs let examples and experiments crash or
+// corrupt individual providers.
+type Cluster struct {
+	// Client is the connected data source.
+	Client *Client
+	stores []*store.Store
+	faults []*transport.FaultyConn
+}
+
+// CrashProvider makes provider i unreachable until RecoverProvider.
+func (c *Cluster) CrashProvider(i int) { c.faults[i].Crash() }
+
+// RecoverProvider brings a crashed provider back.
+func (c *Cluster) RecoverProvider(i int) { c.faults[i].Recover() }
+
+// CorruptProvider makes provider i malicious: it flips bits in every field
+// share it returns (on=false restores honesty). Verified queries and Audit
+// detect and identify it.
+func (c *Cluster) CorruptProvider(i int, on bool) {
+	if !on {
+		c.faults[i].SetCorrupter(nil)
+		return
+	}
+	c.faults[i].SetCorrupter(func(resp proto.Message) proto.Message {
+		if rr, ok := resp.(*proto.RowsResponse); ok {
+			for r := range rr.Rows {
+				for j, cell := range rr.Rows[r].Cells {
+					if len(cell) == 8 {
+						rr.Rows[r].Cells[j][0] ^= 0xa5
+					}
+				}
+			}
+		}
+		return resp
+	})
+}
+
+// NumProviders returns the cluster size.
+func (c *Cluster) NumProviders() int { return len(c.stores) }
+
+// OpenLocal starts n in-memory providers and connects a client.
+func OpenLocal(n int, opts Options) (*Cluster, error) {
+	return openLocal(make([]string, n), opts)
+}
+
+// OpenLocalDirs starts one durable provider per directory (state persists
+// across restarts via each provider's snapshot + write-ahead log) and
+// connects a client.
+func OpenLocalDirs(dirs []string, opts Options) (*Cluster, error) {
+	return openLocal(dirs, opts)
+}
+
+func openLocal(dirs []string, opts Options) (*Cluster, error) {
+	cl := &Cluster{}
+	conns := make([]transport.Conn, 0, len(dirs))
+	for _, dir := range dirs {
+		st, err := store.Open(dir)
+		if err != nil {
+			cl.closeStores()
+			return nil, err
+		}
+		cl.stores = append(cl.stores, st)
+		fc := transport.NewFaulty(transport.NewLocal(server.New(st)))
+		cl.faults = append(cl.faults, fc)
+		conns = append(conns, fc)
+	}
+	c, err := client.New(conns, opts)
+	if err != nil {
+		cl.closeStores()
+		return nil, err
+	}
+	cl.Client = c
+	return cl, nil
+}
+
+// Close shuts down the client and all providers.
+func (c *Cluster) Close() error {
+	var firstErr error
+	if c.Client != nil {
+		if err := c.Client.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	if err := c.closeStores(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+func (c *Cluster) closeStores() error {
+	var firstErr error
+	for _, st := range c.stores {
+		if err := st.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,284 @@
+package sssdb
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sssdb/internal/server"
+	"sssdb/internal/store"
+	"sssdb/internal/transport"
+)
+
+func TestOpenLocalQuickstart(t *testing.T) {
+	cluster, err := OpenLocal(3, Options{K: 2, MasterKey: []byte("doc key")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	db := cluster.Client
+	if _, err := db.Exec(`CREATE TABLE employees (name VARCHAR(8), salary INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO employees VALUES ('JOHN', 42000), ('ALICE', 55000)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`SELECT name FROM employees WHERE salary BETWEEN 10000 AND 50000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "JOHN" {
+		t.Fatalf("got %v", res.Rows)
+	}
+	if _, err := db.Exec(`SELECT * FROM missing`); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("error alias broken: %v", err)
+	}
+}
+
+func TestOpenLocalDirsPersistence(t *testing.T) {
+	dir := t.TempDir()
+	dirs := []string{
+		filepath.Join(dir, "p0"),
+		filepath.Join(dir, "p1"),
+		filepath.Join(dir, "p2"),
+	}
+	for _, d := range dirs {
+		if err := mkdir(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := Options{K: 2, MasterKey: []byte("persist key")}
+	cluster, err := OpenLocalDirs(dirs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Client.Exec(`CREATE TABLE t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Client.Exec(`INSERT INTO t VALUES (7), (8)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Provider state survives; note the client catalog is rebuilt from the
+	// same schema (a real deployment persists the catalog — see cmd/dasql).
+	cluster2, err := OpenLocalDirs(dirs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster2.Close()
+	// The provider still has the rows: creating the same table again fails.
+	if _, err := cluster2.Client.Exec(`CREATE TABLE t (a INT)`); err == nil {
+		t.Fatal("table survived on providers but create succeeded")
+	}
+}
+
+func TestOpenTCP(t *testing.T) {
+	// Spin three real TCP providers.
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		st, err := store.Open("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := transport.NewServer(ln, server.New(st))
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, srv.Addr().String())
+	}
+	db, err := Open(addrs, Options{K: 2, MasterKey: []byte("tcp key")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (v INT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Exec(`SELECT SUM(v), MEDIAN(v) FROM t WHERE v BETWEEN 20 AND 70`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 270 || res.Rows[0][1].I != 40 {
+		t.Fatalf("got %v %v", res.Rows[0][0].I, res.Rows[0][1].I)
+	}
+}
+
+// A hung provider (accepts, never answers) must not hang queries: the
+// per-call deadline trips and the client fails over to live providers.
+func TestOpenTimeoutFailsOverHungProvider(t *testing.T) {
+	// Three real providers, seeded through a normal client.
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		st, err := store.Open("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := transport.NewServer(ln, server.New(st))
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, srv.Addr().String())
+	}
+	opts := Options{K: 2, MasterKey: []byte("hang key")}
+	seed, err := Open(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Exec(`CREATE TABLE t (v INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Exec(`INSERT INTO t VALUES (1), (2), (3)`); err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := seed.ExportCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	// Replace provider 0's address with a black hole: accepts, never
+	// answers. Reads should time out on it and fail over to providers 1, 2.
+	hole, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hole.Close() })
+	go func() {
+		for {
+			nc, err := hole.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 1024)
+				for {
+					if _, err := nc.Read(buf); err != nil {
+						nc.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	hungAddrs := append([]string{hole.Addr().String()}, addrs[1:]...)
+	db, err := OpenTimeout(hungAddrs, opts, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ImportCatalog(catalog); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := db.Exec(`SELECT SUM(v) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 6 {
+		t.Fatalf("sum = %d", res.Rows[0][0].I)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("failover took %v", elapsed)
+	}
+	// Subsequent reads skip the hung provider entirely (marked down).
+	start = time.Now()
+	if _, err := db.Exec(`SELECT v FROM t WHERE v BETWEEN 1 AND 3`); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("second query still slow: %v", elapsed)
+	}
+}
+
+func TestOpenBadAddress(t *testing.T) {
+	if _, err := Open([]string{"127.0.0.1:1"}, Options{K: 1, MasterKey: []byte("k")}); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestClusterFaultKnobs(t *testing.T) {
+	cluster, err := OpenLocal(4, Options{K: 2, MasterKey: []byte("knob key")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if cluster.NumProviders() != 4 {
+		t.Fatalf("NumProviders = %d", cluster.NumProviders())
+	}
+	db := cluster.Client
+	if _, err := db.Exec(`CREATE TABLE t (v INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1), (2)`); err != nil {
+		t.Fatal(err)
+	}
+	// Crash / recover round trip.
+	cluster.CrashProvider(0)
+	cluster.CrashProvider(1)
+	cluster.CrashProvider(2)
+	if _, err := db.Exec(`SELECT COUNT(*) FROM t`); !errors.Is(err, ErrNotEnough) {
+		t.Fatalf("below quorum: %v", err)
+	}
+	cluster.RecoverProvider(0)
+	cluster.RecoverProvider(1)
+	cluster.RecoverProvider(2)
+	res, err := db.Exec(`SELECT COUNT(*) FROM t`)
+	if err != nil || res.Rows[0][0].I != 2 {
+		t.Fatalf("after recovery: %v %v", res, err)
+	}
+	// Corrupt on, audit flags it, corrupt off, audit is clean again.
+	cluster.CorruptProvider(3, true)
+	report, err := db.Audit("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(report.Faulty) != "[3]" {
+		t.Fatalf("faulty = %v", report.Faulty)
+	}
+	cluster.CorruptProvider(3, false)
+	report, err = db.Audit("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Faulty) != 0 {
+		t.Fatalf("faulty after disabling corrupter = %v", report.Faulty)
+	}
+}
+
+func TestOpenLocalBadOptions(t *testing.T) {
+	if _, err := OpenLocal(2, Options{K: 5, MasterKey: []byte("k")}); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := OpenLocal(0, Options{K: 1, MasterKey: []byte("k")}); err == nil {
+		t.Fatal("zero providers accepted")
+	}
+	if _, err := OpenLocalDirs([]string{"/nonexistent-root-path/x/y"}, Options{K: 1, MasterKey: []byte("k")}); err == nil {
+		t.Fatal("unwritable provider dir accepted")
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	if IntValue(5).Kind != KindInt || StringValue("x").Kind != KindString ||
+		DecimalValue(100, 2).Kind != KindDecimal || BytesValue([]byte{1}).Kind != KindBytes {
+		t.Fatal("constructor kinds wrong")
+	}
+}
+
+func mkdir(path string) error {
+	return os.MkdirAll(path, 0o755)
+}
