@@ -21,8 +21,10 @@ type AuditReport struct {
 // verification cannot complete (too many corruptions to decode, digest
 // mismatch, dropped rows).
 func (c *Client) Audit(table string) (*AuditReport, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	// Audits are reads: they share the statement lock unless buffered lazy
+	// updates force a flush first.
+	unlock := c.lockForRead()
+	defer unlock()
 	meta, err := c.table(table)
 	if err != nil {
 		return nil, err
@@ -42,8 +44,8 @@ func (c *Client) Audit(table string) (*AuditReport, error) {
 
 // Tables lists the client-side catalog.
 func (c *Client) Tables() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	names := make([]string, 0, len(c.tables))
 	for name := range c.tables {
 		names = append(names, name)

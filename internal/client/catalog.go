@@ -52,8 +52,8 @@ func typeFromName(s string) (sql.TypeName, bool) {
 // (same master key, same provider order) can resume querying outsourced
 // tables without re-creating them. Pair it with ImportCatalog.
 func (c *Client) ExportCatalog() ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := catalogFile{Version: catalogVersion}
 	for _, name := range sortedTableNames(c.tables) {
 		meta := c.tables[name]

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -68,6 +69,10 @@ type Options struct {
 	// paper's Sec. V-C lazy update direction). Reads overlay pending
 	// updates so the client always sees its own writes.
 	LazyUpdates bool
+	// ParallelWorkers bounds the goroutines one statement may use for
+	// share reconstruction (scans) and share encoding (inserts/updates).
+	// 0 means GOMAXPROCS; 1 forces the serial path.
+	ParallelWorkers int
 
 	// N is derived from the number of connections passed to New.
 	N int
@@ -85,8 +90,15 @@ type Result struct {
 }
 
 // Client is a data source connected to n providers.
+//
+// Locking hierarchy: mu is the statement lock — read statements (SELECT,
+// EXPLAIN, catalog export) hold it shared and run concurrently, while
+// DDL/DML and lazy-update flushes hold it exclusively. downMu is a leaf
+// lock guarding only the failover state; response-collection goroutines
+// take it while read statements run in parallel. Never acquire mu while
+// holding downMu.
 type Client struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	opts  Options
 	conns []transport.Conn
 
@@ -95,9 +107,14 @@ type Client struct {
 	tables   map[string]*tableMeta
 	aead     cipher.AEAD
 
+	// downMu guards down, the only client state mutated on the read path
+	// (by callQuorum/callAvailable response collection).
+	downMu sync.Mutex
 	// down tracks providers considered crashed (failover state).
 	down []bool
-	// pending holds lazy updates: table -> rowID -> full row values.
+	// pending holds lazy updates: table -> rowID -> full row values. It is
+	// only mutated under the exclusive statement lock; read statements
+	// escalate to exclusive mode when it is non-empty (see Exec).
 	pending map[string]map[uint64][]Value
 	// forceClientAgg disables provider-side partial aggregation; the E8
 	// ablation benchmark measures what it costs.
@@ -138,6 +155,17 @@ func New(conns []transport.Conn, opts Options) (*Client, error) {
 	}
 	if opts.Rand == nil {
 		opts.Rand = rand.Reader
+	} else if opts.Rand != rand.Reader {
+		// Parallel share encoding draws polynomial randomness from several
+		// goroutines; crypto/rand.Reader is safe for concurrent use, but a
+		// caller-supplied reader may not be.
+		opts.Rand = &lockedReader{r: opts.Rand}
+	}
+	if opts.ParallelWorkers == 0 {
+		opts.ParallelWorkers = runtime.GOMAXPROCS(0)
+	}
+	if opts.ParallelWorkers < 1 {
+		return nil, fmt.Errorf("%w: ParallelWorkers=%d", ErrBadOptions, opts.ParallelWorkers)
 	}
 	if len(opts.MasterKey) == 0 {
 		return nil, fmt.Errorf("%w: empty master key", ErrBadOptions)
@@ -257,16 +285,12 @@ func (c *Client) callAllPartial(build func(provider int) proto.Message) ([]proto
 	return out, succeeded, nil
 }
 
-// callQuorum sends requests until `need` providers have answered, starting
-// with providers not marked down and failing over to the rest. Responses
-// come back ordered by provider index.
-func (c *Client) callQuorum(need int, build func(provider int) proto.Message) ([]indexedResponse, error) {
-	if need > c.opts.N {
-		return nil, fmt.Errorf("%w: need %d of %d", ErrNotEnough, need, c.opts.N)
-	}
-	// Candidate order: healthy first, then previously-down (they may have
-	// recovered).
-	var order []int
+// providerOrder snapshots the failover candidate order: healthy providers
+// first, then previously-down ones (they may have recovered).
+func (c *Client) providerOrder() []int {
+	c.downMu.Lock()
+	defer c.downMu.Unlock()
+	order := make([]int, 0, c.opts.N)
 	for i := 0; i < c.opts.N; i++ {
 		if !c.down[i] {
 			order = append(order, i)
@@ -277,6 +301,25 @@ func (c *Client) callQuorum(need int, build func(provider int) proto.Message) ([
 			order = append(order, i)
 		}
 	}
+	return order
+}
+
+// markProvider records a provider's health after a call. Concurrent read
+// statements race benignly here: the last observation wins.
+func (c *Client) markProvider(provider int, down bool) {
+	c.downMu.Lock()
+	c.down[provider] = down
+	c.downMu.Unlock()
+}
+
+// callQuorum sends requests until `need` providers have answered, starting
+// with providers not marked down and failing over to the rest. Responses
+// come back ordered by provider index.
+func (c *Client) callQuorum(need int, build func(provider int) proto.Message) ([]indexedResponse, error) {
+	if need > c.opts.N {
+		return nil, fmt.Errorf("%w: need %d of %d", ErrNotEnough, need, c.opts.N)
+	}
+	order := c.providerOrder()
 	var got []indexedResponse
 	var errs []error
 	next := 0
@@ -299,11 +342,11 @@ func (c *Client) callQuorum(need int, build func(provider int) proto.Message) ([
 		for range batch {
 			r := <-ch
 			if r.err != nil {
-				c.down[r.provider] = true
+				c.markProvider(r.provider, true)
 				errs = append(errs, fmt.Errorf("provider %d: %w", r.provider, r.err))
 				continue
 			}
-			c.down[r.provider] = false
+			c.markProvider(r.provider, false)
 			got = append(got, indexedResponse{provider: r.provider, msg: r.msg})
 		}
 	}
@@ -336,11 +379,11 @@ func (c *Client) callAvailable(minNeed int, build func(provider int) proto.Messa
 	for i := 0; i < c.opts.N; i++ {
 		r := <-ch
 		if r.err != nil {
-			c.down[r.provider] = true
+			c.markProvider(r.provider, true)
 			errs = append(errs, fmt.Errorf("provider %d: %w", r.provider, r.err))
 			continue
 		}
-		c.down[r.provider] = false
+		c.markProvider(r.provider, false)
 		got = append(got, indexedResponse{provider: r.provider, msg: r.msg})
 	}
 	if len(got) < minNeed {
@@ -349,13 +392,6 @@ func (c *Client) callAvailable(minNeed int, build func(provider int) proto.Messa
 	}
 	sort.Slice(got, func(i, j int) bool { return got[i].provider < got[j].provider })
 	return got, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // table looks up catalog metadata.

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 
@@ -10,10 +11,19 @@ import (
 )
 
 // Exec parses and executes one SQL statement against the provider fleet.
+// Read statements (SELECT, EXPLAIN) hold the statement lock shared and run
+// concurrently with each other; DDL and DML hold it exclusively, so reads
+// observe either the pre- or post-statement share sets, never a mix.
 func (c *Client) Exec(query string) (*Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sql.Select:
+		return c.execRead(func() (*Result, error) { return c.execSelect(s) })
+	case *sql.Explain:
+		return c.execRead(func() (*Result, error) { return c.execExplain(s) })
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -24,17 +34,46 @@ func (c *Client) Exec(query string) (*Result, error) {
 		return c.execDropTable(s)
 	case *sql.Insert:
 		return c.execInsert(s)
-	case *sql.Select:
-		return c.execSelect(s)
 	case *sql.Update:
 		return c.execUpdate(s)
 	case *sql.Delete:
 		return c.execDelete(s)
-	case *sql.Explain:
-		return c.execExplain(s)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnsupported, stmt)
 	}
+}
+
+// execRead runs a read statement under the shared statement lock. A read
+// that encounters buffered lazy updates may have to flush them — a mutation
+// of both client and provider state — so when updates are pending the
+// statement escalates to the exclusive lock. Pending updates can only be
+// created under the exclusive lock, so the shared-mode check is stable for
+// the duration of the statement.
+func (c *Client) execRead(fn func() (*Result, error)) (*Result, error) {
+	unlock := c.lockForRead()
+	defer unlock()
+	return fn()
+}
+
+// lockForRead acquires the statement lock in shared mode, escalating to
+// exclusive when lazy updates are pending, and returns the matching unlock.
+func (c *Client) lockForRead() (unlock func()) {
+	c.mu.RLock()
+	if !c.anyPending() {
+		return c.mu.RUnlock
+	}
+	c.mu.RUnlock()
+	c.mu.Lock()
+	return c.mu.Unlock
+}
+
+func (c *Client) anyPending() bool {
+	for _, m := range c.pending {
+		if len(m) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // --- DDL ---
@@ -152,26 +191,51 @@ func (c *Client) insertValues(meta *tableMeta, rows [][]Value) (*Result, error) 
 // encodeRows turns typed rows into per-provider share rows, assigning
 // fresh ids starting at meta.NextID (without committing the counter).
 func (c *Client) encodeRows(meta *tableMeta, rows [][]Value) ([][]proto.Row, []uint64, error) {
-	perProvider := make([][]proto.Row, c.opts.N)
 	ids := make([]uint64, len(rows))
-	nextID := meta.NextID
-	for r, vals := range rows {
-		id := nextID
-		nextID++
-		ids[r] = id
-		encoded, err := c.encodeRow(meta, id, vals)
-		if err != nil {
-			return nil, nil, err
-		}
-		for i := 0; i < c.opts.N; i++ {
-			perProvider[i] = append(perProvider[i], encoded[i])
-		}
+	for r := range rows {
+		ids[r] = meta.NextID + uint64(r)
+	}
+	perProvider, err := c.encodeRowsAt(meta, ids, rows)
+	if err != nil {
+		return nil, nil, err
 	}
 	return perProvider, ids, nil
 }
 
-// encodeRow encodes one row for all providers under a specific id.
-func (c *Client) encodeRow(meta *tableMeta, id uint64, vals []Value) ([]proto.Row, error) {
+// encodeRowsAt encodes full rows under explicit ids. Each value costs an
+// OPP split (keyed-hash polynomial, microseconds) plus a field-share split,
+// which dominates bulk-load wall time, so the row range is chunked across
+// the worker pool; perProvider[i][r] is provider i's share of rows[r].
+func (c *Client) encodeRowsAt(meta *tableMeta, ids []uint64, rows [][]Value) ([][]proto.Row, error) {
+	perProvider := make([][]proto.Row, c.opts.N)
+	for i := range perProvider {
+		perProvider[i] = make([]proto.Row, len(rows))
+	}
+	err := parallelChunks(c.opts.ParallelWorkers, len(rows), func(start, end int) error {
+		// One buffered randomness reader per worker: drawing polynomial
+		// coefficients 8 bytes at a time costs a getrandom syscall per
+		// cell otherwise, which serializes workers in the kernel.
+		rnd := bufio.NewReaderSize(c.opts.Rand, 4096)
+		for r := start; r < end; r++ {
+			encoded, err := c.encodeRow(meta, ids[r], rows[r], rnd)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < c.opts.N; i++ {
+				perProvider[i][r] = encoded[i]
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return perProvider, nil
+}
+
+// encodeRow encodes one row for all providers under a specific id, drawing
+// share randomness from rnd (a per-worker buffered view of Options.Rand).
+func (c *Client) encodeRow(meta *tableMeta, id uint64, vals []Value, rnd io.Reader) ([]proto.Row, error) {
 	out := make([]proto.Row, c.opts.N)
 	for i := range out {
 		out[i] = proto.Row{ID: id}
@@ -180,7 +244,7 @@ func (c *Client) encodeRow(meta *tableMeta, id uint64, vals []Value) ([]proto.Ro
 		cm := &meta.Cols[ci]
 		v := vals[ci]
 		if !cm.queryable() {
-			cell, err := c.sealBlob(meta, v)
+			cell, err := c.sealBlob(meta, v, rnd)
 			if err != nil {
 				return nil, err
 			}
@@ -197,7 +261,7 @@ func (c *Client) encodeRow(meta *tableMeta, id uint64, vals []Value) ([]proto.Ro
 		if err != nil {
 			return nil, err
 		}
-		fieldShares, err := c.fieldSch.Split(field.New(u), c.opts.Rand)
+		fieldShares, err := c.fieldSch.Split(field.New(u), rnd)
 		if err != nil {
 			return nil, err
 		}
@@ -212,7 +276,7 @@ func (c *Client) encodeRow(meta *tableMeta, id uint64, vals []Value) ([]proto.Ro
 // sealBlob encrypts a payload for private tables (AES-256-GCM with a random
 // nonce) and passes it through for public ones. The identical ciphertext is
 // replicated to every provider.
-func (c *Client) sealBlob(meta *tableMeta, v Value) ([]byte, error) {
+func (c *Client) sealBlob(meta *tableMeta, v Value, rnd io.Reader) ([]byte, error) {
 	if v.Kind != KindBytes && v.Kind != KindString {
 		return nil, fmt.Errorf("%w: blob column wants bytes, got %v", ErrTypeMismatch, v.Kind)
 	}
@@ -224,7 +288,7 @@ func (c *Client) sealBlob(meta *tableMeta, v Value) ([]byte, error) {
 		return payload, nil
 	}
 	nonce := make([]byte, c.aead.NonceSize())
-	if _, err := io.ReadFull(c.opts.Rand, nonce); err != nil {
+	if _, err := io.ReadFull(rnd, nonce); err != nil {
 		return nil, err
 	}
 	return append(nonce, c.aead.Seal(nil, nonce, payload, nil)...), nil
@@ -339,15 +403,9 @@ func (c *Client) execUpdate(s *sql.Update) (*Result, error) {
 
 // pushUpdates re-shares full rows and distributes them to every provider.
 func (c *Client) pushUpdates(meta *tableMeta, ids []uint64, values [][]Value) (*Result, error) {
-	perProvider := make([][]proto.Row, c.opts.N)
-	for r, id := range ids {
-		encoded, err := c.encodeRow(meta, id, values[r])
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < c.opts.N; i++ {
-			perProvider[i] = append(perProvider[i], encoded[i])
-		}
+	perProvider, err := c.encodeRowsAt(meta, ids, values)
+	if err != nil {
+		return nil, err
 	}
 	if _, err := c.callAll(func(i int) proto.Message {
 		return &proto.UpdateRequest{Table: meta.Name, Rows: perProvider[i]}
@@ -371,8 +429,8 @@ func (c *Client) Flush() error {
 
 // PendingUpdates reports how many lazy updates are buffered.
 func (c *Client) PendingUpdates() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	total := 0
 	for _, m := range c.pending {
 		total += len(m)

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"sssdb/internal/field"
 	"sssdb/internal/merkle"
@@ -353,6 +354,12 @@ func (c *Client) hasPending(table string) bool {
 }
 
 // reconstructRows rebuilds typed values from aligned provider responses.
+// The per-cell work — Lagrange combination (or robust reconstruction) plus
+// domain decoding — is independent across rows, so the row range is chunked
+// across the worker pool. Each worker owns a contiguous span with its own
+// share scratch buffer and its own faulty set; spans share the precomputed
+// quorum Lagrange weights, and the faulty sets merge after the join, so the
+// result is identical to the serial pass in both modes.
 func (c *Client) reconstructRows(meta *tableMeta, providers []int, rowsByProvider map[int]*proto.RowsResponse, robust bool) (*scanResult, error) {
 	base := rowsByProvider[providers[0]]
 	// Locate each client column's provider cells.
@@ -379,74 +386,92 @@ func (c *Client) reconstructRows(meta *tableMeta, providers []int, rowsByProvide
 	if err != nil {
 		return nil, err
 	}
-	res := &scanResult{}
+	res := &scanResult{
+		ids:    make([]uint64, len(base.Rows)),
+		values: make([][]Value, len(base.Rows)),
+	}
+	var faultyMu sync.Mutex
 	faulty := map[int]bool{}
-	ys := make([]field.Element, c.opts.K)
-	for r := range base.Rows {
-		id := base.Rows[r].ID
-		vals := make([]Value, len(meta.Cols))
-		for ci := range meta.Cols {
-			cm := &meta.Cols[ci]
-			cell := colCell[ci]
-			if !cm.queryable() {
-				blob, err := c.openBlob(meta, base.Rows[r].Cells[cell])
-				if err != nil {
-					return nil, err
-				}
-				if robust {
-					for _, p := range providers[1:] {
-						if !bytes.Equal(rowsByProvider[p].Rows[r].Cells[cell], base.Rows[r].Cells[cell]) {
-							faulty[p] = true
+	err = parallelChunks(c.opts.ParallelWorkers, len(base.Rows), func(start, end int) error {
+		ys := make([]field.Element, c.opts.K)
+		chunkFaulty := map[int]bool{}
+		for r := start; r < end; r++ {
+			id := base.Rows[r].ID
+			vals := make([]Value, len(meta.Cols))
+			for ci := range meta.Cols {
+				cm := &meta.Cols[ci]
+				cell := colCell[ci]
+				if !cm.queryable() {
+					blob, err := c.openBlob(meta, base.Rows[r].Cells[cell])
+					if err != nil {
+						return err
+					}
+					if robust {
+						for _, p := range providers[1:] {
+							if !bytes.Equal(rowsByProvider[p].Rows[r].Cells[cell], base.Rows[r].Cells[cell]) {
+								chunkFaulty[p] = true
+							}
 						}
 					}
+					vals[ci] = BytesValue(blob)
+					continue
 				}
-				vals[ci] = BytesValue(blob)
-				continue
-			}
-			var u uint64
-			if robust {
-				shares := make([]secretshare.Share, 0, len(providers))
-				for _, p := range providers {
-					cellBytes := rowsByProvider[p].Rows[r].Cells[cell]
-					if len(cellBytes) != 8 {
-						faulty[p] = true
-						continue
+				var u uint64
+				if robust {
+					shares := make([]secretshare.Share, 0, len(providers))
+					for _, p := range providers {
+						cellBytes := rowsByProvider[p].Rows[r].Cells[cell]
+						if len(cellBytes) != 8 {
+							chunkFaulty[p] = true
+							continue
+						}
+						shares = append(shares, secretshare.Share{
+							Index: p,
+							Y:     field.New(beUint64(cellBytes)),
+						})
 					}
-					shares = append(shares, secretshare.Share{
-						Index: p,
-						Y:     field.New(beUint64(cellBytes)),
-					})
-				}
-				rr, err := c.fieldSch.ReconstructRobust(shares)
-				if err != nil {
-					return nil, fmt.Errorf("%w: row %d column %q: %v", ErrVerification, id, cm.Name, err)
-				}
-				for _, f := range rr.Faulty {
-					faulty[f] = true
-				}
-				u = rr.Secret.Uint64()
-			} else {
-				for i, p := range providers[:c.opts.K] {
-					cellBytes := rowsByProvider[p].Rows[r].Cells[cell]
-					if len(cellBytes) != 8 {
-						return nil, fmt.Errorf("%w: provider %d returned a malformed share", ErrInconsistent, p)
+					rr, err := c.fieldSch.ReconstructRobust(shares)
+					if err != nil {
+						return fmt.Errorf("%w: row %d column %q: %v", ErrVerification, id, cm.Name, err)
 					}
-					ys[i] = field.New(beUint64(cellBytes))
+					for _, f := range rr.Faulty {
+						chunkFaulty[f] = true
+					}
+					u = rr.Secret.Uint64()
+				} else {
+					for i, p := range providers[:c.opts.K] {
+						cellBytes := rowsByProvider[p].Rows[r].Cells[cell]
+						if len(cellBytes) != 8 {
+							return fmt.Errorf("%w: provider %d returned a malformed share", ErrInconsistent, p)
+						}
+						ys[i] = field.New(beUint64(cellBytes))
+					}
+					e, err := secretshare.CombineShares(weights, ys)
+					if err != nil {
+						return err
+					}
+					u = e.Uint64()
 				}
-				e, err := secretshare.CombineShares(weights, ys)
+				v, err := cm.decode(u)
 				if err != nil {
-					return nil, err
+					return fmt.Errorf("%w: row %d column %q: %v", ErrVerification, id, cm.Name, err)
 				}
-				u = e.Uint64()
+				vals[ci] = v
 			}
-			v, err := cm.decode(u)
-			if err != nil {
-				return nil, fmt.Errorf("%w: row %d column %q: %v", ErrVerification, id, cm.Name, err)
-			}
-			vals[ci] = v
+			res.ids[r] = id
+			res.values[r] = vals
 		}
-		res.ids = append(res.ids, id)
-		res.values = append(res.values, vals)
+		if len(chunkFaulty) > 0 {
+			faultyMu.Lock()
+			for p := range chunkFaulty {
+				faulty[p] = true
+			}
+			faultyMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for p := range faulty {
 		res.faulty = append(res.faulty, p)

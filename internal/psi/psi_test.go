@@ -28,13 +28,6 @@ func corpus(aSize, bSize, overlap int) (a, b [][]byte, wantIdx []int) {
 	return a, b, wantIdx
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 func TestCommutativeIntersectCorrectness(t *testing.T) {
 	a, b, want := corpus(40, 30, 7)
 	got, stats, err := CommutativeIntersect(a, b, CEConfig{ModulusBits: 256})
@@ -153,7 +146,13 @@ func TestSharingBeatsEncryptionOnPaperCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 	ssTime := time.Since(start)
-	if ceTime < 5*ssTime {
+	// The race detector slows the hash-heavy sharing path far more than the
+	// math/big modexp path, compressing the observed ratio.
+	margin := time.Duration(5)
+	if raceEnabled {
+		margin = 2
+	}
+	if ceTime < margin*ssTime {
 		t.Fatalf("encryption PSI (%v) not clearly slower than sharing PSI (%v)", ceTime, ssTime)
 	}
 	if ceStats.ModExps == 0 || ssStats.ModExps != 0 {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package psi
+
+// raceEnabled relaxes timing margins when the race detector's
+// instrumentation distorts relative costs.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package psi
+
+// raceEnabled relaxes timing margins when the race detector's
+// instrumentation distorts relative costs (it slows map/alloc-heavy code
+// far more than math/big kernels).
+const raceEnabled = true

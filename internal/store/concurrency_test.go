@@ -145,3 +145,47 @@ func TestConcurrentDurableMutations(t *testing.T) {
 		t.Fatalf("rows after recovery = %d, want 200", n)
 	}
 }
+
+// Readers share the store lock; the Merkle cache is built lazily by
+// whichever reader arrives first. Racing digests on a cold cache must all
+// observe the same root.
+func TestConcurrentDigestColdCache(t *testing.T) {
+	s := memStore(t)
+	mustCreate(t, s)
+	for i := uint64(1); i <= 500; i++ {
+		if err := s.Insert("employees", []proto.Row{row(i, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Invalidate by mutating, then race cold-cache digests.
+	for round := 0; round < 5; round++ {
+		if err := s.Insert("employees", []proto.Row{row(10_000+uint64(round), 1)}); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		roots := make([][]byte, 8)
+		errs := make(chan error, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				dig, err := s.Digest("employees", "salary#o")
+				if err != nil {
+					errs <- err
+					return
+				}
+				roots[g] = dig.Root
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		for g := 1; g < 8; g++ {
+			if fmt.Sprintf("%x", roots[g]) != fmt.Sprintf("%x", roots[0]) {
+				t.Fatalf("round %d: digest %d = %x, digest 0 = %x", round, g, roots[g], roots[0])
+			}
+		}
+	}
+}

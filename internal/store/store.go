@@ -40,10 +40,13 @@ var (
 	ErrNoSuchRow    = errors.New("store: no such row id")
 )
 
-// Store is one provider's database. All operations are serialized by an
-// internal mutex; the transport layer may deliver requests concurrently.
+// Store is one provider's database. Reads (Scan, Digest, aggregates,
+// joins, ListTables) hold an internal RWMutex shared, so concurrent
+// statements from the data source — the transport layer may deliver
+// requests concurrently — execute in parallel; mutations (DDL, DML, WAL
+// append, compaction) hold it exclusively.
 type Store struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	dir    string
 	log    *wal.Log
 	tables map[string]*table
@@ -56,6 +59,9 @@ type table struct {
 	// cell||rowID (value empty); the rowID suffix disambiguates duplicate
 	// shares.
 	indexes map[string]*btree.Tree
+	// merkleMu guards merkles: the cache is (re)built lazily by readers
+	// holding the store lock shared, so the build itself needs a leaf lock.
+	merkleMu sync.Mutex
 	// merkles caches per-column Merkle state; invalidated by mutations.
 	merkles map[string]*merkleState
 }
@@ -211,8 +217,8 @@ func (s *Store) applyDropTable(name string) error {
 
 // ListTables returns all table specs, sorted by name.
 func (s *Store) ListTables() []proto.TableSpec {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	specs := make([]proto.TableSpec, 0, len(s.tables))
 	for _, t := range s.tables {
 		specs = append(specs, t.spec)
@@ -272,9 +278,11 @@ func copyRow(row proto.Row) proto.Row {
 }
 
 func (t *table) invalidateMerkles() {
+	t.merkleMu.Lock()
 	for k := range t.merkles {
 		delete(t.merkles, k)
 	}
+	t.merkleMu.Unlock()
 }
 
 func (t *table) indexInsert(row proto.Row) {
@@ -579,8 +587,8 @@ func (t *table) matchingIDs(f *proto.Filter) ([]uint64, error) {
 // (0 = unlimited). With withProof it also returns a Merkle completeness
 // proof; the filter column must then be indexed and limit must be zero.
 func (s *Store) Scan(name string, f *proto.Filter, projection []string, limit uint64, withProof bool) (*proto.RowsResponse, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t, err := s.table(name)
 	if err != nil {
 		return nil, err
@@ -637,12 +645,16 @@ func RowDigest(row proto.Row) []byte {
 }
 
 // merkleFor returns (building if needed) the Merkle state of an indexed
-// column.
+// column. Callers hold the store lock at least shared, which pins rows and
+// indexes; merkleMu additionally serializes cache builds so concurrent
+// proof-carrying scans build each column tree once and then share it.
 func (t *table) merkleFor(col string) (*merkleState, error) {
 	idx, ok := t.indexes[col]
 	if !ok {
 		return nil, fmt.Errorf("%w: column %q is not indexed", ErrBadRequest, col)
 	}
+	t.merkleMu.Lock()
+	defer t.merkleMu.Unlock()
 	if m, ok := t.merkles[col]; ok {
 		return m, nil
 	}
@@ -710,8 +722,8 @@ func (t *table) proveScan(f *proto.Filter) ([]byte, error) {
 
 // Digest returns the Merkle root and leaf count of an indexed column.
 func (s *Store) Digest(name, col string) (*proto.DigestResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t, err := s.table(name)
 	if err != nil {
 		return nil, err
@@ -728,8 +740,8 @@ func (s *Store) Digest(name, col string) (*proto.DigestResult, error) {
 // "perform an intermediate computation"; the data source combines k of
 // them).
 func (s *Store) Aggregate(name string, op proto.AggOp, orderCol, valueCol string, f *proto.Filter) (*proto.AggResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t, err := s.table(name)
 	if err != nil {
 		return nil, err
@@ -809,8 +821,8 @@ func (s *Store) Aggregate(name string, op proto.AggOp, orderCol, valueCol string
 // group partials positionally. Only COUNT/SUM are grouped provider-side;
 // other aggregates fall back to client-side computation.
 func (s *Store) AggregateGrouped(name string, op proto.AggOp, valueCol, groupCol string, f *proto.Filter) (*proto.GroupResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t, err := s.table(name)
 	if err != nil {
 		return nil, err
@@ -869,8 +881,8 @@ func (s *Store) AggregateGrouped(name string, op proto.AggOp, valueCol, groupCol
 // optionally pre-filtering the left side. Share determinism within one
 // domain makes this exactly the client-level referential join of Sec. V-A.
 func (s *Store) Join(req *proto.JoinRequest) (*proto.JoinResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	lt, err := s.table(req.LeftTable)
 	if err != nil {
 		return nil, err
@@ -928,8 +940,8 @@ func (s *Store) Join(req *proto.JoinRequest) (*proto.JoinResult, error) {
 
 // RowCount returns the number of rows in a table.
 func (s *Store) RowCount(name string) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t, err := s.table(name)
 	if err != nil {
 		return 0, err

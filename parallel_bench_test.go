@@ -1,0 +1,111 @@
+package sssdb
+
+// Parallel-pipeline benchmarks. Run with -cpu 1,4 to compare the serial
+// path (ParallelWorkers defaults to GOMAXPROCS, so -cpu 1 pins one worker)
+// against multi-core share reconstruction/encoding:
+//
+//	go test -bench 'Parallel|MixedWorkload' -cpu 1,4 -benchtime 2x .
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+const parallelBenchRows = 50_000
+
+// seedRows builds a deterministic multi-column batch: VARCHAR decode plus
+// two INT columns keep per-row reconstruction cost realistic.
+func seedRows(n int) [][]Value {
+	rows := make([][]Value, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []Value{
+			StringValue(fmt.Sprintf("n%06d", i)),
+			IntValue(int64(i % 9973)),
+			IntValue(int64(1_000_000 + i)),
+		}
+	}
+	return rows
+}
+
+func newParallelBenchCluster(b *testing.B, rows int) *Cluster {
+	b.Helper()
+	cluster, err := OpenLocal(3, Options{K: 2, MasterKey: []byte("bench")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cluster.Close() })
+	if _, err := cluster.Client.Exec(`CREATE TABLE wide (name VARCHAR(8), v INT, w INT)`); err != nil {
+		b.Fatal(err)
+	}
+	if rows > 0 {
+		if _, err := cluster.Client.InsertValues("wide", seedRows(rows)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cluster
+}
+
+// BenchmarkScanReconstructParallel measures a full-table SELECT over 50k
+// rows: the client fetches every provider row and reconstructs 3 columns
+// per row across the worker pool.
+func BenchmarkScanReconstructParallel(b *testing.B) {
+	cluster := newParallelBenchCluster(b, parallelBenchRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Client.Exec(`SELECT * FROM wide`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != parallelBenchRows {
+			b.Fatalf("got %d rows, want %d", len(res.Rows), parallelBenchRows)
+		}
+	}
+}
+
+// BenchmarkBulkInsertParallel measures share encoding on the insert path:
+// each iteration splits a 50k-row batch (3 columns: one Shamir + one OPP
+// share per provider per cell) across the worker pool.
+func BenchmarkBulkInsertParallel(b *testing.B) {
+	cluster := newParallelBenchCluster(b, 0)
+	batch := seedRows(parallelBenchRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Client.InsertValues("wide", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMixedWorkloadThroughput drives concurrent statements through one
+// client: each parallel goroutine issues range SELECTs with an occasional
+// INSERT mixed in (1 in 16). Throughput at -cpu 4 versus -cpu 1 shows what
+// statement-level read concurrency buys once SELECTs share the client and
+// store locks.
+func BenchmarkMixedWorkloadThroughput(b *testing.B) {
+	cluster := newParallelBenchCluster(b, parallelBenchRows)
+	var inserted atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if i%16 == 0 {
+				id := inserted.Add(1)
+				q := fmt.Sprintf(`INSERT INTO wide VALUES ('x%06d', %d, %d)`, id%1_000_000, id%9973, 2_000_000+id)
+				if _, err := cluster.Client.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			lo := (i * 97) % 9000
+			q := fmt.Sprintf(`SELECT name, w FROM wide WHERE v BETWEEN %d AND %d`, lo, lo+100)
+			if _, err := cluster.Client.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
