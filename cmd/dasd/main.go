@@ -29,6 +29,8 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7001", "address to serve the provider protocol on")
 	dir := flag.String("dir", "", "data directory (empty = memory-only)")
 	compactOnStart := flag.Bool("compact", false, "write a snapshot and truncate the WAL after recovery")
+	inflight := flag.Int("inflight", 0, "max concurrent requests per connection (0 = default)")
+	chunk := flag.Int("chunk", 0, "streamed row-frame chunk size in bytes (0 = default, <0 disables streaming)")
 	flag.Parse()
 
 	if *dir != "" {
@@ -50,7 +52,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("dasd: listen %s: %v", *listen, err)
 	}
-	srv := transport.NewServer(ln, server.New(st))
+	srv := transport.NewServerWith(ln, server.New(st), transport.ServerConfig{
+		MaxInflight: *inflight,
+		ChunkBytes:  *chunk,
+	})
 	fmt.Printf("dasd: serving on %s (dir=%q, tables=%d)\n", srv.Addr(), *dir, len(st.ListTables()))
 
 	sig := make(chan os.Signal, 1)

@@ -35,6 +35,8 @@ func main() {
 	csvPath := flag.String("csv", "", "CSV file to load ('-' for stdin)")
 	schema := flag.String("schema", "", "CREATE TABLE statement to run first")
 	batch := flag.Int("batch", 500, "rows per insert batch")
+	timeout := flag.Duration("timeout", 0, "per-call deadline against providers (0 = none)")
+	serial := flag.Bool("serial", false, "use the serial (non-multiplexed) wire protocol")
 	flag.Parse()
 
 	if *table == "" || *csvPath == "" {
@@ -60,7 +62,10 @@ func main() {
 		}
 		opts.MasterKey = []byte(*key)
 		var err error
-		db, err = sssdb.Open(strings.Split(*providers, ","), opts)
+		db, err = sssdb.OpenWith(strings.Split(*providers, ","), opts, sssdb.DialConfig{
+			Timeout:         *timeout,
+			SerialTransport: *serial,
+		})
 		if err != nil {
 			fatal(err)
 		}

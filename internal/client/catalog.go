@@ -57,7 +57,12 @@ func (c *Client) ExportCatalog() ([]byte, error) {
 	out := catalogFile{Version: catalogVersion}
 	for _, name := range sortedTableNames(c.tables) {
 		meta := c.tables[name]
-		ct := catalogTable{Name: meta.Name, Public: meta.Public, NextID: meta.NextID}
+		// NextID moves under insMu (INSERT holds the statement lock shared,
+		// like this export), so read it under the same lock.
+		c.insMu.Lock()
+		nextID := meta.NextID
+		c.insMu.Unlock()
+		ct := catalogTable{Name: meta.Name, Public: meta.Public, NextID: nextID}
 		for _, cm := range meta.Cols {
 			ct.Cols = append(ct.Cols, catalogColumn{
 				Name: cm.Name,

@@ -97,6 +97,14 @@ type Result struct {
 // lock guarding only the failover state; response-collection goroutines
 // take it while read statements run in parallel. Never acquire mu while
 // holding downMu.
+//
+// Each provider connection is shared by every concurrent statement. Over
+// the multiplexed TCP transport the requests of concurrent statements are
+// truly in flight together on one connection; when that shared connection
+// dies, every in-flight call fails at once, each failing statement marks
+// the provider down independently (last observation wins, benignly), and
+// reads fail over to the surviving providers while the transport redials
+// in the background of subsequent calls.
 type Client struct {
 	mu    sync.RWMutex
 	opts  Options
@@ -116,6 +124,16 @@ type Client struct {
 	// only mutated under the exclusive statement lock; read statements
 	// escalate to exclusive mode when it is non-empty (see Exec).
 	pending map[string]map[uint64][]Value
+	// insMu guards row-id allocation (tableMeta.NextID) and inflight.
+	// INSERT statements hold the statement lock shared so reads can
+	// overtake their provider roundtrips; insMu is the narrow lock that
+	// keeps id reservations and the scan watermark consistent.
+	insMu sync.Mutex
+	// inflight tracks reserved-but-unacknowledged insert id ranges per
+	// table (base id -> row count). Scans hide rows at or above the
+	// smallest in-flight base id, so an insert that has landed on some
+	// providers but not others is invisible rather than "inconsistent".
+	inflight map[string]map[uint64]uint64
 	// forceClientAgg disables provider-side partial aggregation; the E8
 	// ablation benchmark measures what it costs.
 	forceClientAgg bool
@@ -195,6 +213,7 @@ func New(conns []transport.Conn, opts Options) (*Client, error) {
 		aead:     aead,
 		down:     make([]bool, opts.N),
 		pending:  make(map[string]map[uint64][]Value),
+		inflight: make(map[string]map[uint64]uint64),
 	}, nil
 }
 
@@ -332,13 +351,19 @@ func (c *Client) callQuorum(need int, build func(provider int) proto.Message) ([
 			msg      proto.Message
 			err      error
 		}
+		// Run the last member of the batch on this goroutine: with K=2
+		// that halves goroutine spawns per statement, and the spawned
+		// goroutines overlap with it either way.
 		ch := make(chan res, len(batch))
-		for _, p := range batch {
+		for _, p := range batch[:len(batch)-1] {
 			go func(p int) {
 				msg, err := c.call(p, build(p))
 				ch <- res{provider: p, msg: msg, err: err}
 			}(p)
 		}
+		last := batch[len(batch)-1]
+		msg, err := c.call(last, build(last))
+		ch <- res{provider: last, msg: msg, err: err}
 		for range batch {
 			r := <-ch
 			if r.err != nil {

@@ -11,9 +11,15 @@ import (
 )
 
 // Exec parses and executes one SQL statement against the provider fleet.
-// Read statements (SELECT, EXPLAIN) hold the statement lock shared and run
-// concurrently with each other; DDL and DML hold it exclusively, so reads
-// observe either the pre- or post-statement share sets, never a mix.
+// Plain scans (SELECT without aggregates, joins, or verification) and
+// EXPLAIN hold the statement lock shared and run concurrently with each
+// other and with INSERTs; INSERT also runs shared — it only appends rows
+// under freshly reserved ids, and scans hide ids above the stable
+// watermark (see scanTable) so a half-landed insert is never observed.
+// UPDATE, DELETE, DDL, and SELECTs that combine per-provider computations
+// without row ids to filter on (aggregates, joins, verified reads) hold
+// the lock exclusively, so they observe — and present — either the pre- or
+// post-statement share sets, never a mix.
 func (c *Client) Exec(query string) (*Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
@@ -21,19 +27,25 @@ func (c *Client) Exec(query string) (*Result, error) {
 	}
 	switch s := stmt.(type) {
 	case *sql.Select:
-		return c.execRead(func() (*Result, error) { return c.execSelect(s) })
+		if !c.selectNeedsExclusive(s) {
+			return c.execRead(func() (*Result, error) { return c.execSelect(s) })
+		}
 	case *sql.Explain:
 		return c.execRead(func() (*Result, error) { return c.execExplain(s) })
+	case *sql.Insert:
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return c.execInsert(s)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch s := stmt.(type) {
+	case *sql.Select:
+		return c.execSelect(s)
 	case *sql.CreateTable:
 		return c.execCreateTable(s)
 	case *sql.DropTable:
 		return c.execDropTable(s)
-	case *sql.Insert:
-		return c.execInsert(s)
 	case *sql.Update:
 		return c.execUpdate(s)
 	case *sql.Delete:
@@ -41,6 +53,23 @@ func (c *Client) Exec(query string) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnsupported, stmt)
 	}
+}
+
+// selectNeedsExclusive reports whether a SELECT must serialize against
+// writers. A plain scan tolerates concurrent INSERTs — the watermark hides
+// partially landed rows by id — but provider-side aggregation, joins, and
+// verified reads compare or linearly combine per-provider results that
+// carry no ids to filter on, so they take the exclusive lock instead.
+func (c *Client) selectNeedsExclusive(s *sql.Select) bool {
+	if s.Verified || c.opts.Verified || s.GroupBy != nil || s.Join != nil {
+		return true
+	}
+	for _, item := range s.Items {
+		if item.Agg != sql.AggNone {
+			return true
+		}
+	}
+	return false
 }
 
 // execRead runs a read statement under the shared statement lock. A read
@@ -116,6 +145,9 @@ func (c *Client) execDropTable(s *sql.DropTable) (*Result, error) {
 	}
 	delete(c.tables, s.Name)
 	delete(c.pending, s.Name)
+	c.insMu.Lock()
+	delete(c.inflight, s.Name)
+	c.insMu.Unlock()
 	return &Result{}, nil
 }
 
@@ -148,8 +180,8 @@ func (c *Client) execInsert(s *sql.Insert) (*Result, error) {
 // InsertValues outsources pre-typed rows, bypassing SQL parsing; bulk
 // loaders and the workload generators use it.
 func (c *Client) InsertValues(table string, rows [][]Value) (*Result, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	meta, err := c.table(table)
 	if err != nil {
 		return nil, err
@@ -163,8 +195,23 @@ func (c *Client) InsertValues(table string, rows [][]Value) (*Result, error) {
 	return c.insertValues(meta, rows)
 }
 
+// insertValues runs under the shared statement lock: it reserves a fresh
+// id range, encodes, and distributes the batch while concurrent scans keep
+// flowing. Until the reservation is released, scans treat the range as
+// unstable and hide it (see stableWatermark), so no reader can catch the
+// batch present on one provider and absent on another.
 func (c *Client) insertValues(meta *tableMeta, rows [][]Value) (*Result, error) {
-	perProvider, ids, err := c.encodeRows(meta, rows)
+	n := uint64(len(rows))
+	if n == 0 {
+		return &Result{}, nil
+	}
+	base := c.reserveIDs(meta, n)
+	defer c.releaseIDs(meta, base)
+	ids := make([]uint64, len(rows))
+	for r := range ids {
+		ids[r] = base + uint64(r)
+	}
+	perProvider, err := c.encodeRowsAt(meta, ids, rows)
 	if err != nil {
 		return nil, err
 	}
@@ -174,9 +221,9 @@ func (c *Client) insertValues(meta *tableMeta, rows [][]Value) (*Result, error) 
 	if err != nil {
 		// Best-effort compensation: providers that accepted the batch would
 		// otherwise hold rows their peers lack, permanently forking the
-		// share sets. Delete the batch where it landed; providers that are
-		// down will reject the ids again if the client retries later (ids
-		// are never reused: NextID only advances on success).
+		// share sets. Delete the batch where it landed; the reservation is
+		// burned either way (ids are never reused), so a retry starts from
+		// fresh ids.
 		for _, p := range succeeded {
 			if _, derr := c.call(p, &proto.DeleteRequest{Table: meta.Name, RowIDs: ids}); derr != nil {
 				return nil, fmt.Errorf("%w (rollback on provider %d also failed: %v)", err, p, derr)
@@ -184,23 +231,53 @@ func (c *Client) insertValues(meta *tableMeta, rows [][]Value) (*Result, error) 
 		}
 		return nil, err
 	}
-	meta.NextID += uint64(len(rows))
-	return &Result{Affected: uint64(len(rows))}, nil
+	return &Result{Affected: n}, nil
 }
 
-// encodeRows turns typed rows into per-provider share rows, assigning
-// fresh ids starting at meta.NextID (without committing the counter).
-func (c *Client) encodeRows(meta *tableMeta, rows [][]Value) ([][]proto.Row, []uint64, error) {
-	ids := make([]uint64, len(rows))
-	for r := range rows {
-		ids[r] = meta.NextID + uint64(r)
+// reserveIDs allocates n consecutive row ids in meta's table and registers
+// the range as in flight. Ids are never reused: a failed insert burns its
+// reservation.
+func (c *Client) reserveIDs(meta *tableMeta, n uint64) uint64 {
+	c.insMu.Lock()
+	defer c.insMu.Unlock()
+	base := meta.NextID
+	meta.NextID += n
+	inf := c.inflight[meta.Name]
+	if inf == nil {
+		inf = make(map[uint64]uint64)
+		c.inflight[meta.Name] = inf
 	}
-	perProvider, err := c.encodeRowsAt(meta, ids, rows)
-	if err != nil {
-		return nil, nil, err
-	}
-	return perProvider, ids, nil
+	inf[base] = n
+	return base
 }
+
+// releaseIDs retires a reservation made by reserveIDs, acknowledged or not.
+func (c *Client) releaseIDs(meta *tableMeta, base uint64) {
+	c.insMu.Lock()
+	delete(c.inflight[meta.Name], base)
+	c.insMu.Unlock()
+}
+
+// stableWatermark returns the row-id bound below which every id belongs to
+// a fully acknowledged insert: the smallest in-flight reservation, or the
+// allocation frontier when no insert is in flight. Scans drop rows at or
+// above it before comparing providers.
+func (c *Client) stableWatermark(meta *tableMeta) uint64 {
+	c.insMu.Lock()
+	defer c.insMu.Unlock()
+	w := meta.NextID
+	for base := range c.inflight[meta.Name] {
+		if base < w {
+			w = base
+		}
+	}
+	return w
+}
+
+// shareBytesPerCell over-estimates the randomness one cell draws while
+// encoding: K-1 field-polynomial coefficients of 8 bytes (K ≤ 4 in
+// practice) or a 12-byte AEAD nonce for blobs.
+const shareBytesPerCell = 16
 
 // encodeRowsAt encodes full rows under explicit ids. Each value costs an
 // OPP split (keyed-hash polynomial, microseconds) plus a field-share split,
@@ -214,8 +291,14 @@ func (c *Client) encodeRowsAt(meta *tableMeta, ids []uint64, rows [][]Value) ([]
 	err := parallelChunks(c.opts.ParallelWorkers, len(rows), func(start, end int) error {
 		// One buffered randomness reader per worker: drawing polynomial
 		// coefficients 8 bytes at a time costs a getrandom syscall per
-		// cell otherwise, which serializes workers in the kernel.
-		rnd := bufio.NewReaderSize(c.opts.Rand, 4096)
+		// cell otherwise, which serializes workers in the kernel. Size the
+		// buffer to the chunk — a single-row INSERT needs tens of bytes,
+		// and a 4 KiB refill would dwarf the statement's real entropy use.
+		need := (end - start) * len(meta.Cols) * 2 * shareBytesPerCell
+		if need > 4096 {
+			need = 4096
+		}
+		rnd := bufio.NewReaderSize(c.opts.Rand, need)
 		for r := start; r < end; r++ {
 			encoded, err := c.encodeRow(meta, ids[r], rows[r], rnd)
 			if err != nil {

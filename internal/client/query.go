@@ -259,6 +259,13 @@ func (c *Client) scanTable(meta *tableMeta, preds []compiledPred, limit uint64, 
 			WithProof: verified,
 		}
 	}
+	// INSERTs run under the shared statement lock, so a batch may be landing
+	// provider by provider while this scan is in flight. Snapshot the stable
+	// watermark before sending: any id at or above it could be half-landed
+	// and is dropped from every response below, so the K row sets always
+	// agree on what both of them have fully durable. (Verified reads hold
+	// the exclusive lock — no insert is in flight and nothing is dropped.)
+	watermark := c.stableWatermark(meta)
 	var responses []indexedResponse
 	var err error
 	if verified {
@@ -285,6 +292,15 @@ func (c *Client) scanTable(meta *tableMeta, preds []compiledPred, limit uint64, 
 				continue
 			}
 			return nil, fmt.Errorf("%w: provider %d returned %T", ErrInconsistent, r.provider, r.msg)
+		}
+		if !verified {
+			keep := rr.Rows[:0]
+			for _, row := range rr.Rows {
+				if row.ID < watermark {
+					keep = append(keep, row)
+				}
+			}
+			rr.Rows = keep
 		}
 		rowsByProvider[r.provider] = rr
 		providers = append(providers, r.provider)

@@ -34,7 +34,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"math/big"
+	"math/bits"
+	"sync"
 )
 
 // ShareSize is the width of an order-preserving share in bytes (192 bits).
@@ -101,7 +104,7 @@ var (
 )
 
 // Scheme derives order-preserving shares under a client master key.
-// A Scheme is immutable and safe for concurrent use.
+// A Scheme is safe for concurrent use.
 type Scheme struct {
 	params Params
 	key    []byte
@@ -111,7 +114,26 @@ type Scheme struct {
 	// maxShare is the exclusive upper bound of any share value, used as a
 	// range-scan sentinel.
 	maxShare Share
+
+	// cache memoizes p_v(x) per (value, evaluation point): share derivation
+	// is deterministic, and both query rewriting (the same filter bounds
+	// over and over) and ReconstructSearch (the same binary-search probe
+	// ladder for every decoded cell) hit a small working set of values. It
+	// is bounded: when full it is dropped wholesale and rebuilt.
+	cacheMu sync.RWMutex
+	cache   map[shareKey]Share
+
+	// macs pools keyed HMAC states: hmac.New runs the full key schedule
+	// (two SHA-256 blocks) and allocates three hash states, while Reset on
+	// a pooled instance just restores the precomputed pads.
+	macs sync.Pool
 }
+
+// shareKey indexes the share cache by (secret value, evaluation point).
+type shareKey struct{ v, x uint64 }
+
+// shareCacheLimit bounds the cache to ~64k entries (~2.5 MB).
+const shareCacheLimit = 1 << 16
 
 const maxEvalPoint = 1 << 10 // evaluation points live in [1, 2^10]
 
@@ -133,7 +155,12 @@ func NewScheme(p Params, key []byte) (*Scheme, error) {
 	if p.N < 1 {
 		return nil, fmt.Errorf("%w: n=%d", ErrBadParams, p.N)
 	}
-	s := &Scheme{params: p, key: append([]byte(nil), key...)}
+	s := &Scheme{
+		params: p,
+		key:    append([]byte(nil), key...),
+		cache:  make(map[shareKey]Share),
+	}
+	s.macs.New = func() any { return hmac.New(sha256.New, s.key) }
 	xs, err := deriveEvalPoints(key, p.N)
 	if err != nil {
 		return nil, err
@@ -213,27 +240,90 @@ func (s *Scheme) EvalPoint(i int) (uint64, error) {
 	return s.xs[i], nil
 }
 
-// coefficient returns c_j(v) = v·2^SlotBits + h_j(v) for j in [1, Degree].
-func (s *Scheme) coefficient(j int, v uint64) *big.Int {
-	mac := hmac.New(sha256.New, s.key)
+// coeffOffset derives the keyed pseudo-random offset h_j(v), truncated to
+// SlotBits.
+func (s *Scheme) coeffOffset(j int, v uint64) uint64 {
+	mac := s.macs.Get().(hash.Hash)
+	mac.Reset()
 	var buf [16]byte
 	binary.BigEndian.PutUint64(buf[:8], uint64(j))
 	binary.BigEndian.PutUint64(buf[8:], v)
 	mac.Write([]byte("sssdb/opp-coefficient"))
 	mac.Write(buf[:])
-	sum := mac.Sum(nil)
-	var offset uint64
+	var sumBuf [sha256.Size]byte
+	sum := mac.Sum(sumBuf[:0])
+	s.macs.Put(mac)
 	if s.params.SlotBits == 64 {
-		offset = binary.BigEndian.Uint64(sum[:8])
-	} else {
-		offset = binary.BigEndian.Uint64(sum[:8]) & (uint64(1)<<s.params.SlotBits - 1)
+		return binary.BigEndian.Uint64(sum[:8])
 	}
+	return binary.BigEndian.Uint64(sum[:8]) & (uint64(1)<<s.params.SlotBits - 1)
+}
+
+// coefficient returns c_j(v) = v·2^SlotBits + h_j(v) for j in [1, Degree].
+func (s *Scheme) coefficient(j int, v uint64) *big.Int {
+	offset := s.coeffOffset(j, v)
 	c := new(big.Int).SetUint64(v)
 	c.Lsh(c, s.params.SlotBits)
 	return c.Add(c, new(big.Int).SetUint64(offset))
 }
 
-// shareInt computes p_v(x) as a big integer.
+// word192 is a little-endian 192-bit unsigned integer, the fixed-width
+// arithmetic behind share evaluation. NewScheme proves the largest possible
+// share fits in 192 bits, and every Horner intermediate is bounded by the
+// final value (all terms are non-negative and points are >= 1), so none of
+// these operations can overflow.
+type word192 [3]uint64
+
+// coeff192 is coefficient with fixed-width arithmetic.
+func (s *Scheme) coeff192(j int, v uint64) word192 {
+	offset := s.coeffOffset(j, v)
+	sb := s.params.SlotBits
+	if sb == 64 {
+		return word192{offset, v, 0}
+	}
+	lo := v << sb
+	hi := v >> (64 - sb)
+	var w word192
+	var carry uint64
+	w[0], carry = bits.Add64(lo, offset, 0)
+	w[1], _ = bits.Add64(hi, 0, carry)
+	return w
+}
+
+// mulAdd192 returns a·x + c.
+func mulAdd192(a word192, x uint64, c word192) word192 {
+	h0, l0 := bits.Mul64(a[0], x)
+	h1, l1 := bits.Mul64(a[1], x)
+	_, l2 := bits.Mul64(a[2], x)
+	var r word192
+	var carry uint64
+	r[0] = l0
+	r[1], carry = bits.Add64(l1, h0, 0)
+	r[2], _ = bits.Add64(l2, h1, carry)
+	r[0], carry = bits.Add64(r[0], c[0], 0)
+	r[1], carry = bits.Add64(r[1], c[1], carry)
+	r[2], _ = bits.Add64(r[2], c[2], carry)
+	return r
+}
+
+// evalShare computes p_v(x) with fixed-width Horner evaluation and packs it
+// big-endian into a Share (matching shareFromInt's byte layout exactly).
+func (s *Scheme) evalShare(v, x uint64) Share {
+	acc := s.coeff192(s.params.Degree, v)
+	for j := s.params.Degree - 1; j >= 1; j-- {
+		acc = mulAdd192(acc, x, s.coeff192(j, v))
+	}
+	acc = mulAdd192(acc, x, word192{v, 0, 0})
+	var sh Share
+	binary.BigEndian.PutUint64(sh[0:8], acc[2])
+	binary.BigEndian.PutUint64(sh[8:16], acc[1])
+	binary.BigEndian.PutUint64(sh[16:24], acc[0])
+	return sh
+}
+
+// shareInt computes p_v(x) as a big integer. It is the reference
+// implementation that evalShare must match bit for bit (stored shares
+// depend on it); the equivalence is pinned by a test.
 func (s *Scheme) shareInt(v, x uint64) *big.Int {
 	// Horner over coefficients c_d .. c_1, constant term v.
 	acc := s.coefficient(s.params.Degree, v)
@@ -244,6 +334,26 @@ func (s *Scheme) shareInt(v, x uint64) *big.Int {
 	}
 	acc.Mul(acc, bx)
 	return acc.Add(acc, new(big.Int).SetUint64(v))
+}
+
+// shareAtPoint is the memoized form of shareInt: it returns p_v(x) as a
+// Share, consulting the cache first. v must already be validated.
+func (s *Scheme) shareAtPoint(v, x uint64) (Share, error) {
+	k := shareKey{v, x}
+	s.cacheMu.RLock()
+	sh, ok := s.cache[k]
+	s.cacheMu.RUnlock()
+	if ok {
+		return sh, nil
+	}
+	sh = s.evalShare(v, x)
+	s.cacheMu.Lock()
+	if len(s.cache) >= shareCacheLimit {
+		s.cache = make(map[shareKey]Share)
+	}
+	s.cache[k] = sh
+	s.cacheMu.Unlock()
+	return sh, nil
 }
 
 // ShareAt computes provider i's order-preserving share of v. It is
@@ -257,36 +367,86 @@ func (s *Scheme) ShareAt(v uint64, provider int) (Share, error) {
 	if provider < 0 || provider >= len(s.xs) {
 		return Share{}, fmt.Errorf("%w: %d", ErrBadProvider, provider)
 	}
-	return shareFromInt(s.shareInt(v, s.xs[provider]))
+	return s.shareAtPoint(v, s.xs[provider])
 }
 
-// Split computes all n providers' shares of v.
+// Split computes all n providers' shares of v. Cached points are reused;
+// on any miss the polynomial's coefficients are derived once (the HMACs
+// dominate share generation) and evaluated at every missing point, instead
+// of re-deriving them per point as the single-share path would.
 func (s *Scheme) Split(v uint64) ([]Share, error) {
+	if v > s.DomainMax() {
+		return nil, fmt.Errorf("%w: %d > %d", ErrOutOfDomain, v, s.DomainMax())
+	}
 	out := make([]Share, len(s.xs))
-	for i := range s.xs {
-		sh, err := s.ShareAt(v, i)
-		if err != nil {
-			return nil, err
+	hit := make([]bool, len(s.xs))
+	misses := 0
+	s.cacheMu.RLock()
+	for i, x := range s.xs {
+		if sh, ok := s.cache[shareKey{v, x}]; ok {
+			out[i] = sh
+			hit[i] = true
+		} else {
+			misses++
 		}
+	}
+	s.cacheMu.RUnlock()
+	if misses == 0 {
+		return out, nil
+	}
+	coeffs := make([]word192, s.params.Degree)
+	for j := 1; j <= s.params.Degree; j++ {
+		coeffs[j-1] = s.coeff192(j, v)
+	}
+	for i, x := range s.xs {
+		if hit[i] {
+			continue
+		}
+		// Horner: acc = (...(c_d·x + c_{d-1})·x + ...)·x + v.
+		acc := coeffs[s.params.Degree-1]
+		for j := s.params.Degree - 1; j >= 1; j-- {
+			acc = mulAdd192(acc, x, coeffs[j-1])
+		}
+		acc = mulAdd192(acc, x, word192{v, 0, 0})
+		var sh Share
+		binary.BigEndian.PutUint64(sh[0:8], acc[2])
+		binary.BigEndian.PutUint64(sh[8:16], acc[1])
+		binary.BigEndian.PutUint64(sh[16:24], acc[0])
 		out[i] = sh
 	}
+	s.cacheMu.Lock()
+	if len(s.cache)+misses > shareCacheLimit {
+		s.cache = make(map[shareKey]Share, shareCacheLimit/4)
+	}
+	for i, x := range s.xs {
+		if !hit[i] {
+			s.cache[shareKey{v, x}] = out[i]
+		}
+	}
+	s.cacheMu.Unlock()
 	return out, nil
 }
 
 // ReconstructSearch inverts a single provider's share by binary search over
 // the domain, exploiting strict monotonicity of ShareAt in v. It needs only
 // one share (plus the client key), runs in O(DomainBits) hash evaluations,
-// and is the fast path for decoding rows returned by range scans.
+// and is the fast path for decoding rows returned by range scans. The probe
+// ladder's upper levels repeat across every decoded cell, so most probes hit
+// the share cache. Share byte order equals numeric order, so probes compare
+// raw shares without math/big.
 func (s *Scheme) ReconstructSearch(provider int, sh Share) (uint64, error) {
 	if provider < 0 || provider >= len(s.xs) {
 		return 0, fmt.Errorf("%w: %d", ErrBadProvider, provider)
 	}
-	target := sh.Int()
 	x := s.xs[provider]
 	lo, hi := uint64(0), s.DomainMax()
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		switch s.shareInt(mid, x).Cmp(target) {
+		probe, err := s.shareAtPoint(mid, x)
+		if err != nil {
+			return 0, err
+		}
+		switch probe.Compare(sh) {
 		case 0:
 			return mid, nil
 		case -1:
@@ -295,7 +455,11 @@ func (s *Scheme) ReconstructSearch(provider int, sh Share) (uint64, error) {
 			hi = mid
 		}
 	}
-	if s.shareInt(lo, x).Cmp(target) == 0 {
+	probe, err := s.shareAtPoint(lo, x)
+	if err != nil {
+		return 0, err
+	}
+	if probe.Compare(sh) == 0 {
 		return lo, nil
 	}
 	return 0, ErrNoPreimage

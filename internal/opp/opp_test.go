@@ -417,3 +417,50 @@ func TestRangeFilterExactness(t *testing.T) {
 		}
 	}
 }
+
+// TestEvalShareMatchesBigInt pins the fixed-width Horner evaluation to the
+// big.Int reference implementation across parameter corners. Stored shares
+// depend on the two producing identical bytes.
+func TestEvalShareMatchesBigInt(t *testing.T) {
+	key := []byte("equivalence key")
+	for _, p := range []Params{
+		{Degree: 1, DomainBits: 8, SlotBits: 8, N: 3},
+		{Degree: 3, DomainBits: 32, N: 5},
+		{Degree: 3, DomainBits: 40, SlotBits: 32, N: 4},
+		{Degree: 2, DomainBits: 61, SlotBits: 64, N: 3},
+		{Degree: 8, DomainBits: 12, SlotBits: 16, N: 6},
+	} {
+		s, err := NewScheme(p, key)
+		if err != nil {
+			t.Fatalf("NewScheme(%+v): %v", p, err)
+		}
+		vals := []uint64{0, 1, 2, s.DomainMax() / 2, s.DomainMax() - 1, s.DomainMax()}
+		for _, v := range vals {
+			for _, x := range s.xs {
+				want, err := shareFromInt(s.shareInt(v, x))
+				if err != nil {
+					t.Fatalf("shareFromInt(v=%d, x=%d): %v", v, x, err)
+				}
+				if got := s.evalShare(v, x); got != want {
+					t.Fatalf("params %+v v=%d x=%d: evalShare=%x reference=%x", p, v, x, got, want)
+				}
+			}
+		}
+		// Split must agree with per-point evaluation as well.
+		for _, v := range vals {
+			shares, err := s.Split(v)
+			if err != nil {
+				t.Fatalf("Split(%d): %v", v, err)
+			}
+			for i, sh := range shares {
+				want, err := s.ShareAt(v, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sh != want {
+					t.Fatalf("Split(%d)[%d] = %x, ShareAt = %x", v, i, sh, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package proto
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestRowWireSizeExact checks RowWireSize against the real codec: an
+// encoded RowsResponse must grow by exactly RowWireSize per appended row.
+func TestRowWireSizeExact(t *testing.T) {
+	rows := []Row{
+		{ID: 0, Cells: nil},
+		{ID: 1, Cells: [][]byte{[]byte("x")}},
+		{ID: 127, Cells: [][]byte{[]byte("abc"), nil}},
+		{ID: 128, Cells: [][]byte{bytes.Repeat([]byte{0xaa}, 300)}},
+		{ID: 1 << 40, Cells: [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}},
+	}
+	base := len(Encode(&RowsResponse{}))
+	acc := &RowsResponse{}
+	total := 0
+	for i, r := range rows {
+		acc.Rows = append(acc.Rows, r)
+		total += RowWireSize(r)
+		// The row-count uvarint stays one byte for these small counts, so
+		// the delta over the empty response is exactly the row payloads.
+		if got := len(Encode(acc)) - base; got != total {
+			t.Fatalf("after %d rows: encoded delta %d, RowWireSize sum %d", i+1, got, total)
+		}
+	}
+}
+
+// TestMergeRowsChunk verifies stream reassembly semantics: rows append in
+// order, columns come from the first chunk, the proof from the last.
+func TestMergeRowsChunk(t *testing.T) {
+	var dst *RowsResponse
+	for i := 0; i < 3; i++ {
+		chunk := &RowsResponse{
+			Columns: []string{"a", "b"},
+			Rows:    []Row{{ID: uint64(2 * i)}, {ID: uint64(2*i + 1)}},
+		}
+		if i == 2 {
+			chunk.Proof = []byte("proof")
+		}
+		dst = MergeRowsChunk(dst, chunk)
+	}
+	if len(dst.Rows) != 6 {
+		t.Fatalf("merged %d rows", len(dst.Rows))
+	}
+	for i, r := range dst.Rows {
+		if r.ID != uint64(i) {
+			t.Fatalf("row %d has id %d", i, r.ID)
+		}
+	}
+	if fmt.Sprint(dst.Columns) != "[a b]" || string(dst.Proof) != "proof" {
+		t.Fatalf("columns %v proof %q", dst.Columns, dst.Proof)
+	}
+}

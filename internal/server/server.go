@@ -13,7 +13,10 @@ import (
 	"sssdb/internal/transport"
 )
 
-// Provider handles protocol requests against a store.
+// Provider handles protocol requests against a store. Handle is safe for
+// concurrent use: the multiplexed transport dispatches requests from a
+// worker pool, and the store's reader/writer locking provides the actual
+// isolation (scans share, mutations exclude).
 type Provider struct {
 	store *store.Store
 }

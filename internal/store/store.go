@@ -123,7 +123,9 @@ func (s *Store) Close() error {
 	return err
 }
 
-// logMutation appends the already-validated mutation to the WAL.
+// logMutation appends the already-validated mutation to the WAL and forces
+// it to disk before returning. Used by the rare DDL paths; the DML hot
+// paths use appendMutation + a group-committed Sync outside the store lock.
 func (s *Store) logMutation(msg proto.Message) error {
 	if s.log == nil {
 		return nil
@@ -132,6 +134,22 @@ func (s *Store) logMutation(msg proto.Message) error {
 		return err
 	}
 	return s.log.Sync()
+}
+
+// appendMutation appends the mutation to the WAL without syncing and
+// returns the log so the caller can Sync after releasing s.mu. Running the
+// fsync outside the store lock keeps readers unblocked during the flush,
+// and concurrent mutations group-commit: one fsync acknowledges them all.
+// The mutation becomes visible to readers before it is durable; the caller
+// is acknowledged only after Sync returns.
+func (s *Store) appendMutation(msg proto.Message) (*wal.Log, error) {
+	if s.log == nil {
+		return nil, nil
+	}
+	if err := s.log.Append(proto.Encode(msg)); err != nil {
+		return nil, err
+	}
+	return s.log, nil
 }
 
 // apply executes a mutation without logging; used by both the public
@@ -303,30 +321,44 @@ func (t *table) indexDelete(row proto.Row) {
 
 // Insert adds rows; every row id must be fresh. The batch is atomic: any
 // validation failure rejects the whole batch before anything is applied.
+// The WAL fsync happens after the store lock is released (group commit), so
+// concurrent reads proceed during the flush.
 func (s *Store) Insert(name string, rows []proto.Row) error {
+	log, err := s.insertLocked(name, rows)
+	if err != nil {
+		return err
+	}
+	if log != nil {
+		return log.Sync()
+	}
+	return nil
+}
+
+func (s *Store) insertLocked(name string, rows []proto.Row) (*wal.Log, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, err := s.table(name)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	seen := make(map[uint64]bool, len(rows))
 	for _, row := range rows {
 		if err := t.validateRow(row); err != nil {
-			return err
+			return nil, err
 		}
 		if seen[row.ID] {
-			return fmt.Errorf("%w: %d (within batch)", ErrDuplicateRow, row.ID)
+			return nil, fmt.Errorf("%w: %d (within batch)", ErrDuplicateRow, row.ID)
 		}
 		seen[row.ID] = true
 		if _, exists := t.rows[row.ID]; exists {
-			return fmt.Errorf("%w: %d", ErrDuplicateRow, row.ID)
+			return nil, fmt.Errorf("%w: %d", ErrDuplicateRow, row.ID)
 		}
 	}
-	if err := s.logMutation(&proto.InsertRequest{Table: name, Rows: rows}); err != nil {
-		return err
+	log, err := s.appendMutation(&proto.InsertRequest{Table: name, Rows: rows})
+	if err != nil {
+		return nil, err
 	}
-	return s.applyInsert(name, rows)
+	return log, s.applyInsert(name, rows)
 }
 
 func (s *Store) applyInsert(name string, rows []proto.Row) error {
@@ -349,17 +381,33 @@ func (s *Store) applyInsert(name string, rows []proto.Row) error {
 	return nil
 }
 
-// Delete removes rows by id, returning how many existed.
+// Delete removes rows by id, returning how many existed. Like Insert, the
+// WAL fsync group-commits outside the store lock.
 func (s *Store) Delete(name string, ids []uint64) (uint64, error) {
+	affected, log, err := s.deleteLocked(name, ids)
+	if err != nil {
+		return 0, err
+	}
+	if log != nil {
+		if err := log.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return affected, nil
+}
+
+func (s *Store) deleteLocked(name string, ids []uint64) (uint64, *wal.Log, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, err := s.table(name); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	if err := s.logMutation(&proto.DeleteRequest{Table: name, RowIDs: ids}); err != nil {
-		return 0, err
+	log, err := s.appendMutation(&proto.DeleteRequest{Table: name, RowIDs: ids})
+	if err != nil {
+		return 0, nil, err
 	}
-	return s.applyDelete(name, ids)
+	affected, err := s.applyDelete(name, ids)
+	return affected, log, err
 }
 
 func (s *Store) applyDelete(name string, ids []uint64) (uint64, error) {
@@ -384,25 +432,38 @@ func (s *Store) applyDelete(name string, ids []uint64) (uint64, error) {
 }
 
 // Update replaces existing rows in full (the paper's eager update path).
+// Like Insert, the WAL fsync group-commits outside the store lock.
 func (s *Store) Update(name string, rows []proto.Row) error {
+	log, err := s.updateLocked(name, rows)
+	if err != nil {
+		return err
+	}
+	if log != nil {
+		return log.Sync()
+	}
+	return nil
+}
+
+func (s *Store) updateLocked(name string, rows []proto.Row) (*wal.Log, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, err := s.table(name)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for _, row := range rows {
 		if err := t.validateRow(row); err != nil {
-			return err
+			return nil, err
 		}
 		if _, ok := t.rows[row.ID]; !ok {
-			return fmt.Errorf("%w: %d", ErrNoSuchRow, row.ID)
+			return nil, fmt.Errorf("%w: %d", ErrNoSuchRow, row.ID)
 		}
 	}
-	if err := s.logMutation(&proto.UpdateRequest{Table: name, Rows: rows}); err != nil {
-		return err
+	log, err := s.appendMutation(&proto.UpdateRequest{Table: name, Rows: rows})
+	if err != nil {
+		return nil, err
 	}
-	return s.applyUpdate(name, rows)
+	return log, s.applyUpdate(name, rows)
 }
 
 func (s *Store) applyUpdate(name string, rows []proto.Row) error {

@@ -1,0 +1,608 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sssdb/internal/proto"
+)
+
+// Dial/redial tuning.
+const (
+	defaultDialTimeout = 30 * time.Second
+	defaultMaxRedials  = 2
+	redialBackoffBase  = 25 * time.Millisecond
+	redialBackoffCap   = 500 * time.Millisecond
+	// consecTimeoutLimit is how many consecutive per-request timeouts a
+	// multiplexed session survives before it is declared wedged and torn
+	// down so the next call redials.
+	consecTimeoutLimit = 3
+	// streamWindow bounds chunks buffered per streaming call before the
+	// reader backpressures the connection.
+	streamWindow = 4
+	connBufSize  = 64 << 10
+)
+
+// DialConfig tunes a TCP provider connection.
+type DialConfig struct {
+	// Timeout is the per-call deadline: a Call (including the whole chunk
+	// stream of its response) that does not complete within Timeout fails
+	// with a net.Error whose Timeout() is true. Zero disables deadlines.
+	Timeout time.Duration
+	// DisableMultiplex forces the legacy one-in-flight-per-connection
+	// protocol (v1). Used by benchmarks and old-server interop tests.
+	DisableMultiplex bool
+	// MaxRedials caps automatic reconnect attempts per call after the
+	// connection dies. 0 means the default (2); negative disables
+	// reconnecting entirely.
+	MaxRedials int
+}
+
+// Dial connects to a provider at addr (host:port).
+func Dial(addr string) (Conn, error) {
+	return DialWith(addr, DialConfig{})
+}
+
+// DialTimeout connects with a per-call deadline: any Call that does not
+// complete within timeout fails (and the caller's failover logic treats the
+// provider as down). Zero disables deadlines.
+func DialTimeout(addr string, timeout time.Duration) (Conn, error) {
+	return DialWith(addr, DialConfig{Timeout: timeout})
+}
+
+// DialWith connects to a provider with explicit transport configuration.
+// The TCP connection is established eagerly; protocol version negotiation
+// happens lazily on the first call (under that call's deadline), so a
+// silent peer surfaces as a call timeout, not a dial failure.
+func DialWith(addr string, cfg DialConfig) (Conn, error) {
+	switch {
+	case cfg.MaxRedials == 0:
+		cfg.MaxRedials = defaultMaxRedials
+	case cfg.MaxRedials < 0:
+		cfg.MaxRedials = 0
+	}
+	c := &tcpConn{addr: addr, cfg: cfg}
+	s, err := c.dialSession()
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c.sess = s
+	return c, nil
+}
+
+// tcpConn is a provider connection over TCP. It owns at most one live
+// session at a time and transparently redials (capped) when the session
+// dies, so one failed call no longer strands the provider until restart.
+type tcpConn struct {
+	counters
+	addr string
+	cfg  DialConfig
+
+	mu     sync.Mutex // guards sess and closed
+	sess   *session
+	closed bool
+}
+
+// session is one established TCP connection. Multiplexed (v2) sessions
+// share the wire between any number of in-flight calls: writers serialize
+// frame writes through sendMu, and a single reader goroutine demultiplexes
+// response frames into the pending map by request id.
+type session struct {
+	nc    net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	stats *counters
+
+	// version is 0 until negotiated, then protoVersionLegacy or
+	// protoVersionMux.
+	version atomic.Int32
+
+	// sendMu serializes frame writes (and, on legacy sessions, whole
+	// calls). On multiplexed sessions it guards wbuf/wspare/flushing: the
+	// double-buffered group-commit write path of writeRequest.
+	sendMu   sync.Mutex
+	wbuf     []byte
+	wspare   []byte
+	flushing bool
+
+	nextID atomic.Uint64
+
+	// mu guards pending, dead, and failErr.
+	mu      sync.Mutex
+	pending map[uint64]*pendingCall
+	dead    bool
+	failErr error
+
+	// consecTimeouts counts per-request timeouts with no intervening
+	// delivered response; crossing consecTimeoutLimit declares the
+	// session wedged.
+	consecTimeouts atomic.Int32
+}
+
+type callResult struct {
+	msg proto.Message
+	err error
+}
+
+// pendingCall is one in-flight request awaiting its response frames.
+type pendingCall struct {
+	// done receives the final result exactly once (buffered).
+	done chan callResult
+	// stream, when non-nil, receives row chunks for CallStream calls.
+	stream chan *proto.RowsResponse
+	// gone is closed when the caller abandons a streaming call (timeout or
+	// chunk error) so the reader never blocks on a dead consumer. Plain
+	// calls leave it nil: the reader only ever sends to the buffered done
+	// channel, which cannot block.
+	gone chan struct{}
+	// partial accumulates chunked rows for plain Call; reader-owned.
+	partial *proto.RowsResponse
+}
+
+func (c *tcpConn) dialSession() (*session, error) {
+	dialTimeout := c.cfg.Timeout
+	if dialTimeout == 0 {
+		dialTimeout = defaultDialTimeout
+	}
+	nc, err := net.DialTimeout("tcp", c.addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	s := &session{
+		nc:      nc,
+		br:      bufio.NewReaderSize(nc, connBufSize),
+		bw:      bufio.NewWriterSize(nc, connBufSize),
+		stats:   &c.counters,
+		pending: make(map[uint64]*pendingCall),
+	}
+	if c.cfg.DisableMultiplex {
+		s.version.Store(protoVersionLegacy)
+	}
+	return s, nil
+}
+
+// session returns the live session, redialing if the previous one died.
+func (c *tcpConn) session() (*session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.sess != nil && !c.sess.isDead() {
+		return c.sess, nil
+	}
+	s, err := c.dialSession()
+	if err != nil {
+		return nil, err
+	}
+	c.sess = s
+	return s, nil
+}
+
+func (s *session) isDead() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead
+}
+
+// fail declares the session dead: it closes the socket (unblocking any
+// reader or writer), and completes every pending call with err. Idempotent.
+func (s *session) fail(err error) {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	s.dead = true
+	s.failErr = err
+	pending := s.pending
+	s.pending = make(map[uint64]*pendingCall)
+	s.mu.Unlock()
+	s.nc.Close()
+	for _, pc := range pending {
+		pc.done <- callResult{err: err}
+	}
+}
+
+func (s *session) deathErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failErr != nil {
+		return s.failErr
+	}
+	return ErrClosed
+}
+
+// abandon drops a pending call the caller no longer waits for.
+func (s *session) abandon(id uint64) {
+	s.mu.Lock()
+	pc, ok := s.pending[id]
+	if ok {
+		delete(s.pending, id)
+	}
+	s.mu.Unlock()
+	if ok && pc.gone != nil {
+		close(pc.gone)
+	}
+}
+
+// negotiate performs the hello/ack exchange once per session and returns
+// the agreed protocol version. Concurrent first calls serialize on sendMu;
+// losers observe the winner's result.
+func (c *tcpConn) negotiate(s *session) (int32, error) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if v := s.version.Load(); v != 0 {
+		return v, nil
+	}
+	if s.isDead() {
+		return 0, s.deathErr()
+	}
+	if c.cfg.Timeout > 0 {
+		if err := s.nc.SetDeadline(time.Now().Add(c.cfg.Timeout)); err != nil {
+			return 0, err
+		}
+	}
+	hello := helloBody(protoVersionMux)
+	if err := writeFrame(s.bw, hello); err != nil {
+		return 0, err
+	}
+	if err := s.bw.Flush(); err != nil {
+		return 0, err
+	}
+	s.stats.sent.Add(frameLen(hello))
+	ack, err := readFrame(s.br)
+	if err != nil {
+		return 0, err
+	}
+	s.stats.recv.Add(frameLen(ack))
+	if c.cfg.Timeout > 0 {
+		// Multiplexed sessions use per-request timers, not socket
+		// deadlines; legacy sessions re-arm the deadline per call.
+		if err := s.nc.SetDeadline(time.Time{}); err != nil {
+			return 0, err
+		}
+	}
+	if v, ok := parseNegotiation(ack, ackPrefix); ok && v >= protoVersionMux {
+		s.version.Store(protoVersionMux)
+		go s.readLoop()
+		return protoVersionMux, nil
+	}
+	// A legacy server answers the hello with a decode error; any valid
+	// ErrorResponse body means "v1 spoken here".
+	if msg, derr := proto.Decode(ack); derr == nil {
+		if _, isErr := msg.(*proto.ErrorResponse); isErr {
+			s.version.Store(protoVersionLegacy)
+			return protoVersionLegacy, nil
+		}
+	}
+	return 0, fmt.Errorf("transport: unexpected negotiation response from %s", c.addr)
+}
+
+// Call implements Conn.
+func (c *tcpConn) Call(req proto.Message) (proto.Message, error) {
+	return c.do(req, nil)
+}
+
+// CallStream implements StreamCaller.
+func (c *tcpConn) CallStream(req proto.Message, yield func(*proto.RowsResponse) error) error {
+	resp, err := c.do(req, yield)
+	if err != nil {
+		return err
+	}
+	switch m := resp.(type) {
+	case nil:
+		return nil // chunks were already delivered through yield
+	case *proto.RowsResponse:
+		return yield(m)
+	case *proto.ErrorResponse:
+		return m.Err()
+	default:
+		return fmt.Errorf("transport: unexpected %T in row stream", resp)
+	}
+}
+
+// do runs one call, redialing a dead session up to MaxRedials times as
+// long as the request has not touched the wire (a request that may have
+// reached the provider is never replayed — the caller's failover logic
+// owns that decision).
+func (c *tcpConn) do(req proto.Message, yield func(*proto.RowsResponse) error) (proto.Message, error) {
+	body := proto.Encode(req)
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRedials; attempt++ {
+		if attempt > 0 {
+			time.Sleep(redialBackoff(attempt))
+		}
+		s, err := c.session()
+		if err != nil {
+			if err == ErrClosed {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		ver := s.version.Load()
+		if ver == 0 {
+			ver, err = c.negotiate(s)
+			if err != nil {
+				s.fail(err)
+				lastErr = err
+				continue
+			}
+		}
+		var resp proto.Message
+		var wrote bool
+		if ver == protoVersionLegacy {
+			resp, wrote, err = c.legacyCall(s, body)
+		} else {
+			resp, wrote, err = c.muxCall(s, body, yield)
+		}
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if wrote {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+func redialBackoff(attempt int) time.Duration {
+	d := redialBackoffBase << (attempt - 1)
+	if d > redialBackoffCap {
+		return redialBackoffCap
+	}
+	return d
+}
+
+// legacyCall is the v1 path: the whole write→read round trip holds sendMu.
+func (c *tcpConn) legacyCall(s *session, body []byte) (resp proto.Message, wrote bool, err error) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.isDead() {
+		return nil, false, s.deathErr()
+	}
+	if c.cfg.Timeout > 0 {
+		if err := s.nc.SetDeadline(time.Now().Add(c.cfg.Timeout)); err != nil {
+			s.fail(err)
+			return nil, false, err
+		}
+	}
+	if err := writeFrame(s.bw, body); err != nil {
+		s.fail(err)
+		return nil, true, err
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.fail(err)
+		return nil, true, err
+	}
+	c.sent.Add(frameLen(body))
+	c.calls.Add(1)
+	respBody, err := readFrame(s.br)
+	if err != nil {
+		s.fail(err)
+		return nil, true, err
+	}
+	c.recv.Add(frameLen(respBody))
+	msg, err := proto.Decode(respBody)
+	if err != nil {
+		s.fail(err)
+		return nil, true, err
+	}
+	return msg, true, nil
+}
+
+// muxCall is the v2 path: register a pending entry, write one request
+// frame, and wait for the reader goroutine to deliver the response (or the
+// per-request timer to fire).
+func (c *tcpConn) muxCall(s *session, body []byte, yield func(*proto.RowsResponse) error) (resp proto.Message, wrote bool, err error) {
+	id := s.nextID.Add(1)
+	pc := &pendingCall{done: make(chan callResult, 1)}
+	if yield != nil {
+		pc.stream = make(chan *proto.RowsResponse, streamWindow)
+		pc.gone = make(chan struct{})
+	}
+	s.mu.Lock()
+	if s.dead {
+		err := s.failErr
+		s.mu.Unlock()
+		return nil, false, err
+	}
+	s.pending[id] = pc
+	s.mu.Unlock()
+
+	if err := s.writeRequest(id, body); err != nil {
+		s.fail(err)
+		s.abandon(id)
+		return nil, true, err
+	}
+	c.sent.Add(frameLenV2(body))
+	c.calls.Add(1)
+
+	var timeoutC <-chan time.Time
+	if c.cfg.Timeout > 0 {
+		timer := time.NewTimer(c.cfg.Timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	for {
+		select {
+		case chunk := <-pc.stream:
+			s.consecTimeouts.Store(0)
+			if err := yield(chunk); err != nil {
+				s.abandon(id)
+				return nil, true, err
+			}
+		case r := <-pc.done:
+			if r.err != nil {
+				return nil, true, r.err
+			}
+			s.consecTimeouts.Store(0)
+			// done is signalled after the last chunk is buffered, so any
+			// chunks still sitting in the stream channel must be yielded
+			// before the call completes.
+			for pc.stream != nil {
+				select {
+				case chunk := <-pc.stream:
+					if err := yield(chunk); err != nil {
+						return nil, true, err
+					}
+				default:
+					return r.msg, true, nil
+				}
+			}
+			return r.msg, true, nil
+		case <-timeoutC:
+			s.abandon(id)
+			if s.consecTimeouts.Add(1) >= consecTimeoutLimit {
+				// Nothing has come back across several deadlines: the
+				// connection is wedged; tear it down so the next call
+				// starts fresh.
+				s.fail(os.ErrDeadlineExceeded)
+			}
+			return nil, true, os.ErrDeadlineExceeded
+		}
+	}
+}
+
+// writeRequest enqueues one request frame and ensures it reaches the
+// socket. The first writer becomes the flusher and drains the pending
+// buffer with direct socket writes; writers arriving while a write syscall
+// is in flight append to the other buffer and return immediately — their
+// bytes ride the flusher's next write. This group commit amortizes write
+// syscalls across however many calls are concurrently in flight.
+func (s *session) writeRequest(id uint64, body []byte) error {
+	s.sendMu.Lock()
+	if s.isDead() {
+		s.sendMu.Unlock()
+		return s.deathErr()
+	}
+	s.wbuf = appendFrameV2(s.wbuf, id, flagFinal, body)
+	if s.flushing {
+		// The active flusher will pick these bytes up; if its write fails
+		// it fails the session, which completes our pending call too.
+		s.sendMu.Unlock()
+		return nil
+	}
+	s.flushing = true
+	var err error
+	for err == nil && len(s.wbuf) > 0 {
+		buf := s.wbuf
+		s.wbuf = s.wspare[:0]
+		s.sendMu.Unlock()
+		_, err = s.nc.Write(buf)
+		s.sendMu.Lock()
+		s.wspare = buf[:0]
+	}
+	s.flushing = false
+	if err != nil {
+		s.wbuf = nil
+		s.wspare = nil
+	}
+	s.sendMu.Unlock()
+	if err != nil {
+		s.fail(err)
+		return err
+	}
+	return nil
+}
+
+// readLoop is the demux goroutine of a v2 session: it owns the read half
+// of the socket, routes every response frame to its pending call, and on
+// connection death cancels everything in flight.
+func (s *session) readLoop() {
+	for {
+		id, flags, body, err := readFrameV2(s.br)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.stats.recv.Add(frameLenV2(body))
+		msg, err := proto.Decode(body)
+		if err != nil {
+			// Undecodable response: the stream is not trustworthy beyond
+			// this point.
+			s.fail(err)
+			return
+		}
+		final := flags&flagFinal != 0
+		s.mu.Lock()
+		pc, ok := s.pending[id]
+		if ok && final {
+			delete(s.pending, id)
+		}
+		s.mu.Unlock()
+		if !ok {
+			continue // abandoned call; drop the late response
+		}
+		if flags&flagChunk != 0 {
+			rr, isRows := msg.(*proto.RowsResponse)
+			if !isRows {
+				s.fail(fmt.Errorf("transport: chunk frame carries %T", msg))
+				return
+			}
+			if pc.stream != nil {
+				select {
+				case pc.stream <- rr:
+				case <-pc.gone:
+					continue
+				}
+				if final {
+					pc.done <- callResult{}
+				}
+				continue
+			}
+			pc.partial = proto.MergeRowsChunk(pc.partial, rr)
+			if final {
+				pc.done <- callResult{msg: pc.partial}
+			}
+			continue
+		}
+		if !final {
+			s.fail(fmt.Errorf("transport: non-final %T frame without chunk flag", msg))
+			return
+		}
+		if pc.stream != nil {
+			// Small responses arrive unchunked even on streaming calls.
+			if rr, isRows := msg.(*proto.RowsResponse); isRows {
+				select {
+				case pc.stream <- rr:
+				case <-pc.gone:
+					continue
+				}
+				pc.done <- callResult{}
+				continue
+			}
+			pc.done <- callResult{msg: msg}
+			continue
+		}
+		if pc.partial != nil {
+			if rr, isRows := msg.(*proto.RowsResponse); isRows {
+				msg = proto.MergeRowsChunk(pc.partial, rr)
+			}
+		}
+		pc.done <- callResult{msg: msg}
+	}
+}
+
+// Stats implements Conn.
+func (c *tcpConn) Stats() Stats { return c.snapshot() }
+
+// Close implements Conn.
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	s := c.sess
+	c.sess = nil
+	c.closed = true
+	c.mu.Unlock()
+	if s != nil {
+		s.fail(ErrClosed)
+	}
+	return nil
+}

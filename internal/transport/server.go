@@ -1,0 +1,311 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"sssdb/internal/proto"
+)
+
+// Server tuning defaults.
+const (
+	defaultMaxInflight   = 32
+	defaultChunkBytes    = 256 << 10
+	acceptBackoffInitial = 5 * time.Millisecond
+	acceptBackoffCap     = time.Second
+	// outQueueLen buffers response frames between handler workers and the
+	// per-connection writer goroutine.
+	outQueueLen = 64
+)
+
+// ServerConfig tunes a provider-side transport server.
+type ServerConfig struct {
+	// MaxInflight caps concurrently-executing handlers per multiplexed
+	// connection; excess requests queue at the frame reader. 0 means the
+	// default (32, floored at 2×GOMAXPROCS).
+	MaxInflight int
+	// ChunkBytes is the streaming threshold and chunk size target: a
+	// RowsResponse whose rows exceed it is sent as a sequence of row-chunk
+	// frames of roughly ChunkBytes each, bounding encode-buffer memory.
+	// 0 means the default (256 KiB); negative disables streaming.
+	ChunkBytes int
+}
+
+func (cfg ServerConfig) withDefaults() ServerConfig {
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = defaultMaxInflight
+		if floor := 2 * runtime.GOMAXPROCS(0); cfg.MaxInflight < floor {
+			cfg.MaxInflight = floor
+		}
+	}
+	if cfg.ChunkBytes == 0 {
+		cfg.ChunkBytes = defaultChunkBytes
+	}
+	return cfg
+}
+
+// Server accepts framed connections and dispatches them to a Handler.
+// Multiplexed (v2) connections execute requests on a bounded worker pool
+// and reply out of order through a per-connection writer goroutine; legacy
+// (v1) connections are served one request at a time, in order.
+type Server struct {
+	handler Handler
+	cfg     ServerConfig
+	ln      net.Listener
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	done    chan struct{}
+	closed  sync.Once
+	wg      sync.WaitGroup
+}
+
+// NewServer starts serving h on ln with default configuration. It returns
+// immediately; use Close to stop.
+func NewServer(ln net.Listener, h Handler) *Server {
+	return NewServerWith(ln, h, ServerConfig{})
+}
+
+// NewServerWith starts serving h on ln with explicit configuration.
+func NewServerWith(ln net.Listener, h Handler, cfg ServerConfig) *Server {
+	s := &Server{
+		handler: h,
+		cfg:     cfg.withDefaults(),
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	backoff := acceptBackoffInitial
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			// Transient accept error (EMFILE, a dropped handshake, ...):
+			// back off exponentially instead of spinning the CPU against a
+			// persistent failure, and keep serving.
+			select {
+			case <-s.done:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > acceptBackoffCap {
+				backoff = acceptBackoffCap
+			}
+			continue
+		}
+		backoff = acceptBackoffInitial
+		s.mu.Lock()
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		nc.Close()
+	}()
+	br := bufio.NewReaderSize(nc, connBufSize)
+	bw := bufio.NewWriterSize(nc, connBufSize)
+	// The first frame decides the protocol version: a hello upgrades the
+	// connection to v2; anything else is a legacy client's first request.
+	first, err := readFrame(br)
+	if err != nil {
+		return
+	}
+	if _, isHello := parseNegotiation(first, helloPrefix); isHello {
+		if err := writeFrame(bw, ackBody(protoVersionMux)); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		s.serveMux(nc, br, bw)
+		return
+	}
+	if !s.serveLegacyRequest(bw, first) {
+		return
+	}
+	for {
+		body, err := readFrame(br)
+		if err != nil {
+			return // client went away or sent garbage; drop the connection
+		}
+		if !s.serveLegacyRequest(bw, body) {
+			return
+		}
+	}
+}
+
+// serveLegacyRequest handles one v1 request body and reports whether the
+// connection is still usable.
+func (s *Server) serveLegacyRequest(bw *bufio.Writer, body []byte) bool {
+	req, err := proto.Decode(body)
+	var resp proto.Message
+	if err != nil {
+		resp = &proto.ErrorResponse{Code: proto.CodeBadRequest, Msg: err.Error()}
+	} else {
+		resp = s.handler.Handle(req)
+	}
+	if err := writeFrame(bw, proto.Encode(resp)); err != nil {
+		return false
+	}
+	return bw.Flush() == nil
+}
+
+// outFrame is one response frame queued for the writer goroutine.
+type outFrame struct {
+	id    uint64
+	flags uint8
+	body  []byte
+}
+
+// serveMux runs the v2 loop: the read side decodes request frames and
+// hands each to a worker (bounded by MaxInflight); workers push response
+// frames — possibly several chunk frames per response — into out, and a
+// single writer goroutine serializes them onto the socket, so responses
+// complete in whatever order the handlers finish.
+func (s *Server) serveMux(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) {
+	out := make(chan outFrame, outQueueLen)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		s.writeLoop(nc, bw, out)
+	}()
+	sem := make(chan struct{}, s.cfg.MaxInflight)
+	var handlers sync.WaitGroup
+	for {
+		id, _, body, err := readFrameV2(br)
+		if err != nil {
+			break
+		}
+		req, err := proto.Decode(body)
+		if err != nil {
+			bad := &proto.ErrorResponse{Code: proto.CodeBadRequest, Msg: err.Error()}
+			out <- outFrame{id: id, flags: flagFinal, body: proto.Encode(bad)}
+			continue
+		}
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(id uint64, req proto.Message) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			resp := s.handler.Handle(req)
+			// One handler emits its frames in order into the shared queue;
+			// interleaving with other responses is fine — every frame
+			// carries its request id.
+			for _, f := range s.responseFrames(id, resp) {
+				out <- f
+			}
+		}(id, req)
+	}
+	handlers.Wait()
+	close(out)
+	writerWG.Wait()
+}
+
+// writeLoop drains response frames onto the socket, flushing only when the
+// queue runs dry so bursts of small responses batch into few syscalls. On
+// a write error it closes the socket (unblocking the read loop) and keeps
+// draining so handler workers never block on a dead connection.
+func (s *Server) writeLoop(nc net.Conn, bw *bufio.Writer, out <-chan outFrame) {
+	failed := false
+	for f := range out {
+		if failed {
+			continue
+		}
+		if err := writeFrameV2(bw, f.id, f.flags, f.body); err != nil {
+			failed = true
+			nc.Close()
+			continue
+		}
+		if len(out) == 0 {
+			if err := bw.Flush(); err != nil {
+				failed = true
+				nc.Close()
+			}
+		}
+	}
+	if !failed {
+		bw.Flush()
+	}
+}
+
+// responseFrames encodes one response as its on-wire frame sequence. Row
+// responses larger than ChunkBytes stream as row chunks — each a complete,
+// independently-decodable RowsResponse carrying the column header, with
+// the completeness proof on the final chunk — so neither side ever buffers
+// the whole result in one contiguous encode buffer.
+func (s *Server) responseFrames(id uint64, resp proto.Message) []outFrame {
+	rr, isRows := resp.(*proto.RowsResponse)
+	if !isRows || s.cfg.ChunkBytes <= 0 || len(rr.Rows) < 2 {
+		return []outFrame{{id: id, flags: flagFinal, body: proto.Encode(resp)}}
+	}
+	// Greedily group rows by exact wire size.
+	var cuts []int
+	size := 0
+	for i, row := range rr.Rows {
+		rs := proto.RowWireSize(row)
+		if size > 0 && size+rs > s.cfg.ChunkBytes {
+			cuts = append(cuts, i)
+			size = 0
+		}
+		size += rs
+	}
+	if len(cuts) == 0 {
+		return []outFrame{{id: id, flags: flagFinal, body: proto.Encode(resp)}}
+	}
+	cuts = append(cuts, len(rr.Rows))
+	frames := make([]outFrame, 0, len(cuts))
+	start := 0
+	for i, end := range cuts {
+		chunk := &proto.RowsResponse{Columns: rr.Columns, Rows: rr.Rows[start:end]}
+		flags := uint8(flagChunk)
+		if i == len(cuts)-1 {
+			chunk.Proof = rr.Proof
+			flags |= flagFinal
+		}
+		frames = append(frames, outFrame{id: id, flags: flags, body: proto.Encode(chunk)})
+		start = end
+	}
+	return frames
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+// It is safe to call more than once.
+func (s *Server) Close() error {
+	var err error
+	s.closed.Do(func() {
+		close(s.done)
+		err = s.ln.Close()
+		s.mu.Lock()
+		for nc := range s.conns {
+			nc.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+	return err
+}

@@ -5,6 +5,22 @@
 // measure exactly the bytes a network deployment would move, without socket
 // noise.
 //
+// The TCP transport speaks two protocol versions, negotiated per
+// connection:
+//
+//   - v1 (legacy): one request in flight per connection; each frame is
+//     [len u32][crc u32][body], and the server replies strictly in order.
+//   - v2 (multiplexed): frames carry a request ID and flags
+//     ([len u32][crc u32][id u64][flags u8][body]), any number of requests
+//     share one connection, the server dispatches them to a bounded worker
+//     pool and replies out of order, and large row responses stream back as
+//     a chunked sequence of frames with bounded buffering on both ends.
+//
+// Negotiation keeps old and new peers interoperable: a v2 client opens
+// with a hello frame that a v1 server rejects as an undecodable request
+// (the client then falls back to v1), while a v1 client's first frame is a
+// real request, which a v2 server recognizes and serves in legacy mode.
+//
 // The package also provides fault injection (crash, delay, response
 // corruption) used by the fault-tolerance and malicious-provider
 // experiments (E10, E14).
@@ -16,16 +32,28 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"net"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"sssdb/internal/proto"
 )
 
 // maxFrameSize bounds one frame; matches the proto list limits.
 const maxFrameSize = 256 << 20
+
+// Protocol versions a connection can negotiate.
+const (
+	protoVersionLegacy = 1
+	protoVersionMux    = 2
+)
+
+// v2 frame flags.
+const (
+	// flagFinal marks the last frame of a response (or a whole request).
+	flagFinal = 0x01
+	// flagChunk marks a frame carrying part of a streamed row response.
+	flagChunk = 0x02
+)
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -36,15 +64,20 @@ var ErrClosed = errors.New("transport: connection closed")
 var ErrFrameCorrupt = errors.New("transport: corrupt frame")
 
 // Stats counts traffic through a Conn. Byte counts include framing
-// overhead, mirroring what a network capture would show.
+// overhead (and, for v2 connections, the negotiation handshake), mirroring
+// what a network capture would show. Calls counts logical request/response
+// exchanges, not frames: a response streamed as several chunk frames is
+// still one call.
 type Stats struct {
 	BytesSent     uint64
 	BytesReceived uint64
 	Calls         uint64
 }
 
-// Conn is a synchronous request/response channel to one provider.
-// Implementations are safe for concurrent use; calls are serialized.
+// Conn is a request/response channel to one provider. Implementations are
+// safe for concurrent use; the multiplexed TCP transport runs concurrent
+// calls truly in parallel on one connection, while legacy (v1) and
+// loopback connections serialize them.
 type Conn interface {
 	// Call sends a request and waits for the provider's response.
 	Call(req proto.Message) (proto.Message, error)
@@ -54,8 +87,41 @@ type Conn interface {
 	Close() error
 }
 
+// StreamCaller is optionally implemented by Conns that can deliver a large
+// row response incrementally instead of buffering it whole.
+type StreamCaller interface {
+	// CallStream sends a scan-shaped request and invokes yield once per
+	// arriving row chunk, in order. The request's deadline (if any) covers
+	// the whole stream. A non-nil error from yield abandons the call.
+	CallStream(req proto.Message, yield func(*proto.RowsResponse) error) error
+}
+
+// CallStream invokes req on c, delivering row chunks to yield as they
+// arrive when c supports streaming, and falling back to one buffered Call
+// (yielding the whole response once) when it does not. Provider-side
+// errors are surfaced as *proto.RemoteError.
+func CallStream(c Conn, req proto.Message, yield func(*proto.RowsResponse) error) error {
+	if sc, ok := c.(StreamCaller); ok {
+		return sc.CallStream(req, yield)
+	}
+	resp, err := c.Call(req)
+	if err != nil {
+		return err
+	}
+	switch m := resp.(type) {
+	case *proto.RowsResponse:
+		return yield(m)
+	case *proto.ErrorResponse:
+		return m.Err()
+	default:
+		return fmt.Errorf("transport: unexpected %T in row stream", resp)
+	}
+}
+
 // Handler is the provider side of a transport: it consumes one request and
-// produces one response.
+// produces one response. The multiplexed server invokes Handle from
+// concurrent worker goroutines, so implementations must be safe for
+// concurrent use.
 type Handler interface {
 	Handle(req proto.Message) proto.Message
 }
@@ -81,8 +147,10 @@ func (c *counters) snapshot() Stats {
 	}
 }
 
-// frameLen returns the on-wire size of a message body: 8-byte header
-// (length + crc) plus the payload.
+// --- Legacy (v1) framing ---
+
+// frameLen returns the on-wire size of a legacy message body: 8-byte
+// header (length + crc) plus the payload.
 func frameLen(body []byte) uint64 { return uint64(len(body)) + 8 }
 
 // writeFrame writes one length+crc framed message body.
@@ -116,6 +184,100 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, ErrFrameCorrupt
 	}
 	return body, nil
+}
+
+// --- v2 framing ---
+
+// v2HeaderLen is the v2 frame header: length, crc, request id, flags.
+const v2HeaderLen = 4 + 4 + 8 + 1
+
+// frameLenV2 returns the on-wire size of a v2 frame for body.
+func frameLenV2(body []byte) uint64 { return uint64(len(body)) + v2HeaderLen }
+
+// writeFrameV2 writes one multiplexed frame.
+func writeFrameV2(w io.Writer, id uint64, flags uint8, body []byte) error {
+	var hdr [v2HeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(body, crcTable))
+	binary.BigEndian.PutUint64(hdr[8:16], id)
+	hdr[16] = flags
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// appendFrameV2 appends one multiplexed frame to dst, for callers that
+// batch several frames into a single socket write.
+func appendFrameV2(dst []byte, id uint64, flags uint8, body []byte) []byte {
+	var hdr [v2HeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(body, crcTable))
+	binary.BigEndian.PutUint64(hdr[8:16], id)
+	hdr[16] = flags
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// readFrameV2 reads one multiplexed frame.
+func readFrameV2(r io.Reader) (id uint64, flags uint8, body []byte, err error) {
+	var hdr [v2HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[0:4])
+	want := binary.BigEndian.Uint32(hdr[4:8])
+	id = binary.BigEndian.Uint64(hdr[8:16])
+	flags = hdr[16]
+	if length > maxFrameSize {
+		return 0, 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", length)
+	}
+	body = make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, err
+	}
+	if crc32.Checksum(body, crcTable) != want {
+		return 0, 0, nil, ErrFrameCorrupt
+	}
+	return id, flags, body, nil
+}
+
+// --- Version negotiation ---
+//
+// The hello and its ack travel as legacy frames whose body starts with the
+// reserved kind byte 0 — no real protocol message begins with it, so a
+// legacy server answers the hello with a decode ErrorResponse (telling the
+// client to stay on v1) and a v2 server can distinguish a hello from a
+// legacy client's first request.
+
+var (
+	helloPrefix = []byte{0, 'S', 'S', 'X', 'P'}
+	ackPrefix   = []byte{0, 'S', 'S', 'X', 'A'}
+)
+
+// helloBody builds the client hello advertising its maximum version.
+func helloBody(maxVersion uint8) []byte {
+	return append(append([]byte(nil), helloPrefix...), maxVersion)
+}
+
+// ackBody builds the server ack selecting the version to speak.
+func ackBody(version uint8) []byte {
+	return append(append([]byte(nil), ackPrefix...), version)
+}
+
+// parseNegotiation matches body against the given prefix and returns the
+// trailing version byte.
+func parseNegotiation(body, prefix []byte) (version uint8, ok bool) {
+	if len(body) != len(prefix)+1 {
+		return 0, false
+	}
+	for i, b := range prefix {
+		if body[i] != b {
+			return 0, false
+		}
+	}
+	return body[len(prefix)], true
 }
 
 // --- In-process loopback ---
@@ -163,158 +325,4 @@ func (c *localConn) Close() error {
 	defer c.mu.Unlock()
 	c.closed = true
 	return nil
-}
-
-// --- TCP ---
-
-type tcpConn struct {
-	counters
-	mu      sync.Mutex
-	conn    net.Conn
-	timeout time.Duration
-}
-
-// Dial connects to a provider at addr (host:port).
-func Dial(addr string) (Conn, error) {
-	return DialTimeout(addr, 0)
-}
-
-// DialTimeout connects with a per-call deadline: any Call that does not
-// complete within timeout fails (and the caller's failover logic treats the
-// provider as down). Zero disables deadlines.
-func DialTimeout(addr string, timeout time.Duration) (Conn, error) {
-	dialTimeout := timeout
-	if dialTimeout == 0 {
-		dialTimeout = 30 * time.Second
-	}
-	nc, err := net.DialTimeout("tcp", addr, dialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
-	}
-	return &tcpConn{conn: nc, timeout: timeout}, nil
-}
-
-func (c *tcpConn) Call(req proto.Message) (proto.Message, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		return nil, ErrClosed
-	}
-	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return nil, err
-		}
-	}
-	body := proto.Encode(req)
-	if err := writeFrame(c.conn, body); err != nil {
-		return nil, err
-	}
-	c.sent.Add(frameLen(body))
-	c.calls.Add(1)
-	respBody, err := readFrame(c.conn)
-	if err != nil {
-		return nil, err
-	}
-	c.recv.Add(frameLen(respBody))
-	return proto.Decode(respBody)
-}
-
-func (c *tcpConn) Stats() Stats { return c.snapshot() }
-
-func (c *tcpConn) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		return nil
-	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
-}
-
-// Server accepts framed connections and dispatches them to a Handler.
-type Server struct {
-	handler Handler
-	ln      net.Listener
-	mu      sync.Mutex
-	conns   map[net.Conn]struct{}
-	done    chan struct{}
-	wg      sync.WaitGroup
-}
-
-// NewServer starts serving h on ln. It returns immediately; use Close to
-// stop.
-func NewServer(ln net.Listener, h Handler) *Server {
-	s := &Server{
-		handler: h,
-		ln:      ln,
-		conns:   make(map[net.Conn]struct{}),
-		done:    make(chan struct{}),
-	}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s
-}
-
-// Addr returns the listener address.
-func (s *Server) Addr() net.Addr { return s.ln.Addr() }
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		nc, err := s.ln.Accept()
-		if err != nil {
-			select {
-			case <-s.done:
-				return
-			default:
-				// Transient accept error: keep serving.
-				continue
-			}
-		}
-		s.mu.Lock()
-		s.conns[nc] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go s.serveConn(nc)
-	}
-}
-
-func (s *Server) serveConn(nc net.Conn) {
-	defer s.wg.Done()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, nc)
-		s.mu.Unlock()
-		nc.Close()
-	}()
-	for {
-		body, err := readFrame(nc)
-		if err != nil {
-			return // client went away or sent garbage; drop the connection
-		}
-		req, err := proto.Decode(body)
-		var resp proto.Message
-		if err != nil {
-			resp = &proto.ErrorResponse{Code: proto.CodeBadRequest, Msg: err.Error()}
-		} else {
-			resp = s.handler.Handle(req)
-		}
-		if err := writeFrame(nc, proto.Encode(resp)); err != nil {
-			return
-		}
-	}
-}
-
-// Close stops accepting, closes all connections, and waits for handlers.
-func (s *Server) Close() error {
-	close(s.done)
-	err := s.ln.Close()
-	s.mu.Lock()
-	for nc := range s.conns {
-		nc.Close()
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
-	return err
 }

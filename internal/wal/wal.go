@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -32,11 +33,20 @@ var ErrCorrupt = errors.New("wal: corrupt record")
 // maxRecordSize bounds a single record; larger writes indicate a bug.
 const maxRecordSize = 64 << 20
 
-// Log is an append-only record log. Not safe for concurrent use; the store
-// serializes writers.
+// Log is an append-only record log, safe for concurrent use. Appends are
+// ordered by mu; Sync group-commits: one fsync covers every record appended
+// before it ran, so concurrent committers amortize the disk flush instead
+// of queueing one fsync each.
 type Log struct {
-	f  *os.File
-	bw *bufio.Writer
+	// mu guards appends (f/bw writes) and seq.
+	mu  sync.Mutex
+	f   *os.File
+	bw  *bufio.Writer
+	seq uint64 // records appended
+
+	// syncMu serializes fsyncs and guards synced.
+	syncMu sync.Mutex
+	synced uint64 // highest seq known to be on stable storage
 }
 
 // Open opens (creating if needed) the log at path for appending. Any torn
@@ -70,25 +80,57 @@ func (l *Log) Append(record []byte) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(record)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(record, crcTable))
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if _, err := l.bw.Write(hdr[:]); err != nil {
 		return err
 	}
 	if _, err := l.bw.Write(record); err != nil {
 		return err
 	}
+	l.seq++
 	return nil
 }
 
-// Sync flushes buffered records and fsyncs the file.
+// Sync makes every record appended before the call durable. Concurrent
+// callers group-commit: whoever reaches the disk fsyncs everything appended
+// so far, and callers whose records are already covered by a completed
+// fsync return without touching the disk at all.
 func (l *Log) Sync() error {
-	if err := l.bw.Flush(); err != nil {
+	l.mu.Lock()
+	target := l.seq
+	l.mu.Unlock()
+
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.synced >= target {
+		return nil
+	}
+	l.mu.Lock()
+	err := l.bw.Flush()
+	// The fsync below covers every record flushed, not just the caller's
+	// snapshot: record the true high-water mark so committers that appended
+	// while we held syncMu return without a disk touch of their own.
+	covered := l.seq
+	l.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if l.synced < covered {
+		l.synced = covered
+	}
+	return nil
 }
 
 // Close flushes and closes the log.
 func (l *Log) Close() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if err := l.bw.Flush(); err != nil {
 		l.f.Close()
 		return err
@@ -96,18 +138,26 @@ func (l *Log) Close() error {
 	return l.f.Close()
 }
 
-// Reset truncates the log to empty (after a successful snapshot).
+// Reset truncates the log to empty (after a successful snapshot). Records
+// still in flight toward an in-progress Sync are covered by the snapshot
+// the caller just wrote, so their Sync degenerates to a no-op.
 func (l *Log) Reset() error {
-	if err := l.bw.Flush(); err != nil {
-		return err
-	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bw.Reset(l.f)
 	if err := l.f.Truncate(0); err != nil {
 		return err
 	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.synced = l.seq
+	return nil
 }
 
 // Replay invokes fn for every valid record in the log at path in append

@@ -90,22 +90,47 @@ var (
 	ErrVerification = client.ErrVerification
 )
 
+// DialConfig tunes how the client connects to providers over TCP.
+type DialConfig struct {
+	// Timeout is the per-call deadline. A provider that does not answer
+	// within Timeout is treated as crashed and the client fails over to
+	// the remaining providers (reads need only K of N). Zero disables
+	// deadlines.
+	Timeout time.Duration
+	// SerialTransport disables the multiplexed wire protocol and forces
+	// the one-request-per-roundtrip legacy framing, even against servers
+	// that support multiplexing. Useful for benchmarking and for debugging
+	// protocol issues.
+	SerialTransport bool
+	// MaxRedials caps automatic reconnect attempts after a connection
+	// dies, per call, for requests that never reached the wire. Zero
+	// means the default (2); negative disables redialing.
+	MaxRedials int
+}
+
 // Open connects a data source to n providers listening at the given TCP
 // addresses (for providers started with cmd/dasd). The address order is
 // significant: providers are identified by their position, which selects
 // the secret evaluation point their shares are computed at.
 func Open(addrs []string, opts Options) (*Client, error) {
-	return OpenTimeout(addrs, opts, 0)
+	return OpenWith(addrs, opts, DialConfig{})
 }
 
-// OpenTimeout is Open with a per-call deadline: a provider that does not
-// answer within timeout is treated as crashed and the client fails over to
-// the remaining providers (reads need only K of N). Zero disables
-// deadlines.
+// OpenTimeout is Open with a per-call deadline; see DialConfig.Timeout.
 func OpenTimeout(addrs []string, opts Options, timeout time.Duration) (*Client, error) {
+	return OpenWith(addrs, opts, DialConfig{Timeout: timeout})
+}
+
+// OpenWith is Open with full transport configuration.
+func OpenWith(addrs []string, opts Options, dc DialConfig) (*Client, error) {
+	tc := transport.DialConfig{
+		Timeout:          dc.Timeout,
+		DisableMultiplex: dc.SerialTransport,
+		MaxRedials:       dc.MaxRedials,
+	}
 	conns := make([]transport.Conn, 0, len(addrs))
 	for _, addr := range addrs {
-		conn, err := transport.DialTimeout(addr, timeout)
+		conn, err := transport.DialWith(addr, tc)
 		if err != nil {
 			for _, c := range conns {
 				c.Close()

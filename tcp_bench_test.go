@@ -1,0 +1,102 @@
+package sssdb
+
+// Loopback-TCP transport benchmarks: the same mixed workload over real
+// sockets against durable (WAL + fsync) providers, once with the serial
+// one-request-per-roundtrip protocol and once with the multiplexed
+// transport. Serial transports head-of-line block: an INSERT holds the
+// connection through its WAL fsync and every SELECT queued on that
+// connection stalls behind it, while the multiplexed transport lets reads
+// overtake writes and lets concurrent INSERTs share one group-committed
+// fsync server-side:
+//
+//	go test -bench TCPScanParallel -cpu 1,4 -benchtime 2x .
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"sssdb/internal/server"
+	"sssdb/internal/store"
+	"sssdb/internal/transport"
+)
+
+const tcpBenchRows = 512
+
+// newTCPBenchClient starts three durable in-process providers on loopback
+// TCP and connects a client with the requested transport mode.
+func newTCPBenchClient(b *testing.B, serial bool) *Client {
+	b.Helper()
+	addrs := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { st.Close() })
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := transport.NewServerWith(ln, server.New(st), transport.ServerConfig{MaxInflight: 256})
+		b.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, srv.Addr().String())
+	}
+	db, err := OpenWith(addrs, Options{K: 2, MasterKey: []byte("bench")},
+		DialConfig{SerialTransport: serial})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	if _, err := db.Exec(`CREATE TABLE wide (name VARCHAR(8), v INT, w INT)`); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.InsertValues("wide", seedRows(tcpBenchRows)); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkTCPScanParallel drives a mixed workload (every other statement
+// is an INSERT, the rest are narrow range SELECTs) over loopback TCP with
+// 16x oversubscribed goroutines, so every provider connection has many
+// statements in flight. The serial transport admits one request per
+// connection roundtrip — reads stall behind each INSERT's WAL fsync and
+// concurrent INSERTs each pay a solo fsync; the multiplexed transport
+// pipelines requests, batches flushes, lets reads overtake writes, and
+// lets the providers group-commit concurrent INSERTs into shared fsyncs.
+func BenchmarkTCPScanParallel(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"serial", true}, {"mux", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db := newTCPBenchClient(b, mode.serial)
+			var inserted atomic.Int64
+			b.ReportAllocs()
+			b.SetParallelism(16)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					i++
+					if i%2 == 0 {
+						id := inserted.Add(1)
+						q := fmt.Sprintf(`INSERT INTO wide VALUES ('x%06d', %d, %d)`,
+							id%1_000_000, id%9973, 2_000_000+id)
+						if _, err := db.Exec(q); err != nil {
+							b.Fatal(err)
+						}
+						continue
+					}
+					lo := (i * 97) % 9000
+					q := fmt.Sprintf(`SELECT w FROM wide WHERE v BETWEEN %d AND %d`, lo, lo+2)
+					if _, err := db.Exec(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
