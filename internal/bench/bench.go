@@ -182,6 +182,7 @@ func All() []Runner {
 		{"A3", RunA3, "ablation: fixed-width share keys vs big.Int"},
 		{"A4", RunA4, "ablation: OPP polynomial degree"},
 		{"S1", RunS1, "supplementary: latency/bytes vs table size"},
+		{"S2", RunS2, "supplementary: streaming vs buffered scans"},
 	}
 }
 

@@ -280,6 +280,19 @@ func TestAblations(t *testing.T) {
 		t.Fatalf("OPP share cost did not grow with degree: %v vs %v", first, last)
 	}
 	runQuick(t, RunS1)
+
+	// S2: the streaming path must reach its first row sooner than the
+	// buffered path completes its scan — the time-to-first-row claim at
+	// quick scale, where heap numbers are too small to assert on.
+	s2 := runQuick(t, RunS2)
+	if len(s2.Rows) != 2 || s2.Rows[0][0] != "buffered" || s2.Rows[1][0] != "streaming" {
+		t.Fatalf("S2 shape: %v", s2.Rows)
+	}
+	bufferedFull := parseDurCell(t, s2.Rows[0][1])
+	streamFirst := parseDurCell(t, s2.Rows[1][2])
+	if streamFirst > bufferedFull {
+		t.Fatalf("streaming first row (%vµs) later than buffered full scan (%vµs)", streamFirst, bufferedFull)
+	}
 }
 
 func TestRunAllPrints(t *testing.T) {

@@ -73,6 +73,11 @@ type Options struct {
 	// share reconstruction (scans) and share encoding (inserts/updates).
 	// 0 means GOMAXPROCS; 1 forces the serial path.
 	ParallelWorkers int
+	// BufferedScans disables the streaming scan path: plain SELECTs gather
+	// whole provider responses before reconstructing (the pre-streaming
+	// behavior). Benchmarks and differential tests use it as the baseline;
+	// verified reads always buffer regardless.
+	BufferedScans bool
 
 	// N is derived from the number of connections passed to New.
 	N int

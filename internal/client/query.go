@@ -213,12 +213,31 @@ type scanResult struct {
 // In verified mode every live provider is consulted, Merkle completeness
 // proofs are checked against per-provider digests, and cells are
 // robust-reconstructed to identify corrupt providers.
+//
+// Unverified scans stream: provider chunks align and reconstruct
+// incrementally (see stream.go) so the full result set is materialized only
+// once, as reconstructed values. Verified scans keep the buffered path — a
+// completeness proof covers the whole result — as do reads over pending
+// lazy updates (the overlay wants the full set). Any streaming failure
+// falls back to the buffered path below, which owns provider failover; no
+// rows have reached the caller at that point.
 func (c *Client) scanTable(meta *tableMeta, preds []compiledPred, limit uint64, verified bool) (*scanResult, error) {
 	for _, cp := range preds {
 		if cp.empty {
 			return &scanResult{verified: verified}, nil
 		}
 	}
+	if !verified && !c.hasPending(meta.Name) && !c.opts.BufferedScans {
+		if res, err := c.collectStream(meta, preds, limit); err == nil {
+			return res, nil
+		}
+	}
+	return c.scanTableBuffered(meta, preds, limit, verified)
+}
+
+// scanTableBuffered is the materializing scan: gather whole responses from
+// a quorum, then align, reconstruct, and filter.
+func (c *Client) scanTableBuffered(meta *tableMeta, preds []compiledPred, limit uint64, verified bool) (*scanResult, error) {
 	if verified && len(preds) == 0 {
 		// Synthesize a full-domain range on the first queryable column so
 		// the provider can attach a completeness proof.

@@ -118,10 +118,9 @@ func (c *Client) orderScan(meta *tableMeta, scan *scanResult, oc *sql.OrderClaus
 	return nil
 }
 
-// projectScan maps full reconstructed rows onto the select list.
-func (c *Client) projectScan(meta *tableMeta, scan *scanResult, items []sql.SelectItem) (*Result, error) {
-	var cols []string
-	var idx []int
+// selectColumns resolves a select list onto output column names and their
+// indices in the full reconstructed row (meta.Cols order).
+func selectColumns(meta *tableMeta, items []sql.SelectItem) (cols []string, idx []int, err error) {
 	for _, item := range items {
 		if item.Star {
 			for ci := range meta.Cols {
@@ -131,7 +130,7 @@ func (c *Client) projectScan(meta *tableMeta, scan *scanResult, items []sql.Sele
 			continue
 		}
 		if item.Col.Table != "" && item.Col.Table != meta.Name {
-			return nil, fmt.Errorf("%w: column %q does not belong to table %q",
+			return nil, nil, fmt.Errorf("%w: column %q does not belong to table %q",
 				ErrNoSuchColumn, item.Col, meta.Name)
 		}
 		found := -1
@@ -141,10 +140,19 @@ func (c *Client) projectScan(meta *tableMeta, scan *scanResult, items []sql.Sele
 			}
 		}
 		if found < 0 {
-			return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, item.Col)
+			return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, item.Col)
 		}
 		cols = append(cols, item.Col.Name)
 		idx = append(idx, found)
+	}
+	return cols, idx, nil
+}
+
+// projectScan maps full reconstructed rows onto the select list.
+func (c *Client) projectScan(meta *tableMeta, scan *scanResult, items []sql.SelectItem) (*Result, error) {
+	cols, idx, err := selectColumns(meta, items)
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{Columns: cols, Verified: scan.verified}
 	for r := range scan.values {

@@ -1,0 +1,504 @@
+package client
+
+// End-to-end streaming scans (the paper's Sec. V-A query flow, made
+// incremental): each of the K quorum providers executes the scan on a
+// store cursor and ships bounded row-chunk frames; the client aligns the K
+// chunk streams by row id, feeds aligned spans through the worker-pool
+// share reconstruction as they arrive, and hands reconstructed rows to the
+// consumer batch by batch. Provider I/O overlaps reconstruction CPU, no
+// layer ever materializes the full result set, and a satisfied LIMIT
+// cancels the outstanding provider streams instead of draining them.
+//
+// Verified (proof-carrying) reads never stream: a Merkle completeness
+// proof covers the entire result set, so they keep the buffered Scan path
+// (scanTableBuffered) explicitly.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sssdb/internal/proto"
+	"sssdb/internal/sql"
+	"sssdb/internal/transport"
+)
+
+// streamBatchRows is the aligned-row target per reconstruction batch: big
+// enough to amortize Lagrange-weight setup and engage the worker pool,
+// small enough that a batch is a rounding error against a 50k-row result.
+const streamBatchRows = 1024
+
+// errStreamDone is the sentinel a consumer-side yield returns to tell the
+// transport the caller wants no more chunks (LIMIT satisfied, Rows closed).
+// The transport abandons the request and sends a best-effort cancel frame.
+var errStreamDone = errors.New("client: stream consumer done")
+
+// alignedBatch is one reconstructed span of the result: ids[i] is the row
+// id of values[i], which holds every client column (projection applies
+// later, at the consumer).
+type alignedBatch struct {
+	ids    []uint64
+	values [][]Value
+}
+
+// rowStream is a running streaming scan: K provider goroutines feed chunk
+// channels, one aligner goroutine zips them by row id, reconstructs, and
+// emits alignedBatches on out. err is valid once out is closed.
+type rowStream struct {
+	out    chan alignedBatch
+	done   chan struct{}
+	err    error
+	closed bool
+}
+
+// Close cancels the stream: provider goroutines abandon their calls (which
+// cancels the server-side cursors) and the aligner unblocks. Safe to call
+// more than once; the consumer must drain or Close every rowStream.
+func (rs *rowStream) Close() {
+	if rs.closed {
+		return
+	}
+	rs.closed = true
+	close(rs.done)
+	for range rs.out { // release the aligner if it is mid-send
+	}
+}
+
+// provStream is the aligner's view of one provider's chunk stream.
+type provStream struct {
+	p    int
+	ch   chan *proto.RowsResponse
+	errc chan error
+	cols []string
+	rows []proto.Row
+	off  int
+	eof  bool
+	err  error
+}
+
+// openRowStream starts a streaming scan over the first K failover-ordered
+// providers. Any error after this point surfaces through rs.err when
+// rs.out closes.
+func (c *Client) openRowStream(meta *tableMeta, preds []compiledPred, limit uint64) (*rowStream, error) {
+	pushLimit := limit
+	if len(preds) > 1 || (len(preds) == 1 && preds[0].set != nil) {
+		// Residual predicates (and IN, whose pushed range is a superset)
+		// drop rows client-side, so the provider cannot know when `limit`
+		// matches have been found; stream unlimited and cancel from here.
+		pushLimit = 0
+	}
+	filters := make([]*proto.Filter, c.opts.N)
+	for i := range filters {
+		f, err := c.providerFilter(meta, preds, i)
+		if err != nil {
+			return nil, err
+		}
+		filters[i] = f
+	}
+	watermark := c.stableWatermark(meta)
+	order := c.providerOrder()
+	providers := append([]int(nil), order[:c.opts.K]...)
+	sort.Ints(providers)
+
+	rs := &rowStream{
+		out:  make(chan alignedBatch, 1),
+		done: make(chan struct{}),
+	}
+	streams := make([]*provStream, len(providers))
+	for i, p := range providers {
+		ps := &provStream{
+			p:    p,
+			ch:   make(chan *proto.RowsResponse, 1),
+			errc: make(chan error, 1),
+		}
+		streams[i] = ps
+		req := &proto.ScanRequest{Table: meta.Name, Filter: filters[p], Limit: pushLimit}
+		go func(ps *provStream, req proto.Message) {
+			err := transport.CallStream(c.conns[ps.p], req, func(chunk *proto.RowsResponse) error {
+				select {
+				case ps.ch <- chunk:
+					return nil
+				case <-rs.done:
+					return errStreamDone
+				}
+			})
+			if err == nil {
+				c.markProvider(ps.p, false)
+			} else if !errors.Is(err, errStreamDone) {
+				c.markProvider(ps.p, true)
+			}
+			ps.errc <- err
+			close(ps.ch)
+		}(ps, req)
+	}
+	go c.alignStreams(rs, meta, preds, streams, providers, watermark, limit)
+	return rs, nil
+}
+
+// fill blocks until ps has at least one unconsumed row or has reached end
+// of stream, dropping rows at or above the insert watermark as they arrive
+// (the same stable-watermark filtering the buffered path applies).
+func (ps *provStream) fill(watermark uint64) {
+	for !ps.eof && ps.off >= len(ps.rows) {
+		chunk, ok := <-ps.ch
+		if !ok {
+			ps.err = <-ps.errc
+			ps.eof = true
+			return
+		}
+		if ps.cols == nil && len(chunk.Columns) > 0 {
+			ps.cols = chunk.Columns
+		}
+		rows := chunk.Rows[:0]
+		for _, row := range chunk.Rows {
+			if row.ID < watermark {
+				rows = append(rows, row)
+			}
+		}
+		ps.rows = rows
+		ps.off = 0
+	}
+}
+
+// alignStreams is the zipper: it pops rows off the K provider streams in
+// lockstep, demands bytewise row-id agreement position by position (the
+// same strict check the buffered path runs on whole responses), and flushes
+// aligned spans through reconstruction whenever streamBatchRows accumulate.
+func (c *Client) alignStreams(rs *rowStream, meta *tableMeta, preds []compiledPred, streams []*provStream, providers []int, watermark, limit uint64) {
+	defer close(rs.out)
+
+	// Residual predicates re-checked client-side, mirroring scanTable.
+	residual := preds
+	if len(preds) > 0 && preds[0].set == nil {
+		residual = preds[1:]
+	}
+	remaining := limit
+
+	batch := make([][]proto.Row, len(streams))
+	batched := 0
+	fail := func(err error) {
+		rs.err = err
+	}
+	flush := func() (stop bool) {
+		if batched == 0 {
+			return false
+		}
+		rowsByProvider := make(map[int]*proto.RowsResponse, len(streams))
+		for i, ps := range streams {
+			if ps.cols == nil {
+				fail(fmt.Errorf("%w: provider %d sent rows without a column header", ErrInconsistent, ps.p))
+				return true
+			}
+			rowsByProvider[ps.p] = &proto.RowsResponse{Columns: ps.cols, Rows: batch[i]}
+		}
+		res, err := c.reconstructRows(meta, providers, rowsByProvider, false)
+		if err != nil {
+			fail(err)
+			return true
+		}
+		if len(residual) > 0 {
+			if err := c.filterResidual(meta, res, residual); err != nil {
+				fail(err)
+				return true
+			}
+		}
+		for i := range batch {
+			batch[i] = nil
+		}
+		batched = 0
+		if limit > 0 && uint64(len(res.ids)) > remaining {
+			res.ids = res.ids[:remaining]
+			res.values = res.values[:remaining]
+		}
+		if len(res.ids) == 0 {
+			return false
+		}
+		select {
+		case rs.out <- alignedBatch{ids: res.ids, values: res.values}:
+		case <-rs.done:
+			return true
+		}
+		if limit > 0 {
+			if remaining -= uint64(len(res.ids)); remaining == 0 {
+				return true // LIMIT satisfied: cancel the provider tails
+			}
+		}
+		return false
+	}
+
+	for {
+		avail := -1
+		allEOF := true
+		for _, ps := range streams {
+			ps.fill(watermark)
+			if ps.err != nil {
+				fail(fmt.Errorf("provider %d: %w", ps.p, ps.err))
+				return
+			}
+			n := len(ps.rows) - ps.off
+			if !ps.eof || n > 0 {
+				allEOF = false
+			}
+			if avail < 0 || n < avail {
+				avail = n
+			}
+		}
+		if allEOF {
+			flush()
+			return
+		}
+		if avail == 0 {
+			// Some provider is exhausted while another still has rows: the
+			// responses cannot agree, exactly as a length mismatch fails
+			// the buffered path.
+			var short, long = -1, -1
+			for _, ps := range streams {
+				if ps.eof && ps.off >= len(ps.rows) {
+					short = ps.p
+				} else {
+					long = ps.p
+				}
+			}
+			fail(fmt.Errorf("%w: provider %d ended its stream before provider %d", ErrInconsistent, short, long))
+			return
+		}
+		base := streams[0]
+		for i := 0; i < avail; i++ {
+			id := base.rows[base.off+i].ID
+			for _, ps := range streams[1:] {
+				if ps.rows[ps.off+i].ID != id {
+					fail(fmt.Errorf("%w: row order diverges at id %d (provider %d vs %d)",
+						ErrInconsistent, id, base.p, ps.p))
+					return
+				}
+			}
+		}
+		for si, ps := range streams {
+			batch[si] = append(batch[si], ps.rows[ps.off:ps.off+avail]...)
+			ps.off += avail
+		}
+		if batched += avail; batched >= streamBatchRows {
+			if flush() {
+				return
+			}
+		}
+	}
+}
+
+// collectStream drains a streaming scan into a scanResult. Used by
+// scanTable: on any error the caller falls back to the buffered path (which
+// owns failover), since no rows have escaped to the user yet.
+func (c *Client) collectStream(meta *tableMeta, preds []compiledPred, limit uint64) (*scanResult, error) {
+	rs, err := c.openRowStream(meta, preds, limit)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Close()
+	res := &scanResult{}
+	for b := range rs.out {
+		res.ids = append(res.ids, b.ids...)
+		res.values = append(res.values, b.values...)
+	}
+	if rs.err != nil {
+		return nil, rs.err
+	}
+	return res, nil
+}
+
+// --- Public cursor API ---
+
+// Rows is an incremental SELECT result. Next advances to the next row;
+// Row returns it; Err reports why iteration stopped early; Close releases
+// the statement lock and cancels any outstanding provider streams. A Rows
+// must always be Closed (iterating to completion does not release it).
+//
+// Streaming-eligible queries (plain unverified SELECT, no ORDER BY, no
+// buffered lazy updates) deliver rows as provider chunks arrive and hold
+// the shared statement lock until Close. Everything else — aggregates,
+// joins, GROUP BY, ORDER BY, verified reads — executes eagerly exactly as
+// Exec would and iterates the materialized result.
+type Rows struct {
+	cols []string
+	idx  []int
+
+	c      *Client
+	meta   *tableMeta
+	preds  []compiledPred
+	limit  uint64
+	rs     *rowStream
+	unlock func()
+
+	batch     alignedBatch
+	pos       int
+	cur       []Value
+	err       error
+	finished  bool
+	delivered bool
+}
+
+// QueryRows parses and executes one SELECT, returning an iterator over its
+// rows. Exec remains the one-shot form; QueryRows is the bounded-memory
+// form — equivalent rows in equivalent order, without materializing the
+// result (see type Rows for which query shapes stream).
+func (c *Client) QueryRows(query string) (*Rows, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("%w: QueryRows wants a SELECT, got %T", ErrUnsupported, stmt)
+	}
+	if c.selectNeedsExclusive(s) {
+		c.mu.Lock()
+		res, err := c.execSelect(s)
+		c.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return materializedRows(res), nil
+	}
+	unlock := c.lockForRead()
+	meta, err := c.table(s.Table)
+	if err != nil {
+		unlock()
+		return nil, err
+	}
+	if s.OrderBy != nil || c.hasPending(meta.Name) || c.opts.BufferedScans {
+		res, err := c.execSelect(s)
+		unlock()
+		if err != nil {
+			return nil, err
+		}
+		return materializedRows(res), nil
+	}
+	preds, err := c.compilePredicates(meta, s.Where, "")
+	if err != nil {
+		unlock()
+		return nil, err
+	}
+	cols, idx, err := selectColumns(meta, s.Items)
+	if err != nil {
+		unlock()
+		return nil, err
+	}
+	for _, cp := range preds {
+		if cp.empty {
+			unlock()
+			return &Rows{cols: cols, finished: true}, nil
+		}
+	}
+	rs, err := c.openRowStream(meta, preds, s.Limit)
+	if err != nil {
+		unlock()
+		return nil, err
+	}
+	return &Rows{
+		cols: cols, idx: idx,
+		c: c, meta: meta, preds: preds, limit: s.Limit,
+		rs: rs, unlock: unlock,
+	}, nil
+}
+
+// materializedRows wraps an eagerly-computed Result in the iterator shape.
+func materializedRows(res *Result) *Rows {
+	idx := make([]int, len(res.Columns))
+	for i := range idx {
+		idx[i] = i
+	}
+	return &Rows{
+		cols:  res.Columns,
+		idx:   idx,
+		batch: alignedBatch{values: res.Rows},
+	}
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next advances to the next row, reporting whether one is available. After
+// Next returns false, Err distinguishes exhaustion from failure.
+func (r *Rows) Next() bool {
+	if r.finished {
+		return false
+	}
+	for r.pos >= len(r.batch.values) {
+		if r.rs == nil {
+			r.finish()
+			return false
+		}
+		b, ok := <-r.rs.out
+		if !ok {
+			err := r.rs.err
+			if err == nil {
+				r.finish()
+				return false
+			}
+			if !r.delivered {
+				// Nothing reached the caller yet: retry on the buffered
+				// path, which owns provider failover.
+				if !r.fallbackBuffered() {
+					return false
+				}
+				continue
+			}
+			r.err = err
+			r.finish()
+			return false
+		}
+		r.batch = b
+		r.pos = 0
+	}
+	vals := r.batch.values[r.pos]
+	r.pos++
+	row := make([]Value, len(r.idx))
+	for i, ci := range r.idx {
+		row[i] = vals[ci]
+	}
+	r.cur = row
+	r.delivered = true
+	return true
+}
+
+// fallbackBuffered re-runs the query on the buffered scan path after an
+// early stream failure, reporting whether iteration can continue.
+func (r *Rows) fallbackBuffered() bool {
+	r.rs.Close()
+	r.rs = nil
+	res, err := r.c.scanTableBuffered(r.meta, r.preds, r.limit, false)
+	if err != nil {
+		r.err = err
+		r.finish()
+		return false
+	}
+	r.batch = alignedBatch{ids: res.ids, values: res.values}
+	r.pos = 0
+	return true
+}
+
+// Row returns the row Next advanced to. The slice is owned by the caller.
+func (r *Rows) Row() []Value { return r.cur }
+
+// Err returns the error that terminated iteration early, if any.
+func (r *Rows) Err() error { return r.err }
+
+// finish releases the statement lock and cancels provider streams without
+// marking the iterator closed for Err.
+func (r *Rows) finish() {
+	r.finished = true
+	if r.rs != nil {
+		r.rs.Close()
+		r.rs = nil
+	}
+	if r.unlock != nil {
+		r.unlock()
+		r.unlock = nil
+	}
+}
+
+// Close ends iteration, cancels outstanding provider streams, and releases
+// the statement lock. Idempotent; always returns nil.
+func (r *Rows) Close() error {
+	r.finish()
+	return nil
+}

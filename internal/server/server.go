@@ -29,7 +29,45 @@ func New(st *store.Store) *Provider {
 // Store exposes the underlying store (for tests and tooling).
 func (p *Provider) Store() *store.Store { return p.store }
 
-var _ transport.Handler = (*Provider)(nil)
+var (
+	_ transport.Handler       = (*Provider)(nil)
+	_ transport.StreamHandler = (*Provider)(nil)
+)
+
+// HandleStream implements transport.StreamHandler: unverified scans run on
+// a store cursor, emitting bounded row batches as they are produced instead
+// of materializing the result set. Proof-carrying scans report
+// handled=false — a Merkle completeness proof covers the whole result, so
+// they stay on the buffered Handle path — as does every non-scan request.
+func (p *Provider) HandleStream(req proto.Message, emit func(*proto.RowsResponse) error) (bool, error) {
+	m, ok := req.(*proto.ScanRequest)
+	if !ok || m.WithProof {
+		return false, nil
+	}
+	cur, err := p.store.OpenCursor(m.Table, m.Filter, m.Projection, m.Limit, 0)
+	if err != nil {
+		return true, errResponse(err).Err()
+	}
+	sent := false
+	for {
+		batch, err := cur.Next()
+		if err != nil {
+			return true, errResponse(err).Err()
+		}
+		if batch == nil {
+			break
+		}
+		if err := emit(batch); err != nil {
+			return true, err
+		}
+		sent = true
+	}
+	if !sent {
+		// Empty result: one empty batch still carries the column header.
+		return true, emit(&proto.RowsResponse{Columns: cur.Columns()})
+	}
+	return true, nil
+}
 
 // Handle implements transport.Handler.
 func (p *Provider) Handle(req proto.Message) proto.Message {

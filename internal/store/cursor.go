@@ -1,0 +1,217 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sssdb/internal/proto"
+)
+
+// DefaultCursorBatchBytes bounds one cursor batch's row payload when the
+// caller passes 0; it matches the transport's default stream chunk size so
+// one batch becomes one wire frame.
+const DefaultCursorBatchBytes = 256 << 10
+
+// ScanCursor iterates a scan in bounded batches instead of materializing
+// the whole result set under the store lock. The cursor holds the store
+// lock only while assembling one batch: between batches, concurrent
+// mutations proceed freely. Index-order cursors re-seek the B+-tree at the
+// last emitted composite key, so rows inserted behind the cursor are
+// skipped and rows inserted ahead are observed — exactly the semantics of
+// the client's stable-watermark filtering, which hides in-flight inserts by
+// row id. Id-order cursors snapshot the matching row ids at open (ids are
+// 8 bytes per row — bounded memory, unlike cells) and fetch cells batch by
+// batch.
+//
+// Returned batches alias table cell storage; see the immutability invariant
+// on copyRow.
+type ScanCursor struct {
+	s    *Store
+	name string
+	cols []string
+	// colIdx maps each output column to its cell index in stored rows.
+	colIdx []int
+
+	// Index-order state: iterate idxCol's B+-tree over [nextKey, endKey).
+	indexed bool
+	idxCol  string
+	nextKey []byte
+	endKey  []byte
+
+	// Id-order state: ids snapshotted at open.
+	ids []uint64
+	pos int
+
+	// remaining counts rows the limit still allows (^0 = unlimited).
+	remaining  uint64
+	batchBytes int
+	done       bool
+}
+
+const unlimitedRows = ^uint64(0)
+
+// OpenCursor validates the scan and returns a cursor over its result.
+// Filters on an indexed column iterate the index incrementally; everything
+// else snapshots the matching id set at open. A non-zero limit caps the
+// total rows emitted (and stops provider-side index walking early);
+// batchBytes bounds one batch's row payload (0 means
+// DefaultCursorBatchBytes). Proof-carrying scans have no cursor form: a
+// Merkle completeness proof covers the whole result, so verified reads use
+// the buffered Scan.
+func (s *Store) OpenCursor(name string, f *proto.Filter, projection []string, limit uint64, batchBytes int) (*ScanCursor, error) {
+	if batchBytes <= 0 {
+		batchBytes = DefaultCursorBatchBytes
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.table(name)
+	if err != nil {
+		return nil, err
+	}
+	cols, colIdx, err := t.resolveProjection(projection)
+	if err != nil {
+		return nil, err
+	}
+	cur := &ScanCursor{
+		s:          s,
+		name:       name,
+		cols:       cols,
+		colIdx:     colIdx,
+		remaining:  unlimitedRows,
+		batchBytes: batchBytes,
+	}
+	if limit > 0 {
+		cur.remaining = limit
+	}
+	if f != nil {
+		ci := t.spec.ColumnIndex(f.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, f.Col)
+		}
+		if t.spec.Columns[ci].Kind == proto.KindField {
+			return nil, fmt.Errorf("%w: cannot filter on field-share column %q", ErrBadRequest, f.Col)
+		}
+		var lo, hi []byte
+		switch f.Op {
+		case proto.FilterEq:
+			lo, hi = f.Lo, f.Lo
+		case proto.FilterRange:
+			lo, hi = f.Lo, f.Hi
+		default:
+			return nil, fmt.Errorf("%w: unknown filter op %d", ErrBadRequest, f.Op)
+		}
+		if _, ok := t.indexes[f.Col]; ok {
+			cur.indexed = true
+			cur.idxCol = f.Col
+			cur.nextKey = indexKey(lo, 0)
+			cur.endKey = append(indexKey(hi, ^uint64(0)), 0)
+			return cur, nil
+		}
+	}
+	// Unindexed (or unfiltered): snapshot matching ids now; cells stream
+	// later. matchingIDs applies the limit during its walk.
+	ids, err := t.matchingIDs(f, limit)
+	if err != nil {
+		return nil, err
+	}
+	cur.ids = ids
+	return cur, nil
+}
+
+// Columns returns the projected column names, for callers that must frame
+// an empty result.
+func (cur *ScanCursor) Columns() []string { return cur.cols }
+
+// Next assembles the next batch under a short-lived read lock. It returns
+// (nil, nil) when the scan is exhausted. Batches are never empty.
+func (cur *ScanCursor) Next() (*proto.RowsResponse, error) {
+	if cur.done {
+		return nil, nil
+	}
+	cur.s.mu.RLock()
+	defer cur.s.mu.RUnlock()
+	t, err := cur.s.table(cur.name)
+	if err != nil {
+		cur.done = true
+		return nil, err
+	}
+	var resp *proto.RowsResponse
+	if cur.indexed {
+		resp, err = cur.nextIndexed(t)
+	} else {
+		resp, err = cur.nextByID(t)
+	}
+	if err != nil {
+		cur.done = true
+		return nil, err
+	}
+	if cur.remaining == 0 {
+		cur.done = true
+	}
+	if resp == nil || len(resp.Rows) == 0 {
+		cur.done = true
+		return nil, nil
+	}
+	return resp, nil
+}
+
+// nextIndexed walks the B+-tree from the cursor's seek position, stopping
+// at the batch-size target, and remembers the successor of the last emitted
+// key so the next batch re-seeks past it.
+func (cur *ScanCursor) nextIndexed(t *table) (*proto.RowsResponse, error) {
+	idx, ok := t.indexes[cur.idxCol]
+	if !ok {
+		return nil, fmt.Errorf("%w: column %q lost its index mid-scan", ErrBadRequest, cur.idxCol)
+	}
+	resp := &proto.RowsResponse{Columns: cur.cols}
+	size := 0
+	idx.AscendRange(cur.nextKey, cur.endKey, func(k, _ []byte) bool {
+		rowID := binary.BigEndian.Uint64(k[len(k)-8:])
+		row, ok := t.rows[rowID]
+		if !ok {
+			return true // index/row raced a concurrent delete; skip
+		}
+		resp.Rows = append(resp.Rows, cur.project(rowID, row))
+		size += proto.RowWireSize(resp.Rows[len(resp.Rows)-1])
+		// The immediate successor of k in bytewise order is k||0x00.
+		cur.nextKey = append(append(cur.nextKey[:0], k...), 0)
+		if cur.remaining != unlimitedRows {
+			if cur.remaining--; cur.remaining == 0 {
+				return false
+			}
+		}
+		return size < cur.batchBytes
+	})
+	return resp, nil
+}
+
+// nextByID fetches cells for the next span of snapshotted ids.
+func (cur *ScanCursor) nextByID(t *table) (*proto.RowsResponse, error) {
+	resp := &proto.RowsResponse{Columns: cur.cols}
+	size := 0
+	for cur.pos < len(cur.ids) && size < cur.batchBytes && cur.remaining > 0 {
+		id := cur.ids[cur.pos]
+		cur.pos++
+		row, ok := t.rows[id]
+		if !ok {
+			continue // deleted since the snapshot; skip
+		}
+		resp.Rows = append(resp.Rows, cur.project(id, row))
+		size += proto.RowWireSize(resp.Rows[len(resp.Rows)-1])
+		if cur.remaining != unlimitedRows {
+			cur.remaining--
+		}
+	}
+	if cur.pos >= len(cur.ids) {
+		cur.remaining = 0
+	}
+	return resp, nil
+}
+
+func (cur *ScanCursor) project(id uint64, row proto.Row) proto.Row {
+	out := proto.Row{ID: id, Cells: make([][]byte, len(cur.colIdx))}
+	for i, ci := range cur.colIdx {
+		out.Cells[i] = row.Cells[ci]
+	}
+	return out
+}

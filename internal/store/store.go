@@ -287,6 +287,15 @@ func indexKey(cell []byte, rowID uint64) []byte {
 	return k
 }
 
+// copyRow deep-copies a row's cells into fresh backing arrays. Every row
+// entering table storage passes through copyRow (Insert and Update both
+// install copies), and nothing in the store ever writes into a stored
+// cell afterwards — Update replaces the whole row value, never patches
+// cells in place. That is the store's cell-immutability invariant: once a
+// []byte cell is reachable from t.rows it is frozen. Scan, ScanCursor and
+// the aggregate paths rely on it to return responses whose cells alias
+// table storage without copying, even after the read lock is released
+// (TestScanAliasesAreImmutable exercises this under -race).
 func copyRow(row proto.Row) proto.Row {
 	out := proto.Row{ID: row.ID, Cells: make([][]byte, len(row.Cells))}
 	for i, c := range row.Cells {
@@ -601,10 +610,16 @@ func (t *table) resolveProjection(projection []string) ([]string, []int, error) 
 
 // matchingIDs returns the row ids satisfying the filter in index order when
 // an index is available, insertion-id order otherwise. A nil filter matches
-// every row.
-func (t *table) matchingIDs(f *proto.Filter) ([]uint64, error) {
+// every row. A non-zero limit stops the index walk (or the unindexed
+// comparison scan) after limit matches instead of collecting everything and
+// slicing afterwards.
+func (t *table) matchingIDs(f *proto.Filter, limit uint64) ([]uint64, error) {
 	if f == nil {
-		return t.sortedIDs(), nil
+		ids := t.sortedIDs()
+		if limit > 0 && uint64(len(ids)) > limit {
+			ids = ids[:limit]
+		}
+		return ids, nil
 	}
 	ci := t.spec.ColumnIndex(f.Col)
 	if ci < 0 {
@@ -629,7 +644,7 @@ func (t *table) matchingIDs(f *proto.Filter) ([]uint64, error) {
 		var ids []uint64
 		idx.AscendRange(start, append(end, 0), func(k, _ []byte) bool {
 			ids = append(ids, binary.BigEndian.Uint64(k[len(k)-8:]))
-			return true
+			return limit == 0 || uint64(len(ids)) < limit
 		})
 		return ids, nil
 	}
@@ -639,6 +654,9 @@ func (t *table) matchingIDs(f *proto.Filter) ([]uint64, error) {
 		cell := t.rows[id].Cells[ci]
 		if bytes.Compare(cell, lo) >= 0 && bytes.Compare(cell, hi) <= 0 {
 			ids = append(ids, id)
+			if limit > 0 && uint64(len(ids)) == limit {
+				break
+			}
 		}
 	}
 	return ids, nil
@@ -658,12 +676,17 @@ func (s *Store) Scan(name string, f *proto.Filter, projection []string, limit ui
 	if err != nil {
 		return nil, err
 	}
-	ids, err := t.matchingIDs(f)
+	if withProof {
+		if f == nil {
+			return nil, fmt.Errorf("%w: proof requires a filter", ErrBadRequest)
+		}
+		if limit > 0 {
+			return nil, fmt.Errorf("%w: proof incompatible with limit", ErrBadRequest)
+		}
+	}
+	ids, err := t.matchingIDs(f, limit)
 	if err != nil {
 		return nil, err
-	}
-	if limit > 0 && uint64(len(ids)) > limit {
-		ids = ids[:limit]
 	}
 	resp := &proto.RowsResponse{Columns: cols}
 	for _, id := range ids {
@@ -675,12 +698,6 @@ func (s *Store) Scan(name string, f *proto.Filter, projection []string, limit ui
 		resp.Rows = append(resp.Rows, out)
 	}
 	if withProof {
-		if f == nil {
-			return nil, fmt.Errorf("%w: proof requires a filter", ErrBadRequest)
-		}
-		if limit > 0 {
-			return nil, fmt.Errorf("%w: proof incompatible with limit", ErrBadRequest)
-		}
 		proof, err := t.proveScan(f)
 		if err != nil {
 			return nil, err
@@ -807,7 +824,7 @@ func (s *Store) Aggregate(name string, op proto.AggOp, orderCol, valueCol string
 	if err != nil {
 		return nil, err
 	}
-	ids, err := t.matchingIDs(f)
+	ids, err := t.matchingIDs(f, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -909,7 +926,7 @@ func (s *Store) AggregateGrouped(name string, op proto.AggOp, valueCol, groupCol
 				ErrBadRequest, valueCol, t.spec.Columns[vi].Kind)
 		}
 	}
-	ids, err := t.matchingIDs(f)
+	ids, err := t.matchingIDs(f, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -971,7 +988,7 @@ func (s *Store) Join(req *proto.JoinRequest) (*proto.JoinResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	leftIDs, err := lt.matchingIDs(req.Filter)
+	leftIDs, err := lt.matchingIDs(req.Filter, 0)
 	if err != nil {
 		return nil, err
 	}

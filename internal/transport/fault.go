@@ -84,6 +84,32 @@ func (c *FaultyConn) Call(req proto.Message) (proto.Message, error) {
 	return resp, nil
 }
 
+// CallStream implements StreamCaller by forwarding to the wrapped
+// connection, applying the configured faults: a crashed connection fails
+// before any chunk flows, and a corrupter is applied to every chunk (a
+// malicious provider can tamper with any part of a streamed result).
+func (c *FaultyConn) CallStream(req proto.Message, yield func(*proto.RowsResponse) error) error {
+	c.mu.Lock()
+	crashed, delay, corrupt := c.crashed, c.delay, c.corrupt
+	c.mu.Unlock()
+	if crashed {
+		return ErrInjectedCrash
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	wrapped := yield
+	if corrupt != nil {
+		wrapped = func(chunk *proto.RowsResponse) error {
+			if m, ok := corrupt(chunk).(*proto.RowsResponse); ok {
+				chunk = m
+			}
+			return yield(chunk)
+		}
+	}
+	return CallStream(c.inner, req, wrapped)
+}
+
 // Stats implements Conn.
 func (c *FaultyConn) Stats() Stats { return c.inner.Stats() }
 

@@ -417,7 +417,7 @@ func (c *tcpConn) muxCall(s *session, body []byte, yield func(*proto.RowsRespons
 	s.pending[id] = pc
 	s.mu.Unlock()
 
-	if err := s.writeRequest(id, body); err != nil {
+	if err := s.writeRequest(id, flagFinal, body); err != nil {
 		s.fail(err)
 		s.abandon(id)
 		return nil, true, err
@@ -437,6 +437,7 @@ func (c *tcpConn) muxCall(s *session, body []byte, yield func(*proto.RowsRespons
 			s.consecTimeouts.Store(0)
 			if err := yield(chunk); err != nil {
 				s.abandon(id)
+				s.sendCancel(id)
 				return nil, true, err
 			}
 		case r := <-pc.done:
@@ -460,6 +461,9 @@ func (c *tcpConn) muxCall(s *session, body []byte, yield func(*proto.RowsRespons
 			return r.msg, true, nil
 		case <-timeoutC:
 			s.abandon(id)
+			if pc.stream != nil {
+				s.sendCancel(id)
+			}
 			if s.consecTimeouts.Add(1) >= consecTimeoutLimit {
 				// Nothing has come back across several deadlines: the
 				// connection is wedged; tear it down so the next call
@@ -477,13 +481,13 @@ func (c *tcpConn) muxCall(s *session, body []byte, yield func(*proto.RowsRespons
 // is in flight append to the other buffer and return immediately — their
 // bytes ride the flusher's next write. This group commit amortizes write
 // syscalls across however many calls are concurrently in flight.
-func (s *session) writeRequest(id uint64, body []byte) error {
+func (s *session) writeRequest(id uint64, flags uint8, body []byte) error {
 	s.sendMu.Lock()
 	if s.isDead() {
 		s.sendMu.Unlock()
 		return s.deathErr()
 	}
-	s.wbuf = appendFrameV2(s.wbuf, id, flagFinal, body)
+	s.wbuf = appendFrameV2(s.wbuf, id, flags, body)
 	if s.flushing {
 		// The active flusher will pick these bytes up; if its write fails
 		// it fails the session, which completes our pending call too.
@@ -511,6 +515,17 @@ func (s *session) writeRequest(id uint64, body []byte) error {
 		return err
 	}
 	return nil
+}
+
+// sendCancel asks the server to stop producing the response for an
+// abandoned streaming call (LIMIT satisfied, deadline hit). Best-effort:
+// if the write fails the session is torn down anyway, and if the server
+// has already finished, the unknown id is ignored server-side while the
+// demux drops whatever frames were in flight.
+func (s *session) sendCancel(id uint64) {
+	if s.writeRequest(id, flagCancel, nil) == nil {
+		s.stats.sent.Add(frameLenV2(nil))
+	}
 }
 
 // readLoop is the demux goroutine of a v2 session: it owns the read half

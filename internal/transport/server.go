@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"net"
 	"runtime"
 	"sync"
@@ -196,10 +197,25 @@ func (s *Server) serveMux(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) {
 	}()
 	sem := make(chan struct{}, s.cfg.MaxInflight)
 	var handlers sync.WaitGroup
+	// cancels maps in-flight request ids to their cancellation signal. The
+	// read loop registers an id before spawning its worker and processes
+	// frames in order, so a cancel frame (which the client writes after the
+	// request) can never observe its request as unregistered.
+	var cancelMu sync.Mutex
+	cancels := make(map[uint64]chan struct{})
 	for {
-		id, _, body, err := readFrameV2(br)
+		id, flags, body, err := readFrameV2(br)
 		if err != nil {
 			break
+		}
+		if flags&flagCancel != 0 {
+			cancelMu.Lock()
+			if ch, ok := cancels[id]; ok {
+				close(ch)
+				delete(cancels, id)
+			}
+			cancelMu.Unlock()
+			continue // cancel frames carry no body and get no response
 		}
 		req, err := proto.Decode(body)
 		if err != nil {
@@ -207,11 +223,27 @@ func (s *Server) serveMux(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) {
 			out <- outFrame{id: id, flags: flagFinal, body: proto.Encode(bad)}
 			continue
 		}
+		cancel := make(chan struct{})
+		cancelMu.Lock()
+		cancels[id] = cancel
+		cancelMu.Unlock()
 		sem <- struct{}{}
 		handlers.Add(1)
-		go func(id uint64, req proto.Message) {
+		go func(id uint64, req proto.Message, cancel chan struct{}) {
 			defer handlers.Done()
 			defer func() { <-sem }()
+			defer func() {
+				cancelMu.Lock()
+				delete(cancels, id)
+				cancelMu.Unlock()
+			}()
+			if s.cfg.ChunkBytes > 0 {
+				if sh, ok := s.handler.(StreamHandler); ok {
+					if s.serveStream(sh, id, req, cancel, out) {
+						return
+					}
+				}
+			}
 			resp := s.handler.Handle(req)
 			// One handler emits its frames in order into the shared queue;
 			// interleaving with other responses is fine — every frame
@@ -219,11 +251,59 @@ func (s *Server) serveMux(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) {
 			for _, f := range s.responseFrames(id, resp) {
 				out <- f
 			}
-		}(id, req)
+		}(id, req, cancel)
 	}
 	handlers.Wait()
 	close(out)
 	writerWG.Wait()
+}
+
+// serveStream runs one request through the handler's streaming path,
+// emitting each batch as a chunk frame as it is produced. It reports
+// whether the handler accepted the request; false sends nothing and the
+// caller falls back to the buffered Handle path. Because chunk frames must
+// mark the last one final, each emitted batch is held until the next
+// arrives (or the stream ends): the cost is one batch of extra latency at
+// the tail, not a buffered result set.
+func (s *Server) serveStream(sh StreamHandler, id uint64, req proto.Message, cancel <-chan struct{}, out chan<- outFrame) bool {
+	var held *proto.RowsResponse
+	handled, err := sh.HandleStream(req, func(chunk *proto.RowsResponse) error {
+		select {
+		case <-cancel:
+			return ErrStreamCanceled
+		default:
+		}
+		if held != nil {
+			out <- outFrame{id: id, flags: flagChunk, body: proto.Encode(held)}
+		}
+		held = chunk
+		return nil
+	})
+	if !handled {
+		return false
+	}
+	switch {
+	case err == nil:
+		if held == nil {
+			// Defensive: a handled stream should emit its shape even when
+			// empty; frame an empty result so the client is not left hanging.
+			held = &proto.RowsResponse{}
+		}
+		out <- outFrame{id: id, flags: flagChunk | flagFinal, body: proto.Encode(held)}
+	case errors.Is(err, ErrStreamCanceled):
+		// The client abandoned the id before sending the cancel frame, so
+		// any response would be dropped on arrival; send nothing.
+	default:
+		// Mid-stream failure: surface the provider's error code as the
+		// final frame. Chunks already sent are discarded client-side.
+		resp := &proto.ErrorResponse{Code: proto.CodeInternal, Msg: err.Error()}
+		var re *proto.RemoteError
+		if errors.As(err, &re) {
+			resp = &proto.ErrorResponse{Code: re.Code, Msg: re.Msg}
+		}
+		out <- outFrame{id: id, flags: flagFinal, body: proto.Encode(resp)}
+	}
+	return true
 }
 
 // writeLoop drains response frames onto the socket, flushing only when the

@@ -53,6 +53,12 @@ const (
 	flagFinal = 0x01
 	// flagChunk marks a frame carrying part of a streamed row response.
 	flagChunk = 0x02
+	// flagCancel, on a client→server frame, asks the server to stop
+	// producing the response for this request id (LIMIT reached, caller
+	// gone). The body is empty. Cancellation is advisory and asymmetric:
+	// the client has already abandoned the id, so any frames that race the
+	// cancel are dropped on arrival.
+	flagCancel = 0x04
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -62,6 +68,11 @@ var ErrClosed = errors.New("transport: connection closed")
 
 // ErrFrameCorrupt reports a frame failing its checksum.
 var ErrFrameCorrupt = errors.New("transport: corrupt frame")
+
+// ErrStreamCanceled is returned by a StreamHandler's emit callback once the
+// client has canceled the request; the handler should stop producing and
+// return it (or any error wrapping it).
+var ErrStreamCanceled = errors.New("transport: stream canceled by client")
 
 // Stats counts traffic through a Conn. Byte counts include framing
 // overhead (and, for v2 connections, the negotiation handshake), mirroring
@@ -124,6 +135,19 @@ func CallStream(c Conn, req proto.Message, yield func(*proto.RowsResponse) error
 // concurrent use.
 type Handler interface {
 	Handle(req proto.Message) proto.Message
+}
+
+// StreamHandler is optionally implemented by Handlers that can produce a
+// row response incrementally, batch by batch, instead of materializing it.
+// HandleStream reports handled=false (without having called emit) when the
+// request has no streaming form — the transport then falls back to Handle.
+// When handled, emit is called once per batch in order; emit returns
+// ErrStreamCanceled once the client cancels, and the handler must then stop
+// and propagate the error. A handled stream with a nil error must emit at
+// least one batch (an empty RowsResponse carrying Columns for empty
+// results) so the receiver learns the result shape.
+type StreamHandler interface {
+	HandleStream(req proto.Message, emit func(*proto.RowsResponse) error) (handled bool, err error)
 }
 
 // HandlerFunc adapts a function to the Handler interface.
@@ -316,6 +340,64 @@ func (c *localConn) Call(req proto.Message) (proto.Message, error) {
 	respBody := proto.Encode(resp)
 	c.recv.Add(frameLen(respBody))
 	return proto.Decode(respBody)
+}
+
+// CallStream implements StreamCaller: when the handler streams, each batch
+// is round-tripped through the codec (and counted as one v2 chunk frame)
+// before reaching yield, so loopback byte accounting and aliasing behavior
+// match the TCP transport.
+func (c *localConn) CallStream(req proto.Message, yield func(*proto.RowsResponse) error) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	reqBody := proto.Encode(req)
+	c.sent.Add(frameLenV2(reqBody))
+	c.calls.Add(1)
+	serverReq, err := proto.Decode(reqBody)
+	if err != nil {
+		return err
+	}
+	if sh, ok := c.handler.(StreamHandler); ok {
+		handled, err := sh.HandleStream(serverReq, func(chunk *proto.RowsResponse) error {
+			body := proto.Encode(chunk)
+			c.recv.Add(frameLenV2(body))
+			msg, err := proto.Decode(body)
+			if err != nil {
+				return err
+			}
+			rr, ok := msg.(*proto.RowsResponse)
+			if !ok {
+				return fmt.Errorf("transport: chunk decoded as %T", msg)
+			}
+			return yield(rr)
+		})
+		if handled {
+			var re *proto.RemoteError
+			if errors.As(err, &re) {
+				return re
+			}
+			return err
+		}
+	}
+	// No streaming form: one buffered round trip.
+	resp := c.handler.Handle(serverReq)
+	respBody := proto.Encode(resp)
+	c.recv.Add(frameLen(respBody))
+	msg, err := proto.Decode(respBody)
+	if err != nil {
+		return err
+	}
+	switch m := msg.(type) {
+	case *proto.RowsResponse:
+		return yield(m)
+	case *proto.ErrorResponse:
+		return m.Err()
+	default:
+		return fmt.Errorf("transport: unexpected %T in row stream", msg)
+	}
 }
 
 func (c *localConn) Stats() Stats { return c.snapshot() }

@@ -58,6 +58,12 @@ type Options = client.Options
 // Result is the outcome of one statement.
 type Result = client.Result
 
+// Rows is an incremental SELECT result, returned by Client.QueryRows:
+// streaming-eligible queries deliver rows as provider chunks arrive with
+// bounded memory; everything else iterates a materialized result. Always
+// Close a Rows.
+type Rows = client.Rows
+
 // Value is a typed cell value.
 type Value = client.Value
 
