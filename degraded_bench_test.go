@@ -1,0 +1,43 @@
+package sssdb
+
+// Degraded-write benchmarks: the hinted-handoff path (one provider
+// crashed, WriteQuorum 3 of 4) against the healthy 4-ack baseline.
+//
+//	go test -bench BenchmarkDegradedInsert -benchtime 100x .
+
+import (
+	"testing"
+)
+
+func BenchmarkDegradedInsert(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		crash bool
+	}{{"healthy", false}, {"one-provider-down", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cluster, err := OpenLocal(4, Options{
+				K: 2, WriteQuorum: 3, MasterKey: []byte("bench"),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { cluster.Close() })
+			if _, err := cluster.Client.Exec(`CREATE TABLE ops (v INT, w INT)`); err != nil {
+				b.Fatal(err)
+			}
+			if mode.crash {
+				cluster.CrashProvider(0)
+			}
+			rows := seedRows(b.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Client.InsertValues("ops", [][]Value{
+					{rows[i][1], rows[i][2]},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -183,6 +183,7 @@ func All() []Runner {
 		{"A4", RunA4, "ablation: OPP polynomial degree"},
 		{"S1", RunS1, "supplementary: latency/bytes vs table size"},
 		{"S2", RunS2, "supplementary: streaming vs buffered scans"},
+		{"S3", RunS3, "supplementary: degraded writes and hinted-handoff repair"},
 	}
 }
 

@@ -295,6 +295,28 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+// S3: strict W=N must refuse every write during the outage, the relaxed
+// quorum must commit every write, and recovery must drain all hints.
+func TestS3DegradedAvailability(t *testing.T) {
+	s3 := runQuick(t, RunS3)
+	if len(s3.Rows) != 4 {
+		t.Fatalf("S3 shape: %v", s3.Rows)
+	}
+	strict, relaxed := s3.Rows[1], s3.Rows[2]
+	if !strings.HasPrefix(strict[2], "0/") {
+		t.Fatalf("strict quorum committed writes during the outage: %v", strict)
+	}
+	if strings.HasPrefix(relaxed[2], "0/") || strings.Contains(relaxed[2], "/0") {
+		t.Fatalf("relaxed quorum shape: %v", relaxed)
+	}
+	if relaxed[4] == "0" {
+		t.Fatalf("degraded writes queued no hints: %v", relaxed)
+	}
+	if recovery := s3.Rows[3]; recovery[4] != "0" {
+		t.Fatalf("hints left after recovery: %v", recovery)
+	}
+}
+
 func TestRunAllPrints(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"sssdb/internal/opp"
 	"sssdb/internal/proto"
@@ -78,6 +79,24 @@ type Options struct {
 	// behavior). Benchmarks and differential tests use it as the baseline;
 	// verified reads always buffer regardless.
 	BufferedScans bool
+	// WriteQuorum is the number of providers that must acknowledge a
+	// mutation for it to commit (the paper's availability argument applied
+	// to writes: k-of-n sharing tolerates n-k failures, so writes need not
+	// demand all n). Shares destined for providers that miss the quorum
+	// round are queued in a per-provider hint journal and replayed by the
+	// background repair loop once the provider answers pings again. 0 means
+	// N (every mutation reaches every provider synchronously — the strict
+	// pre-quorum behavior); the floor is K, below which committed writes
+	// could become unreconstructable.
+	WriteQuorum int
+	// HintDir, when non-empty, persists hint journals (WAL framing) under
+	// this directory so a client restart resumes its repair obligations.
+	// Empty keeps hints in memory only.
+	HintDir string
+	// RepairInterval is the base cadence of the background repair loop's
+	// health probes (default 200ms); per-provider exponential backoff
+	// stretches it while a provider stays unreachable.
+	RepairInterval time.Duration
 
 	// N is derived from the number of connections passed to New.
 	N int
@@ -120,11 +139,25 @@ type Client struct {
 	tables   map[string]*tableMeta
 	aead     cipher.AEAD
 
-	// downMu guards down, the only client state mutated on the read path
-	// (by callQuorum/callAvailable response collection).
+	// downMu guards down and the hint journals — the client state mutated
+	// on the read path (by callQuorum/callAvailable response collection)
+	// and by write-quorum hinting.
 	downMu sync.Mutex
 	// down tracks providers considered crashed (failover state).
 	down []bool
+	// hints holds one hinted-handoff journal per provider (see hints.go).
+	// A provider with queued hints is "lagging": it answers calls but has
+	// missed acknowledged mutations, so reads mask rows above its lag floor
+	// and the repair loop owns bringing it back in sync.
+	hints []*hintJournal
+
+	// repairMu guards the repair loop's lifecycle state below.
+	repairMu      sync.Mutex
+	repairRunning bool
+	repairKick    chan struct{}
+	repairStop    chan struct{}
+	repairDone    chan struct{}
+	closed        bool
 	// pending holds lazy updates: table -> rowID -> full row values. It is
 	// only mutated under the exclusive statement lock; read statements
 	// escalate to exclusive mode when it is non-empty (see Exec).
@@ -190,6 +223,16 @@ func New(conns []transport.Conn, opts Options) (*Client, error) {
 	if opts.ParallelWorkers < 1 {
 		return nil, fmt.Errorf("%w: ParallelWorkers=%d", ErrBadOptions, opts.ParallelWorkers)
 	}
+	if opts.WriteQuorum == 0 {
+		opts.WriteQuorum = opts.N
+	}
+	if opts.WriteQuorum < opts.K || opts.WriteQuorum > opts.N {
+		return nil, fmt.Errorf("%w: WriteQuorum=%d with k=%d, n=%d",
+			ErrBadOptions, opts.WriteQuorum, opts.K, opts.N)
+	}
+	if opts.RepairInterval == 0 {
+		opts.RepairInterval = 200 * time.Millisecond
+	}
 	if len(opts.MasterKey) == 0 {
 		return nil, fmt.Errorf("%w: empty master key", ErrBadOptions)
 	}
@@ -209,7 +252,11 @@ func New(conns []transport.Conn, opts Options) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
+	hints, err := openHintJournals(opts.N, opts.HintDir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
 		opts:     opts,
 		conns:    conns,
 		fieldSch: fieldSch,
@@ -217,18 +264,32 @@ func New(conns []transport.Conn, opts Options) (*Client, error) {
 		tables:   make(map[string]*tableMeta),
 		aead:     aead,
 		down:     make([]bool, opts.N),
+		hints:    hints,
 		pending:  make(map[string]map[uint64][]Value),
 		inflight: make(map[string]map[uint64]uint64),
-	}, nil
+	}
+	// A journal reloaded from HintDir carries repair obligations from a
+	// previous process: treat those providers as down until the repair loop
+	// proves otherwise and drains them.
+	for i, h := range hints {
+		if h.lagging {
+			c.down[i] = true
+			c.ensureRepairLoop()
+		}
+	}
+	return c, nil
 }
 
 // defaultAlphabet mirrors numenc.PrintableAlphabet without importing it in
 // two places; kept in sync by a test.
 const defaultAlphabet = " 0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ_abcdefghijklmnopqrstuvwxyz"
 
-// Close closes all provider connections.
+// Close stops the repair loop, releases hint journals, and closes all
+// provider connections. Queued hints persist (when HintDir is set) and are
+// reloaded by the next client.
 func (c *Client) Close() error {
-	var firstErr error
+	c.stopRepairLoop()
+	firstErr := c.closeHints()
 	for _, conn := range c.conns {
 		if err := conn.Close(); err != nil && firstErr == nil {
 			firstErr = err
@@ -273,56 +334,120 @@ func (c *Client) call(provider int, req proto.Message) (proto.Message, error) {
 	return resp, nil
 }
 
-// callAll sends the request built by build to every provider concurrently
-// and requires all to succeed (mutation path: shares must land everywhere).
-// On partial failure it returns the indices that succeeded so the caller
-// can compensate (e.g. roll an insert back off the providers it reached).
-func (c *Client) callAll(build func(provider int) proto.Message) ([]proto.Message, error) {
-	out, succeeded, err := c.callAllPartial(build)
-	_ = succeeded
-	return out, err
-}
-
-func (c *Client) callAllPartial(build func(provider int) proto.Message) ([]proto.Message, []int, error) {
-	out := make([]proto.Message, c.opts.N)
-	errs := make([]error, c.opts.N)
-	var wg sync.WaitGroup
+// callWrite distributes one mutation under the write quorum. Providers
+// already lagging are skipped up front — the new mutation must queue behind
+// their earlier hints, not overtake them — and the rest are called
+// concurrently. The statement commits once Options.WriteQuorum providers
+// acknowledge AND no provider rejected it outright (a remote error signals
+// a logical problem — duplicate row, missing table — not an outage, so it
+// fails the statement regardless of quorum). On commit, the per-provider
+// messages for every provider that missed the round are appended to their
+// hint journals and the repair loop is kicked. On failure it returns the
+// providers that did apply the mutation so the caller can compensate.
+func (c *Client) callWrite(build func(provider int) proto.Message) ([]int, error) {
+	lag := c.laggingSet()
+	msgs := make([]proto.Message, c.opts.N)
+	targets := make([]int, 0, c.opts.N)
 	for i := 0; i < c.opts.N; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			out[i], errs[i] = c.call(i, build(i))
-		}(i)
-	}
-	wg.Wait()
-	var failed, succeeded []int
-	for i, err := range errs {
-		if err != nil {
-			failed = append(failed, i)
-		} else {
-			succeeded = append(succeeded, i)
+		msgs[i] = build(i)
+		if !lag[i] {
+			targets = append(targets, i)
 		}
 	}
-	if len(failed) > 0 {
-		return nil, succeeded, fmt.Errorf("client: providers %v failed: %w", failed, errs[failed[0]])
+	type res struct {
+		provider int
+		err      error
 	}
-	return out, succeeded, nil
+	ch := make(chan res, len(targets))
+	for _, i := range targets {
+		go func(i int) {
+			_, err := c.call(i, msgs[i])
+			ch <- res{provider: i, err: err}
+		}(i)
+	}
+	var acked, unreached []int
+	var hard, soft []error
+	for range targets {
+		r := <-ch
+		if r.err == nil {
+			c.markProvider(r.provider, false)
+			acked = append(acked, r.provider)
+			continue
+		}
+		var remote *proto.RemoteError
+		if errors.As(r.err, &remote) {
+			hard = append(hard, fmt.Errorf("provider %d: %w", r.provider, r.err))
+			continue
+		}
+		c.markProvider(r.provider, true)
+		unreached = append(unreached, r.provider)
+		soft = append(soft, fmt.Errorf("provider %d: %w", r.provider, r.err))
+	}
+	sort.Ints(acked)
+	if len(hard) > 0 {
+		return acked, fmt.Errorf("client: mutation rejected: %w", errors.Join(hard...))
+	}
+	if len(acked) < c.opts.WriteQuorum {
+		return acked, fmt.Errorf("%w: %d write acks of quorum %d (%v)",
+			ErrNotEnough, len(acked), c.opts.WriteQuorum, errors.Join(soft...))
+	}
+	// Committed. Queue the exact share payloads for the providers that
+	// missed the round; journal persistence failures are non-fatal (the
+	// in-memory queue keeps this process sound).
+	hinted := false
+	for i := 0; i < c.opts.N; i++ {
+		if lag[i] {
+			_ = c.hintMutation(i, msgs[i])
+			hinted = true
+		}
+	}
+	for _, p := range unreached {
+		_ = c.hintMutation(p, msgs[p])
+		hinted = true
+	}
+	if hinted {
+		c.ensureRepairLoop()
+		c.kickRepair()
+	}
+	return acked, nil
 }
 
-// providerOrder snapshots the failover candidate order: healthy providers
-// first, then previously-down ones (they may have recovered).
+// providerOrder snapshots the failover candidate order, best first:
+// reachable and fully caught up, then reachable but lagging (usable for
+// plain scans below their lag floor), then previously-down ones (they may
+// have recovered), with down-and-lagging last. Lagging providers appear at
+// all only because masking makes them safe for id-carrying scans; paths
+// that cannot mask use cleanOrder instead.
 func (c *Client) providerOrder() []int {
 	c.downMu.Lock()
 	defer c.downMu.Unlock()
 	order := make([]int, 0, c.opts.N)
-	for i := 0; i < c.opts.N; i++ {
-		if !c.down[i] {
-			order = append(order, i)
+	for _, wantDown := range []bool{false, true} {
+		for _, wantLag := range []bool{false, true} {
+			for i := 0; i < c.opts.N; i++ {
+				if c.down[i] == wantDown && c.hints[i].lagging == wantLag {
+					order = append(order, i)
+				}
+			}
 		}
 	}
-	for i := 0; i < c.opts.N; i++ {
-		if c.down[i] {
-			order = append(order, i)
+	return order
+}
+
+// cleanOrder is providerOrder restricted to providers that are not lagging:
+// the candidate set for statements whose per-provider results carry no row
+// ids to mask (aggregates, joins, verified reads) and for DML. A lagging
+// provider would silently compute over a stale share set, so it is not a
+// candidate at any priority.
+func (c *Client) cleanOrder() []int {
+	c.downMu.Lock()
+	defer c.downMu.Unlock()
+	order := make([]int, 0, c.opts.N)
+	for _, wantDown := range []bool{false, true} {
+		for i := 0; i < c.opts.N; i++ {
+			if c.down[i] == wantDown && !c.hints[i].lagging {
+				order = append(order, i)
+			}
 		}
 	}
 	return order
@@ -338,12 +463,21 @@ func (c *Client) markProvider(provider int, down bool) {
 
 // callQuorum sends requests until `need` providers have answered, starting
 // with providers not marked down and failing over to the rest. Responses
-// come back ordered by provider index.
+// come back ordered by provider index. Lagging providers are excluded:
+// callQuorum serves statements that combine per-provider computations
+// without row ids to mask, and a provider that missed writes would
+// silently contribute stale state to them.
 func (c *Client) callQuorum(need int, build func(provider int) proto.Message) ([]indexedResponse, error) {
+	return c.callQuorumOrdered(need, c.cleanOrder(), build)
+}
+
+// callQuorumOrdered is callQuorum over an explicit candidate order; the
+// plain-scan path passes the full providerOrder (lagging included) because
+// lag-floor masking makes stale providers safe there.
+func (c *Client) callQuorumOrdered(need int, order []int, build func(provider int) proto.Message) ([]indexedResponse, error) {
 	if need > c.opts.N {
 		return nil, fmt.Errorf("%w: need %d of %d", ErrNotEnough, need, c.opts.N)
 	}
-	order := c.providerOrder()
 	var got []indexedResponse
 	var errs []error
 	next := 0
@@ -387,18 +521,21 @@ func (c *Client) callQuorum(need int, build func(provider int) proto.Message) ([
 	return got, nil
 }
 
-// callAvailable contacts every provider concurrently and returns all
-// successful responses (ordered by provider index), requiring at least
-// minNeed. Verified reads use it: they want maximal redundancy so that
-// detectably-faulty providers can be dropped while a quorum survives.
+// callAvailable contacts every non-lagging provider concurrently and
+// returns all successful responses (ordered by provider index), requiring
+// at least minNeed. Verified reads use it: they want maximal redundancy so
+// that detectably-faulty providers can be dropped while a quorum survives.
+// Lagging providers are skipped — their stale share sets would fail
+// cross-checks indistinguishably from malice.
 func (c *Client) callAvailable(minNeed int, build func(provider int) proto.Message) ([]indexedResponse, error) {
 	type res struct {
 		provider int
 		msg      proto.Message
 		err      error
 	}
-	ch := make(chan res, c.opts.N)
-	for i := 0; i < c.opts.N; i++ {
+	candidates := c.cleanOrder()
+	ch := make(chan res, len(candidates))
+	for _, i := range candidates {
 		go func(i int) {
 			msg, err := c.call(i, build(i))
 			ch <- res{provider: i, msg: msg, err: err}
@@ -406,7 +543,7 @@ func (c *Client) callAvailable(minNeed int, build func(provider int) proto.Messa
 	}
 	var got []indexedResponse
 	var errs []error
-	for i := 0; i < c.opts.N; i++ {
+	for range candidates {
 		r := <-ch
 		if r.err != nil {
 			c.markProvider(r.provider, true)

@@ -2,6 +2,7 @@ package client
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 
@@ -125,7 +126,7 @@ func (c *Client) execCreateTable(s *sql.CreateTable) (*Result, error) {
 		meta.Cols = append(meta.Cols, cm)
 	}
 	spec := meta.providerSpec()
-	if _, err := c.callAll(func(int) proto.Message {
+	if _, err := c.callWrite(func(int) proto.Message {
 		return &proto.CreateTableRequest{Spec: spec}
 	}); err != nil {
 		return nil, err
@@ -138,7 +139,7 @@ func (c *Client) execDropTable(s *sql.DropTable) (*Result, error) {
 	if _, err := c.table(s.Name); err != nil {
 		return nil, err
 	}
-	if _, err := c.callAll(func(int) proto.Message {
+	if _, err := c.callWrite(func(int) proto.Message {
 		return &proto.DropTableRequest{Table: s.Name}
 	}); err != nil {
 		return nil, err
@@ -215,19 +216,37 @@ func (c *Client) insertValues(meta *tableMeta, rows [][]Value) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	_, succeeded, err := c.callAllPartial(func(i int) proto.Message {
+	succeeded, err := c.callWrite(func(i int) proto.Message {
 		return &proto.InsertRequest{Table: meta.Name, Rows: perProvider[i]}
 	})
 	if err != nil {
 		// Best-effort compensation: providers that accepted the batch would
 		// otherwise hold rows their peers lack, permanently forking the
-		// share sets. Delete the batch where it landed; the reservation is
+		// share sets. Delete the batch from every provider it landed on —
+		// all of them, not stopping at the first failed rollback, which
+		// would leave the remaining providers forked. A rollback that fails
+		// on transport is additionally queued as a hint so the repair loop
+		// heals the fork once the provider returns. The reservation is
 		// burned either way (ids are never reused), so a retry starts from
 		// fresh ids.
+		rollback := &proto.DeleteRequest{Table: meta.Name, RowIDs: ids}
+		var rollbackErrs []error
 		for _, p := range succeeded {
-			if _, derr := c.call(p, &proto.DeleteRequest{Table: meta.Name, RowIDs: ids}); derr != nil {
-				return nil, fmt.Errorf("%w (rollback on provider %d also failed: %v)", err, p, derr)
+			_, derr := c.call(p, rollback)
+			if derr == nil {
+				continue
 			}
+			rollbackErrs = append(rollbackErrs,
+				fmt.Errorf("rollback on provider %d also failed: %w", p, derr))
+			var remote *proto.RemoteError
+			if !errors.As(derr, &remote) {
+				_ = c.hintMutation(p, rollback)
+				c.markProvider(p, true)
+				c.ensureRepairLoop()
+			}
+		}
+		if len(rollbackErrs) > 0 {
+			return nil, errors.Join(append([]error{err}, rollbackErrs...)...)
 		}
 		return nil, err
 	}
@@ -414,7 +433,7 @@ func (c *Client) execDelete(s *sql.Delete) (*Result, error) {
 	if len(scan.ids) == 0 {
 		return &Result{}, nil
 	}
-	if _, err := c.callAll(func(int) proto.Message {
+	if _, err := c.callWrite(func(int) proto.Message {
 		return &proto.DeleteRequest{Table: meta.Name, RowIDs: scan.ids}
 	}); err != nil {
 		return nil, err
@@ -490,7 +509,7 @@ func (c *Client) pushUpdates(meta *tableMeta, ids []uint64, values [][]Value) (*
 	if err != nil {
 		return nil, err
 	}
-	if _, err := c.callAll(func(i int) proto.Message {
+	if _, err := c.callWrite(func(i int) proto.Message {
 		return &proto.UpdateRequest{Table: meta.Name, Rows: perProvider[i]}
 	}); err != nil {
 		return nil, err

@@ -293,7 +293,10 @@ func (c *Client) scanTableBuffered(meta *tableMeta, preds []compiledPred, limit 
 		// quorum of K survives.
 		responses, err = c.callAvailable(c.opts.K, buildScan)
 	} else {
-		responses, err = c.callQuorum(c.opts.K, buildScan)
+		// Plain scans may fail over onto a lagging provider (one with
+		// queued hints): its rows below the lag floor are exactly its
+		// peers', and everything at or above the floor is masked below.
+		responses, err = c.callQuorumOrdered(c.opts.K, c.providerOrder(), buildScan)
 	}
 	if err != nil {
 		return nil, err
@@ -312,7 +315,21 @@ func (c *Client) scanTableBuffered(meta *tableMeta, preds []compiledPred, limit 
 			}
 			return nil, fmt.Errorf("%w: provider %d returned %T", ErrInconsistent, r.provider, r.msg)
 		}
-		if !verified {
+		rowsByProvider[r.provider] = rr
+		providers = append(providers, r.provider)
+	}
+	if !verified {
+		// Cap the watermark by the lag floor of every participating
+		// provider: a lagging provider has missed mutations above its
+		// floor, so those ids are hidden from ALL responses — the K row
+		// sets then agree on what every participant has fully applied.
+		// (Floors only shrink via concurrent INSERT hints, whose fresh ids
+		// are above the stable watermark already snapshotted, so reading
+		// them after the responses arrived is race-free.)
+		if floor := c.lagFloor(meta.Name, providers); floor < watermark {
+			watermark = floor
+		}
+		for _, rr := range rowsByProvider {
 			keep := rr.Rows[:0]
 			for _, row := range rr.Rows {
 				if row.ID < watermark {
@@ -321,8 +338,6 @@ func (c *Client) scanTableBuffered(meta *tableMeta, preds []compiledPred, limit 
 			}
 			rr.Rows = keep
 		}
-		rowsByProvider[r.provider] = rr
-		providers = append(providers, r.provider)
 	}
 	if verified && len(providers) < c.opts.K {
 		return nil, fmt.Errorf("%w: only %d well-formed responses (faulty: %v)",

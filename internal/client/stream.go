@@ -99,6 +99,13 @@ func (c *Client) openRowStream(meta *tableMeta, preds []compiledPred, limit uint
 	order := c.providerOrder()
 	providers := append([]int(nil), order[:c.opts.K]...)
 	sort.Ints(providers)
+	// If failover put a lagging provider in the chosen K, cap the watermark
+	// by its lag floor: ids at or above it may have missed mutations there,
+	// so they are hidden from every stream (the buffered path applies the
+	// same masking).
+	if floor := c.lagFloor(meta.Name, providers); floor < watermark {
+		watermark = floor
+	}
 
 	rs := &rowStream{
 		out:  make(chan alignedBatch, 1),

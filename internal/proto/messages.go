@@ -29,6 +29,7 @@ const (
 	KDigestResult
 	KTables
 	KGroupResult
+	KTableState
 )
 
 // Message is anything that can travel in a frame.
@@ -234,6 +235,21 @@ func (m *DigestRequest) unmarshal(r *reader) {
 	m.Table = r.str()
 	m.Col = r.str()
 }
+
+// TableStateRequest asks for a provider-neutral resync digest of a whole
+// table: a Merkle root over the sorted row ids whose leaves commit to cell
+// *shapes* (and to full plaintext-replicated cells) rather than to share
+// bytes. Share cells differ per provider by construction, so this is the
+// strongest table summary that can still be compared across providers; the
+// repair loop uses it to check a recovered provider against a healthy peer.
+// The response is a DigestResult.
+type TableStateRequest struct {
+	Table string
+}
+
+func (*TableStateRequest) Kind() Kind            { return KTableState }
+func (m *TableStateRequest) marshal(w *writer)   { w.str(m.Table) }
+func (m *TableStateRequest) unmarshal(r *reader) { m.Table = r.str() }
 
 // --- Responses ---
 
@@ -488,6 +504,8 @@ func newMessage(k Kind) (Message, error) {
 		return &TablesResponse{}, nil
 	case KGroupResult:
 		return &GroupResult{}, nil
+	case KTableState:
+		return &TableStateRequest{}, nil
 	default:
 		return nil, fmt.Errorf("proto: unknown message kind %d", k)
 	}

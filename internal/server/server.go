@@ -133,6 +133,12 @@ func (p *Provider) Handle(req proto.Message) proto.Message {
 			return errResponse(err)
 		}
 		return res
+	case *proto.TableStateRequest:
+		res, err := p.store.ResyncDigest(m.Table)
+		if err != nil {
+			return errResponse(err)
+		}
+		return res
 	default:
 		return &proto.ErrorResponse{
 			Code: proto.CodeBadRequest,

@@ -814,6 +814,49 @@ func (s *Store) Digest(name, col string) (*proto.DigestResult, error) {
 	return &proto.DigestResult{Root: root[:], Count: uint64(len(m.leaves))}, nil
 }
 
+// ResyncDigest returns a provider-neutral Merkle summary of a whole table:
+// leaves walk the sorted row ids, and each leaf commits to the row's id,
+// its cell shapes, and the full bytes of plaintext-replicated (KindPlain)
+// cells. Share cells are covered by length only — OPP and field shares
+// differ across providers by construction, so their bytes can never agree —
+// which makes this the strongest digest two providers holding the same
+// logical table must agree on. The repair loop compares it against a
+// healthy peer before readmitting a recovered provider.
+func (s *Store) ResyncDigest(name string) (*proto.DigestResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.table(name)
+	if err != nil {
+		return nil, err
+	}
+	ids := t.sortedIDs()
+	leaves := make([]merkle.Hash, 0, len(ids))
+	var key [8]byte
+	for _, id := range ids {
+		binary.BigEndian.PutUint64(key[:], id)
+		leaves = append(leaves, merkle.LeafHash(key[:], resyncRowDigest(&t.spec, t.rows[id])))
+	}
+	root := merkle.New(leaves).Root()
+	return &proto.DigestResult{Root: root[:], Count: uint64(len(ids))}, nil
+}
+
+// resyncRowDigest hashes the provider-neutral view of one row: plaintext
+// cells fully, share cells by length.
+func resyncRowDigest(spec *proto.TableSpec, row proto.Row) []byte {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], row.ID)
+	h.Write(buf[:])
+	for i, c := range row.Cells {
+		binary.BigEndian.PutUint64(buf[:], uint64(len(c)))
+		h.Write(buf[:])
+		if i < len(spec.Columns) && spec.Columns[i].Kind == proto.KindPlain {
+			h.Write(c)
+		}
+	}
+	return h.Sum(nil)
+}
+
 // Aggregate computes a provider-side partial aggregate (Sec. V-A: providers
 // "perform an intermediate computation"; the data source combines k of
 // them).

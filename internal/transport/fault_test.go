@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sssdb/internal/proto"
+)
+
+// chunkedHandler streams a fixed number of single-row chunks.
+type chunkedHandler struct {
+	chunks int
+}
+
+func (h *chunkedHandler) Handle(req proto.Message) proto.Message {
+	return &proto.ErrorResponse{Code: proto.CodeBadRequest, Msg: "stream only"}
+}
+
+func (h *chunkedHandler) HandleStream(req proto.Message, emit func(*proto.RowsResponse) error) (bool, error) {
+	for i := 0; i < h.chunks; i++ {
+		chunk := &proto.RowsResponse{Columns: []string{"c"}, Rows: []proto.Row{{ID: uint64(i + 1)}}}
+		if err := emit(chunk); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+func TestFaultyCrashAfterChunks(t *testing.T) {
+	f := NewFaulty(NewLocal(&chunkedHandler{chunks: 5}))
+	defer f.Close()
+	f.CrashAfterChunks(2)
+	var got int
+	err := f.CallStream(&proto.ScanRequest{Table: "t"}, func(*proto.RowsResponse) error {
+		got++
+		return nil
+	})
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("stream error = %v, want ErrInjectedCrash", err)
+	}
+	if got != 2 {
+		t.Fatalf("delivered %d chunks before the crash, want 2", got)
+	}
+	// The trigger leaves the connection in full crash mode…
+	if _, err := f.Call(&proto.PingRequest{}); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("post-crash call error = %v, want ErrInjectedCrash", err)
+	}
+	// …until Recover clears it, after which streams flow whole again.
+	f.Recover()
+	got = 0
+	if err := f.CallStream(&proto.ScanRequest{Table: "t"}, func(*proto.RowsResponse) error {
+		got++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("recovered stream delivered %d chunks, want 5", got)
+	}
+}
+
+func TestFaultyCrashAfterZeroChunks(t *testing.T) {
+	f := NewFaulty(NewLocal(&chunkedHandler{chunks: 3}))
+	defer f.Close()
+	f.CrashAfterChunks(0)
+	var got int
+	err := f.CallStream(&proto.ScanRequest{Table: "t"}, func(*proto.RowsResponse) error {
+		got++
+		return nil
+	})
+	if !errors.Is(err, ErrInjectedCrash) || got != 0 {
+		t.Fatalf("err = %v with %d chunks, want ErrInjectedCrash before any chunk", err, got)
+	}
+}
+
+func TestFaultyDelayInterruptedByCrash(t *testing.T) {
+	f := NewFaulty(NewLocal(&echoHandler{}))
+	defer f.Close()
+	f.SetDelay(time.Minute)
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := f.Call(&proto.PingRequest{})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	f.Crash()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjectedCrash) {
+			t.Fatalf("got %v, want ErrInjectedCrash", err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("delayed call took %v to abort", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("delayed call did not abort on Crash")
+	}
+}
+
+func TestFaultyStreamDelayInterruptedByClose(t *testing.T) {
+	f := NewFaulty(NewLocal(&chunkedHandler{chunks: 3}))
+	f.SetDelay(time.Minute)
+	done := make(chan error, 1)
+	go func() {
+		done <- f.CallStream(&proto.ScanRequest{Table: "t"}, func(*proto.RowsResponse) error { return nil })
+	}()
+	time.Sleep(20 * time.Millisecond)
+	f.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("got %v, want ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("delayed stream did not abort on Close")
+	}
+}
+
+func TestFaultyDelayRearmsAfterRecover(t *testing.T) {
+	f := NewFaulty(NewLocal(&echoHandler{}))
+	defer f.Close()
+	f.Crash()
+	f.Recover()
+	// The crash burned the wake channel; Recover must re-arm it so a
+	// delayed call parks (and completes) instead of aborting instantly.
+	f.SetDelay(30 * time.Millisecond)
+	start := time.Now()
+	if _, err := f.Call(&proto.PingRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delay skipped after Recover: %v", elapsed)
+	}
+}
