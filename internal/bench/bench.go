@@ -184,6 +184,7 @@ func All() []Runner {
 		{"S1", RunS1, "supplementary: latency/bytes vs table size"},
 		{"S2", RunS2, "supplementary: streaming vs buffered scans"},
 		{"S3", RunS3, "supplementary: degraded writes and hinted-handoff repair"},
+		{"S4", RunS4, "supplementary: horizontal sharding scatter-gather scaling"},
 	}
 }
 

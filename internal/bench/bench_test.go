@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -314,6 +315,35 @@ func TestS3DegradedAvailability(t *testing.T) {
 	}
 	if recovery := s3.Rows[3]; recovery[4] != "0" {
 		t.Fatalf("hints left after recovery: %v", recovery)
+	}
+}
+
+// S4 shape: three scaling rows (1, 2, 4 groups), and — given hardware that
+// can actually run groups in parallel, outside the race detector — more
+// groups must not run the mixed workload slower than one. On fewer than 4
+// CPUs the fan-out only adds overhead, so the perf claim is skipped there
+// (the shape still is not).
+func TestS4ShardScaling(t *testing.T) {
+	s4 := runQuick(t, RunS4)
+	if len(s4.Rows) != 3 || s4.Rows[0][0] != "1" || s4.Rows[2][0] != "4" {
+		t.Fatalf("S4 shape: %v", s4.Rows)
+	}
+	if s4.Rows[0][2] != "1.0x" {
+		t.Fatalf("1-group speedup not normalized: %v", s4.Rows[0])
+	}
+	if raceEnabled || runtime.NumCPU() < 4 {
+		return
+	}
+	one, err := strconv.ParseFloat(s4.Rows[0][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := strconv.ParseFloat(s4.Rows[2][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four < one {
+		t.Fatalf("4 groups (%.0f ops/s) slower than 1 group (%.0f ops/s)", four, one)
 	}
 }
 

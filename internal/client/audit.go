@@ -21,6 +21,9 @@ type AuditReport struct {
 // verification cannot complete (too many corruptions to decode, digest
 // mismatch, dropped rows).
 func (c *Client) Audit(table string) (*AuditReport, error) {
+	if c.shards != nil {
+		return c.shardAudit(table)
+	}
 	// Audits are reads: they share the statement lock unless buffered lazy
 	// updates force a flush first.
 	unlock := c.lockForRead()
@@ -44,6 +47,10 @@ func (c *Client) Audit(table string) (*AuditReport, error) {
 
 // Tables lists the client-side catalog.
 func (c *Client) Tables() []string {
+	if c.shards != nil {
+		// Every group holds the same table set; group 0 speaks for all.
+		return c.shards[0].Tables()
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	names := make([]string, 0, len(c.tables))

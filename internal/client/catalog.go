@@ -14,6 +14,11 @@ import (
 type catalogFile struct {
 	Version int            `json:"version"`
 	Tables  []catalogTable `json:"tables"`
+	// Sharding is present when the catalog was exported by a shard router:
+	// it records the group count and the per-table shard map, and importing
+	// it requires a client with the identical group count (see
+	// shard_catalog.go).
+	Sharding *catalogSharding `json:"sharding,omitempty"`
 }
 
 type catalogTable struct {
@@ -52,6 +57,9 @@ func typeFromName(s string) (sql.TypeName, bool) {
 // (same master key, same provider order) can resume querying outsourced
 // tables without re-creating them. Pair it with ImportCatalog.
 func (c *Client) ExportCatalog() ([]byte, error) {
+	if c.shards != nil {
+		return c.shardExportCatalog()
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := catalogFile{Version: catalogVersion}
@@ -86,6 +94,18 @@ func (c *Client) ImportCatalog(data []byte) error {
 	if in.Version != catalogVersion {
 		return fmt.Errorf("%w: catalog version %d (want %d)", ErrBadSchema, in.Version, catalogVersion)
 	}
+	if c.shards != nil {
+		return c.shardImportCatalog(&in)
+	}
+	if in.Sharding != nil && in.Sharding.Groups > 1 {
+		return fmt.Errorf("%w: catalog is sharded across %d provider groups; open a sharded client to import it",
+			ErrBadSchema, in.Sharding.Groups)
+	}
+	return c.applyCatalog(&in)
+}
+
+// applyCatalog installs a (per-group) catalog into a single-group client.
+func (c *Client) applyCatalog(in *catalogFile) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, ct := range in.Tables {

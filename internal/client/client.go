@@ -97,6 +97,20 @@ type Options struct {
 	// health probes (default 200ms); per-provider exponential backoff
 	// stretches it while a provider stays unreachable.
 	RepairInterval time.Duration
+	// Shards is the number of provider groups the row space is
+	// hash-partitioned across. 0 or 1 keeps the single-group engine (every
+	// provider holds a share of every row). With Shards = G > 1 the open
+	// helpers split the provider list into G equal groups — each its own
+	// K-of-N quorum with independent hint journals and repair — and build a
+	// shard router via NewSharded. New itself rejects Shards > 1.
+	Shards int
+	// ShardKeys optionally names a shard-key column per table
+	// (table name -> column name), consulted at CREATE TABLE time. A table
+	// whose name appears here is hash-partitioned on that column's encoded
+	// value instead of on the insert sequence, which lets the router send
+	// point predicates on the column to a single group. Only meaningful on
+	// a sharded client.
+	ShardKeys map[string]string
 
 	// N is derived from the number of connections passed to New.
 	N int
@@ -175,6 +189,20 @@ type Client struct {
 	// forceClientAgg disables provider-side partial aggregation; the E8
 	// ablation benchmark measures what it costs.
 	forceClientAgg bool
+
+	// shards, when non-nil, makes this Client a shard router built by
+	// NewSharded: shards[g] is the fully independent single-group client of
+	// provider group g, and every public entry point dispatches to the
+	// routing/merging layer in shard.go instead of the engine above. A
+	// router uses none of the engine fields except opts (normalized with
+	// per-group N) and forceClientAgg.
+	shards []*Client
+	// ddlMu serializes CREATE/DROP across groups so concurrent DDL cannot
+	// leave the groups' schemas forked.
+	ddlMu sync.Mutex
+	// shardMu guards shardMap and the per-table insert sequences inside it.
+	shardMu  sync.Mutex
+	shardMap map[string]*shardInfo
 }
 
 // SetClientSideAggregates forces aggregates to be computed client-side
@@ -182,8 +210,11 @@ type Client struct {
 // aggregation. Used by the E8 ablation.
 func (c *Client) SetClientSideAggregates(force bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.forceClientAgg = force
+	c.mu.Unlock()
+	for _, sub := range c.shards {
+		sub.SetClientSideAggregates(force)
+	}
 }
 
 // New connects a data source to the given provider connections. The order
@@ -193,6 +224,10 @@ func New(conns []transport.Conn, opts Options) (*Client, error) {
 	opts.N = len(conns)
 	if opts.N < 1 {
 		return nil, fmt.Errorf("%w: no providers", ErrBadOptions)
+	}
+	if opts.Shards > 1 {
+		return nil, fmt.Errorf("%w: Shards=%d needs one connection set per group (use NewSharded)",
+			ErrBadOptions, opts.Shards)
 	}
 	if opts.K < 1 || opts.K > opts.N {
 		return nil, fmt.Errorf("%w: k=%d with n=%d", ErrBadOptions, opts.K, opts.N)
@@ -288,6 +323,15 @@ const defaultAlphabet = " 0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ_abcdefghijklmnopq
 // provider connections. Queued hints persist (when HintDir is set) and are
 // reloaded by the next client.
 func (c *Client) Close() error {
+	if c.shards != nil {
+		var firstErr error
+		for _, sub := range c.shards {
+			if err := sub.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
 	c.stopRepairLoop()
 	firstErr := c.closeHints()
 	for _, conn := range c.conns {
@@ -298,14 +342,32 @@ func (c *Client) Close() error {
 	return firstErr
 }
 
-// N returns the number of providers.
+// N returns the number of providers (per group on a sharded client).
 func (c *Client) N() int { return c.opts.N }
 
 // K returns the reconstruction threshold.
 func (c *Client) K() int { return c.opts.K }
 
+// Shards returns the number of provider groups (1 for a plain client).
+func (c *Client) Shards() int {
+	if c.shards == nil {
+		return 1
+	}
+	return len(c.shards)
+}
+
 // Stats aggregates traffic counters across all provider connections.
 func (c *Client) Stats() transport.Stats {
+	if c.shards != nil {
+		var total transport.Stats
+		for _, sub := range c.shards {
+			st := sub.Stats()
+			total.BytesSent += st.BytesSent
+			total.BytesReceived += st.BytesReceived
+			total.Calls += st.Calls
+		}
+		return total
+	}
 	var total transport.Stats
 	for _, conn := range c.conns {
 		st := conn.Stats()

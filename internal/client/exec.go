@@ -22,6 +22,9 @@ import (
 // the lock exclusively, so they observe — and present — either the pre- or
 // post-statement share sets, never a mix.
 func (c *Client) Exec(query string) (*Result, error) {
+	if c.shards != nil {
+		return c.shardExec(query)
+	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -181,6 +184,9 @@ func (c *Client) execInsert(s *sql.Insert) (*Result, error) {
 // InsertValues outsources pre-typed rows, bypassing SQL parsing; bulk
 // loaders and the workload generators use it.
 func (c *Client) InsertValues(table string, rows [][]Value) (*Result, error) {
+	if c.shards != nil {
+		return c.shardInsertRows(table, rows)
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	meta, err := c.table(table)
@@ -519,6 +525,9 @@ func (c *Client) pushUpdates(meta *tableMeta, ids []uint64, values [][]Value) (*
 
 // Flush pushes all buffered lazy updates to the providers.
 func (c *Client) Flush() error {
+	if c.shards != nil {
+		return c.shardFlush()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for name := range c.pending {
@@ -531,6 +540,13 @@ func (c *Client) Flush() error {
 
 // PendingUpdates reports how many lazy updates are buffered.
 func (c *Client) PendingUpdates() int {
+	if c.shards != nil {
+		total := 0
+		for _, sub := range c.shards {
+			total += sub.PendingUpdates()
+		}
+		return total
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	total := 0

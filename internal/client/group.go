@@ -66,53 +66,9 @@ func (c *Client) execGroupedAggregates(meta *tableMeta, s *sql.Select) (*Result,
 	if err := c.flushTableLocked(meta.Name); err != nil {
 		return nil, err
 	}
-	if s.OrderBy != nil {
-		return nil, fmt.Errorf("%w: ORDER BY with GROUP BY (groups already come back in key order)", ErrUnsupported)
-	}
-	if s.GroupBy.Table != "" && s.GroupBy.Table != meta.Name {
-		return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, s.GroupBy)
-	}
-	gcm, err := meta.col(s.GroupBy.Name)
+	gcm, gci, computeItems, simpleOnly, err := planGroupBy(meta, s)
 	if err != nil {
 		return nil, err
-	}
-	if !gcm.queryable() {
-		return nil, fmt.Errorf("%w: GROUP BY on BLOB column %q", ErrUnsupported, gcm.Name)
-	}
-	gci := -1
-	for i := range meta.Cols {
-		if meta.Cols[i].Name == gcm.Name {
-			gci = i
-		}
-	}
-	// The aggregates to compute cover both the select list and HAVING.
-	computeItems := append([]sql.SelectItem(nil), s.Items...)
-	for _, hp := range s.Having {
-		computeItems = append(computeItems, hp.Item)
-	}
-	// Validate the select list: plain items must be the group column; every
-	// aggregate must be well-typed.
-	simpleOnly := true // aggregates all in {COUNT, SUM, AVG}
-	for i, item := range computeItems {
-		if item.Agg == sql.AggNone {
-			if i >= len(s.Items) {
-				return nil, fmt.Errorf("%w: HAVING requires an aggregate", ErrUnsupported)
-			}
-			if item.Star {
-				return nil, fmt.Errorf("%w: SELECT * with GROUP BY", ErrUnsupported)
-			}
-			if item.Col.Name != gcm.Name {
-				return nil, fmt.Errorf("%w: column %q must appear in an aggregate or in GROUP BY",
-					ErrUnsupported, item.Col)
-			}
-			continue
-		}
-		if _, _, err := meta.aggItemCol(item); err != nil {
-			return nil, err
-		}
-		if item.Agg != sql.AggCount && item.Agg != sql.AggSum && item.Agg != sql.AggAvg {
-			simpleOnly = false
-		}
 	}
 	preds, err := c.compilePredicates(meta, s.Where, "")
 	if err != nil {
@@ -131,14 +87,77 @@ func (c *Client) execGroupedAggregates(meta *tableMeta, s *sql.Select) (*Result,
 	if err != nil {
 		return nil, err
 	}
+	return c.renderGroups(meta, s, groups, verified && !useProvider)
+}
+
+// planGroupBy validates a GROUP BY statement against the table's schema and
+// resolves the grouping column, the aggregates to compute (select list plus
+// HAVING), and whether every aggregate is provider-combinable (COUNT, SUM,
+// AVG). Shared by the single-group engine and the shard router.
+func planGroupBy(meta *tableMeta, s *sql.Select) (gcm *colMeta, gci int, computeItems []sql.SelectItem, simpleOnly bool, err error) {
+	if s.OrderBy != nil {
+		return nil, 0, nil, false, fmt.Errorf("%w: ORDER BY with GROUP BY (groups already come back in key order)", ErrUnsupported)
+	}
+	if s.GroupBy.Table != "" && s.GroupBy.Table != meta.Name {
+		return nil, 0, nil, false, fmt.Errorf("%w: %q", ErrNoSuchColumn, s.GroupBy)
+	}
+	gcm, err = meta.col(s.GroupBy.Name)
+	if err != nil {
+		return nil, 0, nil, false, err
+	}
+	if !gcm.queryable() {
+		return nil, 0, nil, false, fmt.Errorf("%w: GROUP BY on BLOB column %q", ErrUnsupported, gcm.Name)
+	}
+	gci = -1
+	for i := range meta.Cols {
+		if meta.Cols[i].Name == gcm.Name {
+			gci = i
+		}
+	}
+	// The aggregates to compute cover both the select list and HAVING.
+	computeItems = append([]sql.SelectItem(nil), s.Items...)
+	for _, hp := range s.Having {
+		computeItems = append(computeItems, hp.Item)
+	}
+	// Validate the select list: plain items must be the group column; every
+	// aggregate must be well-typed.
+	simpleOnly = true // aggregates all in {COUNT, SUM, AVG}
+	for i, item := range computeItems {
+		if item.Agg == sql.AggNone {
+			if i >= len(s.Items) {
+				return nil, 0, nil, false, fmt.Errorf("%w: HAVING requires an aggregate", ErrUnsupported)
+			}
+			if item.Star {
+				return nil, 0, nil, false, fmt.Errorf("%w: SELECT * with GROUP BY", ErrUnsupported)
+			}
+			if item.Col.Name != gcm.Name {
+				return nil, 0, nil, false, fmt.Errorf("%w: column %q must appear in an aggregate or in GROUP BY",
+					ErrUnsupported, item.Col)
+			}
+			continue
+		}
+		if _, _, err := meta.aggItemCol(item); err != nil {
+			return nil, 0, nil, false, err
+		}
+		if item.Agg != sql.AggCount && item.Agg != sql.AggSum && item.Agg != sql.AggAvg {
+			simpleOnly = false
+		}
+	}
+	return gcm, gci, computeItems, simpleOnly, nil
+}
+
+// renderGroups applies HAVING and renders the group list into a Result in
+// select-list order. Shared by the single-group engine and the shard
+// router's re-reduce.
+func (c *Client) renderGroups(meta *tableMeta, s *sql.Select, groups []*group, verified bool) (*Result, error) {
+	var err error
 	if len(s.Having) > 0 {
 		groups, err = c.filterHaving(meta, groups, s.Having)
 		if err != nil {
 			return nil, err
 		}
 	}
-
-	res := &Result{Verified: verified && !useProvider}
+	res := &Result{Verified: verified}
 	for _, item := range s.Items {
 		if item.Agg == sql.AggNone {
 			res.Columns = append(res.Columns, item.Col.Name)
@@ -285,6 +304,13 @@ func (c *Client) groupedLocal(meta *tableMeta, gcm *colMeta, gci int, preds []co
 	if err != nil {
 		return nil, err
 	}
+	return c.groupedFromScan(meta, gcm, gci, scan, items)
+}
+
+// groupedFromScan buckets an already-reconstructed scan by the group column
+// and computes every aggregate per bucket, in encoded-key order. The shard
+// router feeds it the merged cross-group scan.
+func (c *Client) groupedFromScan(meta *tableMeta, gcm *colMeta, gci int, scan *scanResult, items []sql.SelectItem) ([]*group, error) {
 	byKey := make(map[uint64]*group)
 	rowsByKey := make(map[uint64][]int)
 	var order []uint64

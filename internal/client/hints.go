@@ -210,8 +210,16 @@ func (c *Client) lagFloor(table string, providers []int) uint64 {
 }
 
 // PendingHints reports how many hinted mutations are queued across all
-// providers, awaiting replay by the repair loop.
+// providers, awaiting replay by the repair loop. On a shard router it sums
+// the per-group journals.
 func (c *Client) PendingHints() int {
+	if c.shards != nil {
+		total := 0
+		for _, sub := range c.shards {
+			total += sub.PendingHints()
+		}
+		return total
+	}
 	c.downMu.Lock()
 	defer c.downMu.Unlock()
 	total := 0
@@ -222,8 +230,18 @@ func (c *Client) PendingHints() int {
 }
 
 // LaggingProviders lists providers with queued hints or an unfinished
-// repair, in index order.
+// repair, in index order. On a shard router, provider indices are global:
+// group g's provider i reports as g*N+i.
 func (c *Client) LaggingProviders() []int {
+	if c.shards != nil {
+		var out []int
+		for g, sub := range c.shards {
+			for _, p := range sub.LaggingProviders() {
+				out = append(out, g*c.opts.N+p)
+			}
+		}
+		return out
+	}
 	c.downMu.Lock()
 	defer c.downMu.Unlock()
 	var out []int
@@ -236,8 +254,17 @@ func (c *Client) LaggingProviders() []int {
 }
 
 // Converged reports that no provider is lagging: every provider holds every
-// acknowledged write, so all K-subsets reconstruct identical results.
+// acknowledged write, so all K-subsets reconstruct identical results. A
+// shard router is converged only when every group is.
 func (c *Client) Converged() bool {
+	if c.shards != nil {
+		for _, sub := range c.shards {
+			if !sub.Converged() {
+				return false
+			}
+		}
+		return true
+	}
 	c.downMu.Lock()
 	defer c.downMu.Unlock()
 	for _, h := range c.hints {

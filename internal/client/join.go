@@ -337,6 +337,13 @@ func (c *Client) joinLocal(left, right *tableMeta, lcName, rcName string, items 
 	if err != nil {
 		return nil, err
 	}
+	return joinFromScans(left, right, lcName, rcName, items, lScan, rScan)
+}
+
+// joinFromScans hash-joins two reconstructed scans on typed key values —
+// the tail of joinLocal, shared with the shard router (which feeds merged
+// cross-group scans of each side).
+func joinFromScans(left, right *tableMeta, lcName, rcName string, items []joinItem, lScan, rScan *scanResult) (*Result, error) {
 	lci, rci := -1, -1
 	for ci := range left.Cols {
 		if left.Cols[ci].Name == lcName {

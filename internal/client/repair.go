@@ -62,6 +62,12 @@ func (c *Client) stopRepairLoop() {
 // and experiments use it to bound time-to-convergence measurements from
 // below instead of waiting out a probe interval.
 func (c *Client) RepairNow() {
+	if c.shards != nil {
+		for _, sub := range c.shards {
+			sub.RepairNow()
+		}
+		return
+	}
 	c.ensureRepairLoop()
 	c.kickRepair()
 }

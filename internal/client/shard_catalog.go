@@ -1,0 +1,163 @@
+package client
+
+// Sharded catalog persistence: a shard router exports one catalog file
+// covering every group — the shared schema, each group's private row-id
+// counters, and the per-table shard map (key column, map version, insert
+// sequence frontier). The group count is part of the format: importing into
+// a client opened with a different number of groups fails, which is how a
+// client detects a split (or merge) of the row space it does not understand
+// rather than silently routing to the wrong groups.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// catalogSharding is the sharding section of an exported catalog.
+type catalogSharding struct {
+	// Groups is the provider group count the row space is partitioned over.
+	Groups int `json:"groups"`
+	// Tables holds one shard-map entry per table.
+	Tables []catalogShard `json:"tables"`
+}
+
+// catalogShard is one table's shard-map entry.
+type catalogShard struct {
+	Table string `json:"table"`
+	// Column is the shard-key column; "" means insert-sequence hashing.
+	Column string `json:"column,omitempty"`
+	// Version counts shard-map generations for the table.
+	Version int `json:"version"`
+	// NextSeq is the insert-sequence frontier (sequence hashing only).
+	NextSeq uint64 `json:"next_seq,omitempty"`
+	// NextIDs[g] is group g's private next row id for the table.
+	NextIDs []uint64 `json:"next_ids"`
+}
+
+// shardExportCatalog serializes the router's catalog: group 0's schema (all
+// groups hold the same one by construction), per-group row-id counters, and
+// the shard map.
+func (c *Client) shardExportCatalog() ([]byte, error) {
+	sub0 := c.shards[0]
+	sub0.mu.RLock()
+	out := catalogFile{Version: catalogVersion}
+	names := sortedTableNames(sub0.tables)
+	for _, name := range names {
+		meta := sub0.tables[name]
+		ct := catalogTable{Name: meta.Name, Public: meta.Public}
+		for _, cm := range meta.Cols {
+			ct.Cols = append(ct.Cols, catalogColumn{
+				Name: cm.Name,
+				Type: typeNames[cm.Type],
+				Arg:  cm.Arg,
+			})
+		}
+		out.Tables = append(out.Tables, ct)
+	}
+	sub0.mu.RUnlock()
+
+	sh := &catalogSharding{Groups: len(c.shards)}
+	for i, name := range names {
+		cs := catalogShard{Table: name, NextIDs: make([]uint64, len(c.shards))}
+		c.shardMu.Lock()
+		if info := c.shardMap[name]; info != nil {
+			cs.Column = info.column
+			cs.Version = info.version
+			cs.NextSeq = info.nextSeq
+		}
+		c.shardMu.Unlock()
+		for g, sub := range c.shards {
+			sub.mu.RLock()
+			meta := sub.tables[name]
+			if meta != nil {
+				// NextID moves under insMu, like the single-group export.
+				sub.insMu.Lock()
+				cs.NextIDs[g] = meta.NextID
+				sub.insMu.Unlock()
+			}
+			sub.mu.RUnlock()
+		}
+		sh.Tables = append(sh.Tables, cs)
+		// group 0's counter doubles as the flat NextID for readability.
+		out.Tables[i].NextID = cs.NextIDs[0]
+	}
+	out.Sharding = sh
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// shardImportCatalog restores a catalog exported by shardExportCatalog into
+// a router with the identical group count: every group receives the shared
+// schema with its own row-id counter, and the router's shard map is rebuilt
+// from the sharding section.
+func (c *Client) shardImportCatalog(in *catalogFile) error {
+	sh := in.Sharding
+	if sh == nil {
+		return fmt.Errorf("%w: catalog was exported by a single-group client; import it there",
+			ErrBadSchema)
+	}
+	if sh.Groups != len(c.shards) {
+		return fmt.Errorf("%w: catalog partitions rows across %d groups but this client has %d (shard map changed; re-shard the data instead of importing)",
+			ErrBadSchema, sh.Groups, len(c.shards))
+	}
+	byTable := make(map[string]catalogShard, len(sh.Tables))
+	for _, cs := range sh.Tables {
+		byTable[cs.Table] = cs
+	}
+	infos := make(map[string]*shardInfo, len(in.Tables))
+	for _, ct := range in.Tables {
+		cs, ok := byTable[ct.Name]
+		if !ok {
+			return fmt.Errorf("%w: table %q has no shard map entry", ErrBadSchema, ct.Name)
+		}
+		if len(cs.NextIDs) != sh.Groups {
+			return fmt.Errorf("%w: table %q has %d row-id counters for %d groups",
+				ErrBadSchema, ct.Name, len(cs.NextIDs), sh.Groups)
+		}
+		info := &shardInfo{column: cs.Column, ci: -1, version: cs.Version, nextSeq: cs.NextSeq}
+		if cs.Column != "" {
+			for i, cc := range ct.Cols {
+				if cc.Name == cs.Column {
+					info.ci = i
+				}
+			}
+			if info.ci < 0 {
+				return fmt.Errorf("%w: shard key %q is not a column of table %q",
+					ErrBadSchema, cs.Column, ct.Name)
+			}
+		}
+		infos[ct.Name] = info
+	}
+
+	c.ddlMu.Lock()
+	defer c.ddlMu.Unlock()
+	// Reject before applying anywhere, so a half-known catalog cannot leave
+	// the groups' schemas forked.
+	for _, sub := range c.shards {
+		sub.mu.RLock()
+		for _, ct := range in.Tables {
+			if _, exists := sub.tables[ct.Name]; exists {
+				sub.mu.RUnlock()
+				return fmt.Errorf("%w: %q", ErrTableExists, ct.Name)
+			}
+		}
+		sub.mu.RUnlock()
+	}
+	for g, sub := range c.shards {
+		gin := catalogFile{Version: in.Version}
+		for _, ct := range in.Tables {
+			gct := ct
+			gct.NextID = byTable[ct.Name].NextIDs[g]
+			gin.Tables = append(gin.Tables, gct)
+		}
+		if err := sub.applyCatalog(&gin); err != nil {
+			return fmt.Errorf("shard group %d: %w", g, err)
+		}
+	}
+
+	c.shardMu.Lock()
+	defer c.shardMu.Unlock()
+	for name, info := range infos {
+		c.shardMap[name] = info
+	}
+	return nil
+}

@@ -341,6 +341,17 @@ type Rows struct {
 	err       error
 	finished  bool
 	delivered bool
+
+	// subRows, when non-nil, makes this iterator a shard merger: rows drain
+	// from each per-group iterator in group order (cross-group order is
+	// unspecified, like per-group scan order), a global LIMIT is enforced
+	// here, and satisfying it — or Close — cancels the undrained group
+	// streams.
+	subRows   []*Rows
+	subGroups []int
+	subIdx    int
+	remaining uint64
+	hasLimit  bool
 }
 
 // QueryRows parses and executes one SELECT, returning an iterator over its
@@ -348,6 +359,9 @@ type Rows struct {
 // form — equivalent rows in equivalent order, without materializing the
 // result (see type Rows for which query shapes stream).
 func (c *Client) QueryRows(query string) (*Rows, error) {
+	if c.shards != nil {
+		return c.shardQueryRows(query)
+	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -429,6 +443,9 @@ func (r *Rows) Next() bool {
 	if r.finished {
 		return false
 	}
+	if r.subRows != nil {
+		return r.nextSharded()
+	}
 	for r.pos >= len(r.batch.values) {
 		if r.rs == nil {
 			r.finish()
@@ -467,6 +484,33 @@ func (r *Rows) Next() bool {
 	return true
 }
 
+// nextSharded drains the per-group iterators in group order, enforcing the
+// router-level LIMIT and canceling the undrained group streams once it is
+// satisfied.
+func (r *Rows) nextSharded() bool {
+	for r.subIdx < len(r.subRows) {
+		sr := r.subRows[r.subIdx]
+		if sr.Next() {
+			r.cur = sr.Row()
+			if r.hasLimit {
+				if r.remaining--; r.remaining == 0 {
+					r.finish() // cancels the remaining group streams
+					return true
+				}
+			}
+			return true
+		}
+		if err := sr.Err(); err != nil {
+			r.err = fmt.Errorf("shard group %d: %w", r.subGroups[r.subIdx], err)
+			r.finish()
+			return false
+		}
+		r.subIdx++
+	}
+	r.finish()
+	return false
+}
+
 // fallbackBuffered re-runs the query on the buffered scan path after an
 // early stream failure, reporting whether iteration can continue.
 func (r *Rows) fallbackBuffered() bool {
@@ -501,6 +545,10 @@ func (r *Rows) finish() {
 		r.unlock()
 		r.unlock = nil
 	}
+	for _, sr := range r.subRows {
+		sr.Close()
+	}
+	r.subRows = nil
 }
 
 // Close ends iteration, cancels outstanding provider streams, and releases

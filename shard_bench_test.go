@@ -1,0 +1,112 @@
+package sssdb
+
+// Sharding benchmarks: the same total row count served by 1, 2, and 4
+// provider groups. Run with -cpu 4 to see the scatter-gather parallelism;
+// internal/bench's S4 experiment (cmd/ssbench) reports the full mixed-
+// workload scaling table.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"sssdb/internal/bench"
+)
+
+func BenchmarkS4_ShardScaling(b *testing.B) { runExperiment(b, bench.RunS4) }
+
+// newShardBenchCluster loads `rows` rows split across `groups` groups of 3
+// providers each, keyed on id.
+func newShardBenchCluster(b *testing.B, groups, rows int) *Cluster {
+	b.Helper()
+	cluster, err := OpenLocalSharded(groups, 3, Options{
+		K:         2,
+		MasterKey: []byte("bench"),
+		ShardKeys: map[string]string{"t": "id"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cluster.Close() })
+	if _, err := cluster.Client.Exec(`CREATE TABLE t (id INT, v INT)`); err != nil {
+		b.Fatal(err)
+	}
+	batch := make([][]Value, 0, 500)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, []Value{IntValue(int64(i + 1)), IntValue(int64(i * 7 % 10000))})
+		if len(batch) == 500 || i == rows-1 {
+			if _, err := cluster.Client.InsertValues("t", batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	return cluster
+}
+
+// BenchmarkShardedScan measures a full scatter-gather table scan: every
+// group scans its partition concurrently and the router concatenates.
+func BenchmarkShardedScan(b *testing.B) {
+	const rows = 4000
+	for _, groups := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("groups=%d", groups), func(b *testing.B) {
+			cluster := newShardBenchCluster(b, groups, rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cluster.Client.Exec(`SELECT id, v FROM t`)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != rows {
+					b.Fatalf("scan returned %d rows", len(res.Rows))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedPointSelect measures shard-key point lookups under
+// RunParallel: each statement routes to exactly one group, so groups
+// multiply both statement-lock and provider throughput.
+func BenchmarkShardedPointSelect(b *testing.B) {
+	const rows = 4000
+	for _, groups := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("groups=%d", groups), func(b *testing.B) {
+			cluster := newShardBenchCluster(b, groups, rows)
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					id := seq.Add(1)%rows + 1
+					if _, err := cluster.Client.Exec(
+						fmt.Sprintf(`SELECT v FROM t WHERE id = %d`, id)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkShardedInsert measures routed single-row inserts under
+// RunParallel (row-id reservation is per group, so groups insert
+// concurrently).
+func BenchmarkShardedInsert(b *testing.B) {
+	for _, groups := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("groups=%d", groups), func(b *testing.B) {
+			cluster := newShardBenchCluster(b, groups, 100)
+			var seq atomic.Int64
+			seq.Store(100)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					id := seq.Add(1)
+					if _, err := cluster.Client.Exec(
+						fmt.Sprintf(`INSERT INTO t VALUES (%d, %d)`, id, id%10000)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,495 @@
+package sssdb
+
+import (
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shardKey returns Options for a sharded fleet keyed on employees.emp.
+func shardedOpts() Options {
+	return Options{
+		K:         2,
+		MasterKey: []byte("shard key"),
+		ShardKeys: map[string]string{"emp": "id"},
+	}
+}
+
+// sortedRowStrings renders result rows as sorted strings, for comparing
+// result sets whose cross-group order is unspecified.
+func sortedRowStrings(res *Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.Format()
+		}
+		out = append(out, strings.Join(parts, ","))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rowStringsInOrder renders result rows as strings preserving row order,
+// for ORDER BY / GROUP BY comparisons.
+func rowStringsInOrder(res *Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.Format()
+		}
+		out = append(out, strings.Join(parts, ","))
+	}
+	return out
+}
+
+// TestShardedDifferential runs an identical randomized workload against a
+// single-group cluster and a 4-group sharded cluster and demands equivalent
+// results from every statement: the sharded engine must be observationally
+// indistinguishable, modulo cross-group row order.
+func TestShardedDifferential(t *testing.T) {
+	single, err := OpenLocal(3, shardedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	sharded, err := OpenLocalSharded(4, 3, shardedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	if got := sharded.Client.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+
+	// Both clients run every statement; SELECT results compare sorted
+	// unless ordered is set (ORDER BY, GROUP BY key order).
+	both := func(q string, ordered bool) {
+		t.Helper()
+		r1, err1 := single.Client.Exec(q)
+		r2, err2 := sharded.Client.Exec(q)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s:\n single err:  %v\n sharded err: %v", q, err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if r1.Affected != r2.Affected {
+			t.Fatalf("%s: affected %d vs %d", q, r1.Affected, r2.Affected)
+		}
+		if fmt.Sprint(r1.Columns) != fmt.Sprint(r2.Columns) {
+			t.Fatalf("%s: columns %v vs %v", q, r1.Columns, r2.Columns)
+		}
+		var g1, g2 []string
+		if ordered {
+			g1, g2 = rowStringsInOrder(r1), rowStringsInOrder(r2)
+		} else {
+			g1, g2 = sortedRowStrings(r1), sortedRowStrings(r2)
+		}
+		if fmt.Sprint(g1) != fmt.Sprint(g2) {
+			t.Fatalf("%s:\n single  %v\n sharded %v", q, g1, g2)
+		}
+	}
+
+	both(`CREATE TABLE emp (id INT, name VARCHAR(6), salary INT, dept INT)`, false)
+	both(`CREATE TABLE dept (dept INT, label VARCHAR(6))`, false)
+	for d := 0; d < 4; d++ {
+		both(fmt.Sprintf(`INSERT INTO dept VALUES (%d, 'D%d')`, d, d), false)
+	}
+
+	rng := mrand.New(mrand.NewSource(20260808))
+	names := []string{"AA", "BB", "CC", "DD", "EE", "FF"}
+	nextID := 1
+	for step := 0; step < 250; step++ {
+		switch op := rng.Intn(12); {
+		case op < 4: // insert a unique-id row
+			q := fmt.Sprintf(`INSERT INTO emp VALUES (%d, '%s', %d, %d)`,
+				nextID, names[rng.Intn(len(names))], rng.Intn(1000), rng.Intn(4))
+			nextID++
+			both(q, false)
+		case op < 5: // point lookup on the shard key (routes to one group)
+			both(fmt.Sprintf(`SELECT name, salary FROM emp WHERE id = %d`, 1+rng.Intn(nextID)), false)
+		case op < 6: // IN on the shard key (routes to a subset)
+			a, b := 1+rng.Intn(nextID), 1+rng.Intn(nextID)
+			both(fmt.Sprintf(`SELECT id, salary FROM emp WHERE id IN (%d, %d)`, a, b), false)
+		case op < 7: // range scan (scatter)
+			lo := rng.Intn(900)
+			both(fmt.Sprintf(`SELECT id, name FROM emp WHERE salary BETWEEN %d AND %d`, lo, lo+200), false)
+		case op < 8: // aggregates (partial merge across groups)
+			lo := rng.Intn(800)
+			both(fmt.Sprintf(
+				`SELECT COUNT(*), SUM(salary), AVG(salary), MIN(salary), MAX(salary) FROM emp WHERE salary >= %d`, lo), false)
+			both(fmt.Sprintf(`SELECT MEDIAN(salary) FROM emp WHERE salary >= %d`, lo), false)
+		case op < 9: // ORDER BY on unique key + LIMIT (deterministic order)
+			both(fmt.Sprintf(`SELECT id, salary FROM emp ORDER BY id DESC LIMIT %d`, 1+rng.Intn(8)), true)
+		case op < 10: // GROUP BY with HAVING (re-reduce across groups)
+			both(`SELECT dept, COUNT(*), SUM(salary) FROM emp GROUP BY dept HAVING COUNT(*) >= 2`, true)
+		case op < 11: // join (gather both sides, hash-join at the client)
+			both(`SELECT emp.name, dept.label FROM emp JOIN dept ON emp.dept = dept.dept WHERE emp.salary >= 500`, false)
+		default: // mutations: update by salary range, delete by point id
+			if rng.Intn(2) == 0 {
+				lo := rng.Intn(900)
+				both(fmt.Sprintf(`UPDATE emp SET salary = %d WHERE salary BETWEEN %d AND %d`,
+					rng.Intn(1000), lo, lo+40), false)
+			} else {
+				both(fmt.Sprintf(`DELETE FROM emp WHERE id = %d`, 1+rng.Intn(nextID)), false)
+			}
+		}
+	}
+	both(`SELECT COUNT(*) FROM emp`, false)
+	both(`SELECT id, name, salary, dept FROM emp`, false)
+	both(`DROP TABLE emp`, false)
+	both(`SELECT COUNT(*) FROM emp`, false) // both must report no-such-table
+}
+
+// TestShardedEmptyShards checks statements over a table whose rows land in
+// only some groups: empty groups contribute empty scans and empty aggregate
+// partials without poisoning the merge.
+func TestShardedEmptyShards(t *testing.T) {
+	cluster, err := OpenLocalSharded(4, 3, shardedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	db := cluster.Client
+	if _, err := db.Exec(`CREATE TABLE emp (id INT, name VARCHAR(6), salary INT, dept INT)`); err != nil {
+		t.Fatal(err)
+	}
+	// A single row occupies exactly one of the four groups.
+	if _, err := db.Exec(`INSERT INTO emp VALUES (7, 'ONLY', 100, 1)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`SELECT name FROM emp WHERE salary BETWEEN 0 AND 1000`)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].S != "ONLY" {
+		t.Fatalf("scan over mostly-empty shards: %v %v", res, err)
+	}
+	res, err = db.Exec(`SELECT COUNT(*), SUM(salary), MIN(salary), MAX(salary), AVG(salary) FROM emp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int64{1, 100, 100, 100, 100} {
+		if res.Rows[0][i].I != want {
+			t.Fatalf("aggregate %d = %d, want %d", i, res.Rows[0][i].I, want)
+		}
+	}
+	res, err = db.Exec(`SELECT dept, COUNT(*) FROM emp GROUP BY dept`)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][1].I != 1 {
+		t.Fatalf("group by over mostly-empty shards: %v %v", res, err)
+	}
+	// Entirely empty table: aggregates over zero groups with rows.
+	if _, err := db.Exec(`DELETE FROM emp WHERE id = 7`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Exec(`SELECT COUNT(*), SUM(salary) FROM emp`)
+	if err != nil || res.Rows[0][0].I != 0 || res.Rows[0][1].I != 0 {
+		t.Fatalf("empty-table aggregates: %v %v", res, err)
+	}
+}
+
+// TestShardedLimitStreamCancel drives QueryRows across shards with a LIMIT
+// smaller than the result: the merged iterator must deliver exactly LIMIT
+// rows and cancel the undrained group streams on both the early-stop and
+// explicit-Close paths.
+func TestShardedLimitStreamCancel(t *testing.T) {
+	cluster, err := OpenLocalSharded(2, 3, Options{K: 2, MasterKey: []byte("shard key")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	db := cluster.Client
+	if _, err := db.Exec(`CREATE TABLE t (v INT)`); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]Value, 0, 500)
+	for i := 0; i < 500; i++ {
+		rows = append(rows, []Value{IntValue(int64(i))})
+	}
+	if _, err := db.InsertValues("t", rows); err != nil {
+		t.Fatal(err)
+	}
+
+	it, err := db.QueryRows(`SELECT v FROM t LIMIT 40`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Fatalf("LIMIT 40 across shards delivered %d rows", n)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Abandon an unlimited scatter mid-iteration: Close must cancel every
+	// group stream and release the per-group statement locks (the follow-up
+	// INSERT hangs forever if it does not).
+	it, err = db.QueryRows(`SELECT v FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !it.Next() {
+			t.Fatalf("stream ended after %d rows: %v", i, it.Err())
+		}
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1000)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full drain without LIMIT sees every row exactly once.
+	it, err = db.QueryRows(`SELECT v FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n = 0
+	for it.Next() {
+		n++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if n != 501 {
+		t.Fatalf("full drain saw %d rows, want 501", n)
+	}
+}
+
+// TestShardedDegradedWriteOneGroup crashes one provider of one group under
+// a write quorum: writes keep committing everywhere, the hint backlog is
+// confined to the crashed provider's group, and repair converges only that
+// group's journal.
+func TestShardedDegradedWriteOneGroup(t *testing.T) {
+	opts := Options{
+		K:              2,
+		WriteQuorum:    2,
+		MasterKey:      []byte("shard key"),
+		RepairInterval: 20 * time.Millisecond,
+	}
+	cluster, err := OpenLocalSharded(3, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	db := cluster.Client
+	if cluster.NumGroups() != 3 || cluster.NumProviders() != 9 {
+		t.Fatalf("cluster shape: %d groups, %d providers", cluster.NumGroups(), cluster.NumProviders())
+	}
+	if _, err := db.Exec(`CREATE TABLE t (v INT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	cluster.CrashProviderAt(1, 2) // provider 2 of group 1
+	for i := 0; i < 60; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, i)); err != nil {
+			t.Fatalf("degraded insert %d: %v", i, err)
+		}
+	}
+	res, err := db.Exec(`SELECT COUNT(*) FROM t`)
+	if err != nil || res.Rows[0][0].I != 60 {
+		t.Fatalf("count under one degraded group: %v %v", res, err)
+	}
+	if db.PendingHints() == 0 {
+		t.Fatal("no hints queued for the crashed provider")
+	}
+	lagging := db.LaggingProviders()
+	if len(lagging) != 1 || lagging[0] != 1*3+2 {
+		t.Fatalf("lagging = %v, want [5] (group 1, provider 2)", lagging)
+	}
+	if db.Converged() {
+		t.Fatal("converged while a provider lags")
+	}
+
+	cluster.RecoverProviderAt(1, 2)
+	db.RepairNow()
+	deadline := time.Now().Add(10 * time.Second)
+	for !db.Converged() {
+		if time.Now().After(deadline) {
+			t.Fatalf("repair did not converge; %d hints pending", db.PendingHints())
+		}
+		time.Sleep(10 * time.Millisecond)
+		db.RepairNow()
+	}
+	if db.PendingHints() != 0 {
+		t.Fatalf("%d hints left after convergence", db.PendingHints())
+	}
+	res, err = db.Exec(`SELECT COUNT(*) FROM t VERIFIED`)
+	if err != nil || res.Rows[0][0].I != 60 {
+		t.Fatalf("verified count after repair: %v %v", res, err)
+	}
+}
+
+// TestShardedCorruptionConfinedToGroup corrupts a provider in one group and
+// audits: the report must identify it under the flat global numbering.
+func TestShardedCorruptionConfinedToGroup(t *testing.T) {
+	cluster, err := OpenLocalSharded(2, 4, Options{K: 2, MasterKey: []byte("shard key")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	db := cluster.Client
+	if _, err := db.Exec(`CREATE TABLE t (v INT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster.CorruptProviderAt(1, 3, true)
+	rep, err := db.Audit("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows != 40 {
+		t.Fatalf("audit rows = %d", rep.Rows)
+	}
+	if len(rep.Faulty) != 1 || rep.Faulty[0] != 1*4+3 {
+		t.Fatalf("faulty = %v, want [7] (group 1, provider 3)", rep.Faulty)
+	}
+	cluster.CorruptProviderAt(1, 3, false)
+	rep, err = db.Audit("t")
+	if err != nil || len(rep.Faulty) != 0 {
+		t.Fatalf("audit after restoring honesty: %v %v", rep, err)
+	}
+}
+
+// TestShardedCatalogRoundTrip exports a sharded catalog and imports it into
+// a fresh router over the same providers: queries resume, inserts get fresh
+// row ids, and the shard key keeps routing. A mismatched group count — a
+// split the client does not understand — is rejected.
+func TestShardedCatalogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dirs := make([]string, 8)
+	for i := range dirs {
+		dirs[i] = fmt.Sprintf("%s/p%d", dir, i)
+		if err := mkdir(dirs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := shardedOpts()
+	opts.Shards = 4
+	cluster, err := OpenLocalDirs(dirs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := cluster.Client
+	if _, err := db.Exec(`CREATE TABLE emp (id INT, name VARCHAR(6), salary INT, dept INT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO emp VALUES (%d, 'E%d', %d, 0)`, i, i, i*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := db.ExportCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cluster2, err := OpenLocalDirs(dirs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster2.Close()
+	db2 := cluster2.Client
+	if err := db2.ImportCatalog(blob); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db2.Exec(`SELECT name FROM emp WHERE id = 13`)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].S != "E13" {
+		t.Fatalf("point lookup after import: %v %v", res, err)
+	}
+	if _, err := db2.Exec(`INSERT INTO emp VALUES (21, 'E21', 2100, 0)`); err != nil {
+		t.Fatalf("insert after import: %v", err)
+	}
+	res, err = db2.Exec(`SELECT COUNT(*) FROM emp`)
+	if err != nil || res.Rows[0][0].I != 21 {
+		t.Fatalf("count after import: %v %v", res, err)
+	}
+
+	// A 2-group client must refuse the 4-group catalog (split detection).
+	half, err := OpenLocalSharded(2, 3, shardedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer half.Close()
+	if err := half.Client.ImportCatalog(blob); err == nil {
+		t.Fatal("importing a 4-group catalog into a 2-group client succeeded")
+	}
+	// And a single-group client must refuse it too.
+	solo, err := OpenLocal(3, shardedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solo.Close()
+	if err := solo.Client.ImportCatalog(blob); err == nil {
+		t.Fatal("importing a sharded catalog into a single-group client succeeded")
+	}
+}
+
+// TestShardedRoutingSurface covers the router's statement surface: EXPLAIN
+// announces the routing decision, UPDATE of the shard key is rejected, and
+// unknown tables fail identically.
+func TestShardedRoutingSurface(t *testing.T) {
+	cluster, err := OpenLocalSharded(4, 3, shardedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	db := cluster.Client
+	if _, err := db.Exec(`CREATE TABLE emp (id INT, name VARCHAR(6), salary INT, dept INT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := func(q string) string {
+		res, err := db.Exec(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		var b strings.Builder
+		for _, row := range res.Rows {
+			b.WriteString(row[0].S)
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	if p := plan(`EXPLAIN SELECT name FROM emp WHERE id = 42`); !strings.Contains(p, "routes to group") {
+		t.Fatalf("point plan missing routing line:\n%s", p)
+	}
+	if p := plan(`EXPLAIN SELECT name FROM emp WHERE salary > 10`); !strings.Contains(p, "scatter-gather across 4 groups") {
+		t.Fatalf("scatter plan missing scatter line:\n%s", p)
+	}
+	if p := plan(`EXPLAIN SELECT name FROM emp WHERE id IN (1, 2, 3)`); !strings.Contains(p, "groups") {
+		t.Fatalf("IN plan missing routing line:\n%s", p)
+	}
+
+	if _, err := db.Exec(`UPDATE emp SET id = 9 WHERE salary = 10`); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("shard-key update: %v", err)
+	}
+	if _, err := db.Exec(`UPDATE emp SET salary = 9 WHERE id = 3`); err != nil {
+		t.Fatalf("non-key update: %v", err)
+	}
+	if _, err := db.Exec(`SELECT * FROM missing`); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("missing table: %v", err)
+	}
+	if tables := db.Tables(); len(tables) != 1 || tables[0] != "emp" {
+		t.Fatalf("Tables() = %v", tables)
+	}
+}

@@ -127,7 +127,10 @@ func OpenTimeout(addrs []string, opts Options, timeout time.Duration) (*Client, 
 	return OpenWith(addrs, opts, DialConfig{Timeout: timeout})
 }
 
-// OpenWith is Open with full transport configuration.
+// OpenWith is Open with full transport configuration. When Options.Shards
+// is greater than 1, addrs must hold Shards equal-sized provider groups
+// laid out consecutively (group 0's providers first, then group 1's, ...)
+// and the returned client is a shard router.
 func OpenWith(addrs []string, opts Options, dc DialConfig) (*Client, error) {
 	tc := transport.DialConfig{
 		Timeout:          dc.Timeout,
@@ -145,7 +148,32 @@ func OpenWith(addrs []string, opts Options, dc DialConfig) (*Client, error) {
 		}
 		conns = append(conns, conn)
 	}
+	if opts.Shards > 1 {
+		groups, err := splitGroups(conns, opts.Shards)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		return client.NewSharded(groups, opts)
+	}
 	return client.New(conns, opts)
+}
+
+// splitGroups partitions a flat consecutive connection list into shards
+// equal provider groups.
+func splitGroups(conns []transport.Conn, shards int) ([][]transport.Conn, error) {
+	if len(conns)%shards != 0 {
+		return nil, fmt.Errorf("sssdb: %d providers do not divide into %d equal shard groups",
+			len(conns), shards)
+	}
+	per := len(conns) / shards
+	groups := make([][]transport.Conn, shards)
+	for g := range groups {
+		groups[g] = conns[g*per : (g+1)*per]
+	}
+	return groups, nil
 }
 
 // Cluster is an in-process deployment: n provider engines plus a connected
@@ -158,17 +186,28 @@ type Cluster struct {
 	Client *Client
 	stores []*store.Store
 	faults []*transport.FaultyConn
+	// groupSize is the providers-per-group count of a sharded cluster (equal
+	// to the total provider count when unsharded). Provider (g, i) sits at
+	// flat index g*groupSize+i in stores and faults.
+	groupSize int
 }
 
-// CrashProvider makes provider i unreachable until RecoverProvider.
+// CrashProvider makes provider i (flat index) unreachable until
+// RecoverProvider.
 func (c *Cluster) CrashProvider(i int) { c.faults[i].Crash() }
 
 // RecoverProvider brings a crashed provider back.
 func (c *Cluster) RecoverProvider(i int) { c.faults[i].Recover() }
 
-// CorruptProvider makes provider i malicious: it flips bits in every field
-// share it returns (on=false restores honesty). Verified queries and Audit
-// detect and identify it.
+// CrashProviderAt crashes provider i of shard group g.
+func (c *Cluster) CrashProviderAt(g, i int) { c.CrashProvider(g*c.groupSize + i) }
+
+// RecoverProviderAt recovers provider i of shard group g.
+func (c *Cluster) RecoverProviderAt(g, i int) { c.RecoverProvider(g*c.groupSize + i) }
+
+// CorruptProvider makes provider i (flat index) malicious: it flips bits in
+// every field share it returns (on=false restores honesty). Verified
+// queries and Audit detect and identify it.
 func (c *Cluster) CorruptProvider(i int, on bool) {
 	if !on {
 		c.faults[i].SetCorrupter(nil)
@@ -188,23 +227,46 @@ func (c *Cluster) CorruptProvider(i int, on bool) {
 	})
 }
 
-// NumProviders returns the cluster size.
+// CorruptProviderAt corrupts provider i of shard group g.
+func (c *Cluster) CorruptProviderAt(g, i int, on bool) {
+	c.CorruptProvider(g*c.groupSize+i, on)
+}
+
+// NumProviders returns the total provider count across all groups.
 func (c *Cluster) NumProviders() int { return len(c.stores) }
 
-// OpenLocal starts n in-memory providers and connects a client.
+// NumGroups returns the shard group count (1 when unsharded).
+func (c *Cluster) NumGroups() int { return len(c.stores) / c.groupSize }
+
+// OpenLocal starts n in-memory providers and connects a client. When
+// opts.Shards is greater than 1, n is the per-group provider count and
+// Shards groups of n providers each are started behind a shard router.
 func OpenLocal(n int, opts Options) (*Cluster, error) {
-	return openLocal(make([]string, n), opts)
+	total := n
+	if opts.Shards > 1 {
+		total = n * opts.Shards
+	}
+	return openLocal(make([]string, total), opts)
+}
+
+// OpenLocalSharded starts `groups` provider groups of perGroup in-memory
+// providers each and connects a shard router that hash-partitions every
+// table's rows across the groups. opts.Shards is overridden with groups.
+func OpenLocalSharded(groups, perGroup int, opts Options) (*Cluster, error) {
+	opts.Shards = groups
+	return openLocal(make([]string, groups*perGroup), opts)
 }
 
 // OpenLocalDirs starts one durable provider per directory (state persists
 // across restarts via each provider's snapshot + write-ahead log) and
-// connects a client.
+// connects a client. With opts.Shards > 1 the directories are split into
+// Shards consecutive equal groups.
 func OpenLocalDirs(dirs []string, opts Options) (*Cluster, error) {
 	return openLocal(dirs, opts)
 }
 
 func openLocal(dirs []string, opts Options) (*Cluster, error) {
-	cl := &Cluster{}
+	cl := &Cluster{groupSize: len(dirs)}
 	conns := make([]transport.Conn, 0, len(dirs))
 	for _, dir := range dirs {
 		st, err := store.Open(dir)
@@ -216,6 +278,21 @@ func openLocal(dirs []string, opts Options) (*Cluster, error) {
 		fc := transport.NewFaulty(transport.NewLocal(server.New(st)))
 		cl.faults = append(cl.faults, fc)
 		conns = append(conns, fc)
+	}
+	if opts.Shards > 1 {
+		groups, err := splitGroups(conns, opts.Shards)
+		if err != nil {
+			cl.closeStores()
+			return nil, err
+		}
+		cl.groupSize = len(dirs) / opts.Shards
+		c, err := client.NewSharded(groups, opts)
+		if err != nil {
+			cl.closeStores()
+			return nil, err
+		}
+		cl.Client = c
+		return cl, nil
 	}
 	c, err := client.New(conns, opts)
 	if err != nil {
