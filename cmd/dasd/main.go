@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	dasd -listen 127.0.0.1:7001 -dir /var/lib/dasd1
+//	dasd -listen 127.0.0.1:7001 -dir /var/lib/dasd1 -cache-bytes 67108864
 //
-// With -dir, state is durable (snapshot + write-ahead log, recovered on
-// restart); without it the provider is memory-only. The provider never
-// holds keys or plaintext: everything it stores is shares and opaque
-// payloads.
+// With -dir, state is durable (paged row heap + write-ahead log with
+// incremental checkpoints, recovered on restart); without it the provider
+// is memory-only. -cache-bytes bounds resident page memory, so tables much
+// larger than RAM stay servable — cold pages fault in from disk on demand.
+// The provider never holds keys or plaintext: everything it stores is
+// shares and opaque payloads.
 package main
 
 import (
@@ -28,7 +30,8 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7001", "address to serve the provider protocol on")
 	dir := flag.String("dir", "", "data directory (empty = memory-only)")
-	compactOnStart := flag.Bool("compact", false, "write a snapshot and truncate the WAL after recovery")
+	checkpointOnStart := flag.Bool("checkpoint", false, "checkpoint and truncate the WAL after recovery")
+	cacheBytes := flag.Int64("cache-bytes", 0, "page cache budget in bytes (0 = default, <0 unbounded)")
 	inflight := flag.Int("inflight", 0, "max concurrent requests per connection (0 = default)")
 	chunk := flag.Int("chunk", 0, "streamed row-frame chunk size in bytes (0 = default, <0 disables streaming)")
 	flag.Parse()
@@ -38,14 +41,14 @@ func main() {
 			log.Fatalf("dasd: creating data dir: %v", err)
 		}
 	}
-	st, err := store.Open(*dir)
+	st, err := store.OpenOptions(*dir, store.Options{CacheBytes: *cacheBytes})
 	if err != nil {
 		log.Fatalf("dasd: opening store: %v", err)
 	}
 	defer st.Close()
-	if *compactOnStart {
-		if err := st.Compact(); err != nil {
-			log.Fatalf("dasd: compacting: %v", err)
+	if *checkpointOnStart {
+		if err := st.Checkpoint(); err != nil {
+			log.Fatalf("dasd: checkpointing: %v", err)
 		}
 	}
 	ln, err := net.Listen("tcp", *listen)
@@ -66,8 +69,8 @@ func main() {
 		log.Printf("dasd: closing server: %v", err)
 	}
 	if *dir != "" {
-		if err := st.Compact(); err != nil {
-			log.Printf("dasd: final compaction: %v", err)
+		if err := st.Checkpoint(); err != nil {
+			log.Printf("dasd: final checkpoint: %v", err)
 		}
 	}
 }

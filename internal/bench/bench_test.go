@@ -347,6 +347,23 @@ func TestS4ShardScaling(t *testing.T) {
 	}
 }
 
+// S5 shape: three rows at 1x/4x/10x of the cache budget. The runner
+// itself asserts resident bytes stay within budget; here check the cache
+// actually pages — no evictions when the table fits, churn when it
+// doesn't.
+func TestS5PagedStorage(t *testing.T) {
+	s5 := runQuick(t, RunS5)
+	if len(s5.Rows) != 3 || s5.Rows[0][0] != "1x" || s5.Rows[2][0] != "10x" {
+		t.Fatalf("S5 shape: %v", s5.Rows)
+	}
+	if s5.Rows[0][6] != "0" {
+		t.Fatalf("1x config evicted pages despite the table fitting: %v", s5.Rows[0])
+	}
+	if s5.Rows[1][6] == "0" || s5.Rows[2][6] == "0" {
+		t.Fatalf("over-budget configs evicted nothing: %v", s5.Rows[1:])
+	}
+}
+
 func TestRunAllPrints(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")

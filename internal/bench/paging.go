@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"os"
+
+	"sssdb/internal/client"
+	"sssdb/internal/server"
+	"sssdb/internal/store"
+	"sssdb/internal/transport"
+	"sssdb/internal/workload"
+)
+
+// newDurableFleet is newFleet over file-backed providers: one directory
+// per provider, each opened with the given storage options. The caller
+// owns closing the stores (fleet.Close only closes the client).
+func newDurableFleet(dirs []string, storeOpts store.Options, k int, opts client.Options) (*fleet, error) {
+	f := &fleet{}
+	for _, dir := range dirs {
+		st, err := store.OpenOptions(dir, storeOpts)
+		if err != nil {
+			return nil, err
+		}
+		f.stores = append(f.stores, st)
+		fc := transport.NewFaulty(transport.NewLocal(server.New(st)))
+		f.faults = append(f.faults, fc)
+		f.conns = append(f.conns, fc)
+	}
+	opts.K = k
+	if len(opts.MasterKey) == 0 {
+		opts.MasterKey = []byte("bench master key")
+	}
+	c, err := client.New(f.conns, opts)
+	if err != nil {
+		for _, st := range f.stores {
+			st.Close()
+		}
+		return nil, err
+	}
+	f.client = c
+	return f, nil
+}
+
+func (f *fleet) closeStores() {
+	for _, st := range f.stores {
+		st.Close()
+	}
+}
+
+// RunS5 is the bigger-than-RAM storage study: the same employee table
+// served with provider page caches sized at 1x, 1/4x, and 1/10x the
+// table (so the table is 1x, 4x, and 10x the cache budget), measuring
+// full-scan latency, a 50/50 read/update workload, and each provider's
+// actual resident bytes. The paper's service model promises "storage
+// without the hardware"; a provider whose memory must fit its tables
+// caps exactly the workloads worth outsourcing, so the page cache has to
+// bound memory while the heap spills to disk.
+func RunS5(scale Scale) (*Table, error) {
+	const nProviders, k = 3, 2
+	nRows := scale.pick(5_000, 25_000)
+	mixedOps := scale.pick(200, 800)
+
+	dirs := make([]string, nProviders)
+	for i := range dirs {
+		d, err := os.MkdirTemp("", "sssdb-s5-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dirs[i] = d
+	}
+
+	// Load once with an unbounded cache: afterwards every page is resident,
+	// so ResidentBytes is the exact encoded table size per provider.
+	base := store.Options{PageBytes: 4 << 10, CacheBytes: -1, CheckpointInterval: -1}
+	f, err := newDurableFleet(dirs, base, k, client.Options{})
+	if err != nil {
+		return nil, err
+	}
+	emp := workload.GenEmployees(nRows, 100_000, 20, 517)
+	if _, err := f.client.Exec(workload.EmployeesSchema); err == nil {
+		err = f.load("employees", emp.Rows)
+	}
+	if err == nil {
+		for _, st := range f.stores {
+			if cerr := st.Checkpoint(); cerr != nil {
+				err = cerr
+				break
+			}
+		}
+	}
+	var catalog []byte
+	if err == nil {
+		// A fresh client session holds no schema metadata; each reopened
+		// fleet below resumes from the exported catalog.
+		catalog, err = f.client.ExportCatalog()
+	}
+	var tableBytes uint64
+	for _, st := range f.stores {
+		if b := st.Stats().ResidentBytes; b > tableBytes {
+			tableBytes = b
+		}
+	}
+	f.Close()
+	f.closeStores()
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "S5",
+		Title: fmt.Sprintf("supplementary: paged storage at 1x/4x/10x cache budget (%d rows, %s/provider, n=%d, k=%d)", nRows, fmtBytes(tableBytes), nProviders, k),
+		PaperClaim: "outsourced storage must not be capped by provider RAM: tables " +
+			"larger than memory stay servable with bounded resident bytes",
+		Header: []string{"table/cache", "budget", "full scan", "mixed 50/50", "resident", "hit rate", "evictions"},
+	}
+
+	for _, ratio := range []uint64{1, 4, 10} {
+		budget := int64(tableBytes / ratio)
+		opts := base
+		opts.CacheBytes = budget
+		f, err := newDurableFleet(dirs, opts, k, client.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := f.client.ImportCatalog(catalog); err != nil {
+			f.Close()
+			f.closeStores()
+			return nil, err
+		}
+		scanDur, err := timeIt(func() error {
+			res, err := f.client.Exec(`SELECT name, salary, dept FROM employees`)
+			if err != nil {
+				return err
+			}
+			if len(res.Rows) != nRows {
+				return fmt.Errorf("S5: scan saw %d rows, want %d", len(res.Rows), nRows)
+			}
+			return nil
+		})
+		var mixedDur = scanDur
+		if err == nil {
+			rng := mrand.New(mrand.NewSource(91))
+			mixedDur, err = timeIt(func() error {
+				for i := 0; i < mixedOps; i++ {
+					lo := rng.Int63n(99_000)
+					var q string
+					if i%2 == 0 {
+						q = fmt.Sprintf(`SELECT name FROM employees WHERE salary BETWEEN %d AND %d`, lo, lo+500)
+					} else {
+						q = fmt.Sprintf(`UPDATE employees SET dept = %d WHERE salary BETWEEN %d AND %d`, rng.Int63n(20), lo, lo+100)
+					}
+					if _, err := f.client.Exec(q); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		var peak cacheTotals
+		for _, st := range f.stores {
+			s := st.Stats()
+			if s.ResidentBytes > peak.resident {
+				peak.resident = s.ResidentBytes
+			}
+			peak.hits += s.CacheHits
+			peak.misses += s.CacheMisses
+			peak.evictions += s.Evictions
+		}
+		f.Close()
+		f.closeStores()
+		if err != nil {
+			return nil, err
+		}
+		if peak.resident > uint64(budget)+uint64(base.PageBytes) {
+			return nil, fmt.Errorf("S5: resident %d bytes exceeds %d budget", peak.resident, budget)
+		}
+		hitRate := 0.0
+		if peak.hits+peak.misses > 0 {
+			hitRate = float64(peak.hits) / float64(peak.hits+peak.misses)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx", ratio), fmtBytes(uint64(budget)),
+			fmtDur(scanDur), fmtDur(mixedDur),
+			fmtBytes(peak.resident), fmt.Sprintf("%.1f%%", hitRate*100),
+			fmt.Sprintf("%d", peak.evictions),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"each provider's resident page bytes stay within its cache budget at every ratio (asserted)",
+		"full scans past the budget fault every page through the cache; a table just over budget thrashes worst (LRU sequential flooding)",
+		"mixed-workload hit rate degrades with the budget: at 1x it serves from memory, at 10x most point ranges fault — but the table stays fully servable")
+	return t, nil
+}
+
+// cacheTotals accumulates per-provider cache stats for one S5 configuration.
+type cacheTotals struct {
+	resident, hits, misses, evictions uint64
+}

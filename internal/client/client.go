@@ -165,6 +165,11 @@ type Client struct {
 	// and the repair loop owns bringing it back in sync.
 	hints []*hintJournal
 
+	// statMu guards provStat: the last storage StatsResponse each provider
+	// returned to a repair-loop ping probe (nil until first probed).
+	statMu   sync.Mutex
+	provStat []*proto.StatsResponse
+
 	// repairMu guards the repair loop's lifecycle state below.
 	repairMu      sync.Mutex
 	repairRunning bool
@@ -300,6 +305,7 @@ func New(conns []transport.Conn, opts Options) (*Client, error) {
 		aead:     aead,
 		down:     make([]bool, opts.N),
 		hints:    hints,
+		provStat: make([]*proto.StatsResponse, opts.N),
 		pending:  make(map[string]map[uint64][]Value),
 		inflight: make(map[string]map[uint64]uint64),
 	}

@@ -110,7 +110,8 @@ func (c *Client) repairLoop(kick, stop, done chan struct{}) {
 			// provider that cannot even answer a ping backs the probe off
 			// exponentially (capped at 64x the base interval) so a long
 			// outage does not burn a connection attempt every tick.
-			if _, err := c.call(p, &proto.PingRequest{}); err != nil {
+			resp, err := c.call(p, &proto.PingRequest{})
+			if err != nil {
 				st.failures++
 				shift := st.failures
 				if shift > 6 {
@@ -119,11 +120,35 @@ func (c *Client) repairLoop(kick, stop, done chan struct{}) {
 				st.next = time.Now().Add(c.opts.RepairInterval << shift)
 				continue
 			}
+			c.recordStats(p, resp)
 			st.failures = 0
 			st.next = time.Time{}
 			c.repairProvider(p, stop)
 		}
 	}
+}
+
+// recordStats stores the storage stats a provider attached to a ping
+// reply. Old servers answer pings with a bare OK; those are ignored.
+func (c *Client) recordStats(p int, resp proto.Message) {
+	st, ok := resp.(*proto.StatsResponse)
+	if !ok {
+		return
+	}
+	c.statMu.Lock()
+	c.provStat[p] = st
+	c.statMu.Unlock()
+}
+
+// ProviderStats returns the last storage stats each provider reported to a
+// repair-loop probe. Entries are nil for providers never probed (healthy
+// providers are not pinged, so a fully in-sync cluster reports all nil).
+func (c *Client) ProviderStats() []*proto.StatsResponse {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	out := make([]*proto.StatsResponse, len(c.provStat))
+	copy(out, c.provStat)
+	return out
 }
 
 // peekHint returns (without removing) the head of provider p's journal.

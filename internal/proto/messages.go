@@ -30,6 +30,7 @@ const (
 	KTables
 	KGroupResult
 	KTableState
+	KStats
 )
 
 // Message is anything that can travel in a frame.
@@ -262,6 +263,62 @@ type OKResponse struct {
 func (*OKResponse) Kind() Kind            { return KOK }
 func (m *OKResponse) marshal(w *writer)   { w.uvarint(m.Affected) }
 func (m *OKResponse) unmarshal(r *reader) { m.Affected = r.uvarint() }
+
+// StatsResponse answers a ping with the provider's storage state: how much
+// of the page cache is in use, how effective it is, and how far the WAL has
+// run ahead of the last checkpoint. The client's repair loop reads it on
+// every probe, so provider memory pressure and checkpoint lag are visible
+// without a separate stats round-trip.
+type StatsResponse struct {
+	Tables        uint64
+	Rows          uint64
+	Pages         uint64 // page-directory entries across all tables
+	ResidentPages uint64 // pages currently decoded in the cache
+	ResidentBytes uint64 // exact encoded bytes of resident pages
+	CacheBudget   uint64 // 0 = unbounded
+	CacheHits     uint64
+	CacheMisses   uint64
+	Evictions     uint64
+	Writebacks    uint64
+	WALRecords    uint64 // last appended LSN
+	CheckpointLSN uint64 // LSN the durable manifest covers
+	CheckpointLag uint64 // records a restart would replay right now
+	Checkpoints   uint64
+}
+
+func (*StatsResponse) Kind() Kind { return KStats }
+func (m *StatsResponse) marshal(w *writer) {
+	w.uvarint(m.Tables)
+	w.uvarint(m.Rows)
+	w.uvarint(m.Pages)
+	w.uvarint(m.ResidentPages)
+	w.uvarint(m.ResidentBytes)
+	w.uvarint(m.CacheBudget)
+	w.uvarint(m.CacheHits)
+	w.uvarint(m.CacheMisses)
+	w.uvarint(m.Evictions)
+	w.uvarint(m.Writebacks)
+	w.uvarint(m.WALRecords)
+	w.uvarint(m.CheckpointLSN)
+	w.uvarint(m.CheckpointLag)
+	w.uvarint(m.Checkpoints)
+}
+func (m *StatsResponse) unmarshal(r *reader) {
+	m.Tables = r.uvarint()
+	m.Rows = r.uvarint()
+	m.Pages = r.uvarint()
+	m.ResidentPages = r.uvarint()
+	m.ResidentBytes = r.uvarint()
+	m.CacheBudget = r.uvarint()
+	m.CacheHits = r.uvarint()
+	m.CacheMisses = r.uvarint()
+	m.Evictions = r.uvarint()
+	m.Writebacks = r.uvarint()
+	m.WALRecords = r.uvarint()
+	m.CheckpointLSN = r.uvarint()
+	m.CheckpointLag = r.uvarint()
+	m.Checkpoints = r.uvarint()
+}
 
 // ErrorResponse reports a provider-side failure.
 type ErrorResponse struct {
@@ -506,6 +563,8 @@ func newMessage(k Kind) (Message, error) {
 		return &GroupResult{}, nil
 	case KTableState:
 		return &TableStateRequest{}, nil
+	case KStats:
+		return &StatsResponse{}, nil
 	default:
 		return nil, fmt.Errorf("proto: unknown message kind %d", k)
 	}

@@ -63,6 +63,13 @@ func allMessages() []Message {
 		&DigestResult{Root: []byte{1, 2, 3, 4}, Count: 1000},
 		&TablesResponse{Specs: []TableSpec{spec}},
 		&TablesResponse{},
+		&StatsResponse{
+			Tables: 3, Rows: 1 << 40, Pages: 77, ResidentPages: 12,
+			ResidentBytes: 64 << 10, CacheBudget: 64 << 20,
+			CacheHits: 100, CacheMisses: 9, Evictions: 4, Writebacks: 2,
+			WALRecords: 55, CheckpointLSN: 50, CheckpointLag: 5, Checkpoints: 1,
+		},
+		&StatsResponse{},
 	}
 }
 

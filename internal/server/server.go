@@ -73,7 +73,25 @@ func (p *Provider) HandleStream(req proto.Message, emit func(*proto.RowsResponse
 func (p *Provider) Handle(req proto.Message) proto.Message {
 	switch m := req.(type) {
 	case *proto.PingRequest:
-		return &proto.OKResponse{}
+		// Pings double as storage-stats probes: the repair loop reads cache
+		// pressure and checkpoint lag from every liveness check.
+		st := p.store.Stats()
+		return &proto.StatsResponse{
+			Tables:        uint64(st.Tables),
+			Rows:          st.Rows,
+			Pages:         st.Pages,
+			ResidentPages: st.ResidentPages,
+			ResidentBytes: st.ResidentBytes,
+			CacheBudget:   st.CacheBudget,
+			CacheHits:     st.CacheHits,
+			CacheMisses:   st.CacheMisses,
+			Evictions:     st.Evictions,
+			Writebacks:    st.Writebacks,
+			WALRecords:    st.WALRecords,
+			CheckpointLSN: st.CheckpointLSN,
+			CheckpointLag: st.CheckpointLag,
+			Checkpoints:   st.Checkpoints,
+		}
 	case *proto.CreateTableRequest:
 		if err := p.store.CreateTable(m.Spec); err != nil {
 			return errResponse(err)

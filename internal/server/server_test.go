@@ -54,8 +54,12 @@ func TestHandleFullLifecycle(t *testing.T) {
 		return resp
 	}
 
-	if _, ok := call(&proto.PingRequest{}).(*proto.OKResponse); !ok {
+	stats, ok := call(&proto.PingRequest{}).(*proto.StatsResponse)
+	if !ok {
 		t.Fatal("ping failed")
+	}
+	if stats.Tables != 0 || stats.Rows != 0 {
+		t.Fatalf("fresh store reported tables=%d rows=%d", stats.Tables, stats.Rows)
 	}
 	if _, ok := call(&proto.CreateTableRequest{Spec: spec()}).(*proto.OKResponse); !ok {
 		t.Fatal("create failed")

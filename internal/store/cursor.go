@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 
@@ -15,16 +16,19 @@ const DefaultCursorBatchBytes = 256 << 10
 // ScanCursor iterates a scan in bounded batches instead of materializing
 // the whole result set under the store lock. The cursor holds the store
 // lock only while assembling one batch: between batches, concurrent
-// mutations proceed freely. Index-order cursors re-seek the B+-tree at the
-// last emitted composite key, so rows inserted behind the cursor are
-// skipped and rows inserted ahead are observed — exactly the semantics of
-// the client's stable-watermark filtering, which hides in-flight inserts by
-// row id. Id-order cursors snapshot the matching row ids at open (ids are
-// 8 bytes per row — bounded memory, unlike cells) and fetch cells batch by
-// batch.
+// mutations proceed freely — including checkpoints and page eviction, which
+// the cursor tolerates because it holds no page reference across batches.
+// Index-order cursors re-seek the B+-tree at the last emitted composite
+// key, so rows inserted behind the cursor are skipped and rows inserted
+// ahead are observed — exactly the semantics of the client's
+// stable-watermark filtering, which hides in-flight inserts by row id.
+// Heap-order cursors resume at the page directory after the last scanned
+// row id, faulting each page in on demand, so a full scan of a
+// bigger-than-cache table never holds more than the cache budget resident.
 //
-// Returned batches alias table cell storage; see the immutability invariant
-// on copyRow.
+// Returned batches alias page cell storage; see the immutability invariant
+// on copyRow — cells stay valid after the lock is released and even after
+// the page is evicted.
 type ScanCursor struct {
 	s    *Store
 	name string
@@ -38,9 +42,12 @@ type ScanCursor struct {
 	nextKey []byte
 	endKey  []byte
 
-	// Id-order state: ids snapshotted at open.
-	ids []uint64
-	pos int
+	// Heap-order state: resume the page walk after the last scanned row id.
+	// filterCol is the cell index an unindexed filter compares (-1 = none).
+	filterCol int
+	lo, hi    []byte
+	afterID   uint64
+	started   bool
 
 	// remaining counts rows the limit still allows (^0 = unlimited).
 	remaining  uint64
@@ -52,9 +59,9 @@ const unlimitedRows = ^uint64(0)
 
 // OpenCursor validates the scan and returns a cursor over its result.
 // Filters on an indexed column iterate the index incrementally; everything
-// else snapshots the matching id set at open. A non-zero limit caps the
-// total rows emitted (and stops provider-side index walking early);
-// batchBytes bounds one batch's row payload (0 means
+// else walks the row heap page by page, applying the filter inline. A
+// non-zero limit caps the total rows emitted (and stops provider-side
+// walking early); batchBytes bounds one batch's row payload (0 means
 // DefaultCursorBatchBytes). Proof-carrying scans have no cursor form: a
 // Merkle completeness proof covers the whole result, so verified reads use
 // the buffered Scan.
@@ -77,6 +84,7 @@ func (s *Store) OpenCursor(name string, f *proto.Filter, projection []string, li
 		name:       name,
 		cols:       cols,
 		colIdx:     colIdx,
+		filterCol:  -1,
 		remaining:  unlimitedRows,
 		batchBytes: batchBytes,
 	}
@@ -84,37 +92,24 @@ func (s *Store) OpenCursor(name string, f *proto.Filter, projection []string, li
 		cur.remaining = limit
 	}
 	if f != nil {
-		ci := t.spec.ColumnIndex(f.Col)
-		if ci < 0 {
-			return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, f.Col)
+		ci, lo, hi, err := t.filterBounds(f)
+		if err != nil {
+			return nil, err
 		}
-		if t.spec.Columns[ci].Kind == proto.KindField {
-			return nil, fmt.Errorf("%w: cannot filter on field-share column %q", ErrBadRequest, f.Col)
-		}
-		var lo, hi []byte
-		switch f.Op {
-		case proto.FilterEq:
-			lo, hi = f.Lo, f.Lo
-		case proto.FilterRange:
-			lo, hi = f.Lo, f.Hi
-		default:
-			return nil, fmt.Errorf("%w: unknown filter op %d", ErrBadRequest, f.Op)
-		}
-		if _, ok := t.indexes[f.Col]; ok {
+		if t.spec.Columns[ci].Indexed {
+			if _, err := t.ensureIndexes(); err != nil {
+				return nil, err
+			}
 			cur.indexed = true
 			cur.idxCol = f.Col
 			cur.nextKey = indexKey(lo, 0)
 			cur.endKey = append(indexKey(hi, ^uint64(0)), 0)
 			return cur, nil
 		}
+		cur.filterCol = ci
+		cur.lo = append([]byte(nil), lo...)
+		cur.hi = append([]byte(nil), hi...)
 	}
-	// Unindexed (or unfiltered): snapshot matching ids now; cells stream
-	// later. matchingIDs applies the limit during its walk.
-	ids, err := t.matchingIDs(f, limit)
-	if err != nil {
-		return nil, err
-	}
-	cur.ids = ids
 	return cur, nil
 }
 
@@ -139,7 +134,7 @@ func (cur *ScanCursor) Next() (*proto.RowsResponse, error) {
 	if cur.indexed {
 		resp, err = cur.nextIndexed(t)
 	} else {
-		resp, err = cur.nextByID(t)
+		resp, err = cur.nextByPage(t)
 	}
 	if err != nil {
 		cur.done = true
@@ -159,22 +154,31 @@ func (cur *ScanCursor) Next() (*proto.RowsResponse, error) {
 // at the batch-size target, and remembers the successor of the last emitted
 // key so the next batch re-seeks past it.
 func (cur *ScanCursor) nextIndexed(t *table) (*proto.RowsResponse, error) {
-	idx, ok := t.indexes[cur.idxCol]
+	idxs, err := t.ensureIndexes()
+	if err != nil {
+		return nil, err
+	}
+	idx, ok := idxs[cur.idxCol]
 	if !ok {
 		return nil, fmt.Errorf("%w: column %q lost its index mid-scan", ErrBadRequest, cur.idxCol)
 	}
 	resp := &proto.RowsResponse{Columns: cur.cols}
 	size := 0
+	var walkErr error
 	idx.AscendRange(cur.nextKey, cur.endKey, func(k, _ []byte) bool {
 		rowID := binary.BigEndian.Uint64(k[len(k)-8:])
-		row, ok := t.rows[rowID]
+		row, ok, err := t.heap.get(rowID)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		// The immediate successor of k in bytewise order is k||0x00.
+		cur.nextKey = append(append(cur.nextKey[:0], k...), 0)
 		if !ok {
 			return true // index/row raced a concurrent delete; skip
 		}
 		resp.Rows = append(resp.Rows, cur.project(rowID, row))
 		size += proto.RowWireSize(resp.Rows[len(resp.Rows)-1])
-		// The immediate successor of k in bytewise order is k||0x00.
-		cur.nextKey = append(append(cur.nextKey[:0], k...), 0)
 		if cur.remaining != unlimitedRows {
 			if cur.remaining--; cur.remaining == 0 {
 				return false
@@ -182,28 +186,43 @@ func (cur *ScanCursor) nextIndexed(t *table) (*proto.RowsResponse, error) {
 		}
 		return size < cur.batchBytes
 	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
 	return resp, nil
 }
 
-// nextByID fetches cells for the next span of snapshotted ids.
-func (cur *ScanCursor) nextByID(t *table) (*proto.RowsResponse, error) {
+// nextByPage walks the page directory from the row id after the last
+// scanned one, faulting pages in through the cache and applying any
+// unindexed filter inline. Each page is only touched while the store lock
+// is held; eviction between batches just means the resume faults it back.
+func (cur *ScanCursor) nextByPage(t *table) (*proto.RowsResponse, error) {
 	resp := &proto.RowsResponse{Columns: cur.cols}
 	size := 0
-	for cur.pos < len(cur.ids) && size < cur.batchBytes && cur.remaining > 0 {
-		id := cur.ids[cur.pos]
-		cur.pos++
-		row, ok := t.rows[id]
-		if !ok {
-			continue // deleted since the snapshot; skip
+	err := t.heap.ascendPages(cur.afterID, cur.started, func(rows []proto.Row) (bool, error) {
+		for _, row := range rows {
+			cur.afterID, cur.started = row.ID, true
+			if cur.filterCol >= 0 {
+				cell := row.Cells[cur.filterCol]
+				if bytes.Compare(cell, cur.lo) < 0 || bytes.Compare(cell, cur.hi) > 0 {
+					continue
+				}
+			}
+			resp.Rows = append(resp.Rows, cur.project(row.ID, row))
+			size += proto.RowWireSize(resp.Rows[len(resp.Rows)-1])
+			if cur.remaining != unlimitedRows {
+				if cur.remaining--; cur.remaining == 0 {
+					return false, nil
+				}
+			}
+			if size >= cur.batchBytes {
+				return false, nil
+			}
 		}
-		resp.Rows = append(resp.Rows, cur.project(id, row))
-		size += proto.RowWireSize(resp.Rows[len(resp.Rows)-1])
-		if cur.remaining != unlimitedRows {
-			cur.remaining--
-		}
-	}
-	if cur.pos >= len(cur.ids) {
-		cur.remaining = 0
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return resp, nil
 }

@@ -1,10 +1,18 @@
 // Package store is the storage engine a Database Service Provider runs:
 // share-space tables with B+-tree indexes, WAL-backed durability with
-// snapshot compaction, and the provider-side operators of the paper's query
-// model — exact-match and range filtering over order-preserving shares,
-// partial aggregation over field shares, and same-domain equijoins
+// incremental checkpoints, and the provider-side operators of the paper's
+// query model — exact-match and range filtering over order-preserving
+// shares, partial aggregation over field shares, and same-domain equijoins
 // (Sec. V-A). The engine never sees client values, only shares and opaque
 // plaintext cells.
+//
+// Rows live in a paged, file-backed heap (see page.go) behind a store-wide
+// LRU page cache (cache.go), so tables larger than the cache budget — and
+// larger than RAM — stay scannable: hot pages are pinned in memory, cold
+// pages fault in from their epoch files on demand. Durability is a
+// segmented WAL plus per-page checkpoint files tied together by a small
+// manifest (manifest.go, checkpoint.go); restart replays only the WAL
+// suffix after the last checkpoint and loads no page eagerly.
 package store
 
 import (
@@ -13,9 +21,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"path/filepath"
+	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sssdb/internal/btree"
 	"sssdb/internal/field"
@@ -40,21 +50,70 @@ var (
 	ErrNoSuchRow    = errors.New("store: no such row id")
 )
 
+// Options tune a store's paging and durability behaviour. The zero value
+// means defaults everywhere.
+type Options struct {
+	// CacheBytes bounds the total encoded bytes of resident pages. Zero
+	// means DefaultCacheBytes; negative means unbounded. Memory-only stores
+	// (no directory) are always unbounded — there is no backing file to
+	// reload an evicted page from.
+	CacheBytes int64
+	// PageBytes is the target encoded size of one heap page (zero =
+	// DefaultPageBytes). Pages that outgrow it split.
+	PageBytes int
+	// CheckpointInterval is the background checkpoint cadence (zero =
+	// DefaultCheckpointInterval, negative = no background worker; callers
+	// may still Checkpoint explicitly).
+	CheckpointInterval time.Duration
+}
+
 // Store is one provider's database. Reads (Scan, Digest, aggregates,
 // joins, ListTables) hold an internal RWMutex shared, so concurrent
 // statements from the data source — the transport layer may deliver
 // requests concurrently — execute in parallel; mutations (DDL, DML, WAL
-// append, compaction) hold it exclusively.
+// append, checkpoint capture) hold it exclusively. The page cache and WAL
+// have their own leaf locks; lock order is always store.mu, then
+// indexMu/merkleMu, then cache.mu, then the log.
 type Store struct {
 	mu     sync.RWMutex
 	dir    string
-	log    *wal.Log
+	opts   Options
+	log    *wal.Segmented
 	tables map[string]*table
+	cache  *pageCache
+
+	// nextTableID names heaps in page files; never reused, persisted in the
+	// manifest so recovered tables keep their files.
+	nextTableID uint64
+	// epochSeq numbers page files; strictly increasing (atomic — eviction
+	// write-backs allocate epochs while a checkpoint holds no lock).
+	epochSeq uint64
+
+	// checkpointLSN is the WAL position the durable manifest covers;
+	// replayed counts WAL records applied at Open. Guarded by mu.
+	checkpointLSN uint64
+	replayed      uint64
+	checkpoints   uint64
+	ckptFailures  uint64 // atomic
+
+	// ckptMu serializes checkpoints (the background worker and explicit
+	// calls); ckptHook is a test failpoint called between checkpoint stages.
+	ckptMu   sync.Mutex
+	ckptHook func(stage string) error
+
+	stop chan struct{}
+	wg   sync.WaitGroup
 }
 
 type table struct {
 	spec proto.TableSpec
-	rows map[uint64]proto.Row
+	heap *rowHeap
+	// indexMu guards the lazy build of indexes. Tables restored from a
+	// manifest start with indexes nil and build them on first indexed
+	// access — one heap walk — so reopening a big store stays cheap.
+	// Mutations skip index maintenance while indexes is nil; the eventual
+	// build sees their effect in the heap.
+	indexMu sync.Mutex
 	// indexes maps an indexed column name to a B+-tree whose keys are
 	// cell||rowID (value empty); the rowID suffix disambiguates duplicate
 	// shares.
@@ -67,52 +126,105 @@ type table struct {
 }
 
 type merkleState struct {
-	keys   [][]byte // index keys in order
-	rowIDs []uint64
-	leaves []merkle.Hash
-	tree   *merkle.Tree
-	root   merkle.Hash
+	keys    [][]byte // index keys in order
+	rowIDs  []uint64
+	digests [][]byte // RowDigest per leaf, for fence leaves in proofs
+	leaves  []merkle.Hash
+	tree    *merkle.Tree
+	root    merkle.Hash
 }
 
-// Open creates a store rooted at dir; pass "" for a memory-only store
-// (tests, benchmarks). With a directory, state is recovered from
-// snapshot + WAL and mutations are logged before being applied.
+// walPrefix names the segmented WAL's files: store.wal.<first-LSN>.
+const walPrefix = "store.wal"
+
+// Open creates a store rooted at dir with default Options; pass "" for a
+// memory-only store (tests, benchmarks).
 func Open(dir string) (*Store, error) {
-	s := &Store{dir: dir, tables: make(map[string]*table)}
+	return OpenOptions(dir, Options{})
+}
+
+// OpenOptions creates a store rooted at dir. With a directory, state is
+// recovered from the checkpoint manifest plus the WAL suffix after the
+// checkpoint LSN; no page is loaded until first touched. Mutations are
+// logged before being applied.
+func OpenOptions(dir string, opts Options) (*Store, error) {
+	if opts.PageBytes == 0 {
+		opts.PageBytes = DefaultPageBytes
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = DefaultCacheBytes
+	}
+	if opts.CheckpointInterval == 0 {
+		opts.CheckpointInterval = DefaultCheckpointInterval
+	}
+	s := &Store{dir: dir, opts: opts, tables: make(map[string]*table), nextTableID: 1}
 	if dir == "" {
+		s.cache = newPageCache(s, 0) // unbounded: no files to evict to
 		return s, nil
 	}
-	snap, err := wal.LoadSnapshot(s.snapshotPath())
-	if err != nil {
-		return nil, fmt.Errorf("store: loading snapshot: %w", err)
+	budget := opts.CacheBytes
+	if budget < 0 {
+		budget = 0
 	}
-	if snap != nil {
-		if err := s.restoreSnapshot(snap); err != nil {
+	s.cache = newPageCache(s, budget)
+	// One level only: the data directory itself must already exist (callers
+	// own its creation), the pages subdirectory is ours.
+	if err := os.Mkdir(s.pagesDir(), 0o755); err != nil && !os.IsExist(err) {
+		return nil, err
+	}
+	img, err := loadManifest(s.manifestPath())
+	if err != nil {
+		return nil, err
+	}
+	if err := s.cleanOrphanPages(img); err != nil {
+		return nil, err
+	}
+	if img != nil {
+		if err := s.restoreManifest(img); err != nil {
 			return nil, err
 		}
 	}
-	if err := wal.Replay(s.walPath(), func(rec []byte) error {
+	log, replayed, err := wal.OpenSegments(dir, walPrefix, s.checkpointLSN, func(_ uint64, rec []byte) error {
 		msg, err := proto.Decode(rec)
 		if err != nil {
 			return fmt.Errorf("store: decoding WAL record: %w", err)
 		}
 		return s.apply(msg)
-	}); err != nil {
-		return nil, err
-	}
-	log, err := wal.Open(s.walPath())
+	})
 	if err != nil {
 		return nil, err
 	}
 	s.log = log
+	s.replayed = replayed
+	if opts.CheckpointInterval > 0 {
+		s.stop = make(chan struct{})
+		s.wg.Add(1)
+		go s.checkpointLoop(opts.CheckpointInterval)
+	}
 	return s, nil
 }
 
-func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "store.snapshot") }
-func (s *Store) walPath() string      { return filepath.Join(s.dir, "store.wal") }
+// nextEpoch allocates a globally unique page-file epoch.
+func (s *Store) nextEpoch() uint64 {
+	return atomic.AddUint64(&s.epochSeq, 1)
+}
 
-// Close releases the WAL.
+// RecoveredRecords reports how many WAL records Open replayed — after a
+// checkpoint, only the suffix past the checkpoint LSN.
+func (s *Store) RecoveredRecords() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.replayed
+}
+
+// Close stops the checkpoint worker and releases the WAL. It does not
+// checkpoint; callers wanting a clean manifest call Checkpoint first.
 func (s *Store) Close() error {
+	if s.stop != nil {
+		close(s.stop)
+		s.wg.Wait()
+		s.stop = nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.log == nil {
@@ -123,6 +235,62 @@ func (s *Store) Close() error {
 	return err
 }
 
+// Stats is a point-in-time snapshot of the store's paging and durability
+// state; the server reports it on every ping so the client's repair loop
+// can watch provider memory pressure and checkpoint lag.
+type Stats struct {
+	Tables        int
+	Rows          uint64
+	Pages         uint64 // directory entries across all tables
+	ResidentPages uint64 // pages currently decoded in the cache
+	ResidentBytes uint64 // exact encoded bytes of resident pages
+	CacheBudget   uint64 // 0 = unbounded
+	CacheHits     uint64
+	CacheMisses   uint64
+	Evictions     uint64
+	Writebacks    uint64 // dirty evictions that wrote a page file
+	WALRecords    uint64 // last appended LSN
+	CheckpointLSN uint64 // LSN the durable manifest covers
+	// CheckpointLag is WALRecords-CheckpointLSN: records a restart would
+	// replay if the store crashed now.
+	CheckpointLag      uint64
+	Checkpoints        uint64
+	CheckpointFailures uint64
+	RecoveredRecords   uint64 // WAL records replayed at Open
+}
+
+// Stats returns current storage statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Tables:             len(s.tables),
+		Checkpoints:        s.checkpoints,
+		CheckpointLSN:      s.checkpointLSN,
+		CheckpointFailures: atomic.LoadUint64(&s.ckptFailures),
+		RecoveredRecords:   s.replayed,
+	}
+	for _, t := range s.tables {
+		st.Rows += uint64(t.heap.count)
+		st.Pages += uint64(len(t.heap.pages))
+	}
+	c := s.cache
+	c.mu.Lock()
+	st.ResidentBytes = uint64(c.used)
+	st.CacheBudget = uint64(c.budget)
+	st.CacheHits, st.CacheMisses = c.hits, c.misses
+	st.Evictions, st.Writebacks = c.evictions, c.writebacks
+	for e := c.head; e != nil; e = e.next {
+		st.ResidentPages++
+	}
+	c.mu.Unlock()
+	if s.log != nil {
+		st.WALRecords = s.log.LSN()
+		st.CheckpointLag = st.WALRecords - st.CheckpointLSN
+	}
+	return st
+}
+
 // logMutation appends the already-validated mutation to the WAL and forces
 // it to disk before returning. Used by the rare DDL paths; the DML hot
 // paths use appendMutation + a group-committed Sync outside the store lock.
@@ -130,7 +298,7 @@ func (s *Store) logMutation(msg proto.Message) error {
 	if s.log == nil {
 		return nil
 	}
-	if err := s.log.Append(proto.Encode(msg)); err != nil {
+	if _, err := s.log.Append(proto.Encode(msg)); err != nil {
 		return err
 	}
 	return s.log.Sync()
@@ -142,11 +310,11 @@ func (s *Store) logMutation(msg proto.Message) error {
 // and concurrent mutations group-commit: one fsync acknowledges them all.
 // The mutation becomes visible to readers before it is durable; the caller
 // is acknowledged only after Sync returns.
-func (s *Store) appendMutation(msg proto.Message) (*wal.Log, error) {
+func (s *Store) appendMutation(msg proto.Message) (*wal.Segmented, error) {
 	if s.log == nil {
 		return nil, nil
 	}
-	if err := s.log.Append(proto.Encode(msg)); err != nil {
+	if _, err := s.log.Append(proto.Encode(msg)); err != nil {
 		return nil, err
 	}
 	return s.log, nil
@@ -199,10 +367,11 @@ func (s *Store) applyCreateTable(spec *proto.TableSpec) error {
 	}
 	t := &table{
 		spec:    *spec,
-		rows:    make(map[uint64]proto.Row),
 		indexes: make(map[string]*btree.Tree),
 		merkles: make(map[string]*merkleState),
+		heap:    &rowHeap{s: s, tableID: s.nextTableID},
 	}
+	s.nextTableID++
 	for _, c := range spec.Columns {
 		if c.Indexed {
 			t.indexes[c.Name] = btree.New()
@@ -226,9 +395,11 @@ func (s *Store) DropTable(name string) error {
 }
 
 func (s *Store) applyDropTable(name string) error {
-	if _, ok := s.tables[name]; !ok {
+	t, ok := s.tables[name]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
+	t.heap.drop()
 	delete(s.tables, name)
 	return nil
 }
@@ -288,20 +459,70 @@ func indexKey(cell []byte, rowID uint64) []byte {
 }
 
 // copyRow deep-copies a row's cells into fresh backing arrays. Every row
-// entering table storage passes through copyRow (Insert and Update both
-// install copies), and nothing in the store ever writes into a stored
-// cell afterwards — Update replaces the whole row value, never patches
-// cells in place. That is the store's cell-immutability invariant: once a
-// []byte cell is reachable from t.rows it is frozen. Scan, ScanCursor and
-// the aggregate paths rely on it to return responses whose cells alias
-// table storage without copying, even after the read lock is released
-// (TestScanAliasesAreImmutable exercises this under -race).
+// entering the heap passes through copyRow (Insert and Update both install
+// copies), and nothing in the store ever writes into a stored cell
+// afterwards — Update replaces the whole row value, never patches cells in
+// place, and pages loaded from disk alias their read buffer without ever
+// writing into it. That is the store's cell-immutability invariant: once a
+// []byte cell is reachable from a heap page it is frozen for the lifetime
+// of that page epoch. Scan, ScanCursor and the aggregate paths rely on it
+// to return responses whose cells alias page storage without copying, even
+// after the read lock is released and even if the page itself is evicted —
+// the garbage collector keeps the cell bytes alive for as long as any
+// response references them (TestScanAliasesAreImmutable exercises this
+// under -race).
 func copyRow(row proto.Row) proto.Row {
 	out := proto.Row{ID: row.ID, Cells: make([][]byte, len(row.Cells))}
 	for i, c := range row.Cells {
 		out.Cells[i] = append([]byte(nil), c...)
 	}
 	return out
+}
+
+// row fetches one row by id, faulting its page in if needed.
+func (t *table) row(id uint64) (proto.Row, error) {
+	r, ok, err := t.heap.get(id)
+	if err != nil {
+		return proto.Row{}, err
+	}
+	if !ok {
+		return proto.Row{}, fmt.Errorf("%w: %d", ErrNoSuchRow, id)
+	}
+	return r, nil
+}
+
+// ensureIndexes returns the table's B+-trees, building them with one heap
+// walk on first indexed access after a manifest restore. Callers hold the
+// store lock at least shared; indexMu serializes the build.
+func (t *table) ensureIndexes() (map[string]*btree.Tree, error) {
+	t.indexMu.Lock()
+	defer t.indexMu.Unlock()
+	if t.indexes != nil {
+		return t.indexes, nil
+	}
+	idxs := make(map[string]*btree.Tree)
+	cols := make(map[string]int)
+	for i, c := range t.spec.Columns {
+		if c.Indexed {
+			idxs[c.Name] = btree.New()
+			cols[c.Name] = i
+		}
+	}
+	if len(idxs) > 0 {
+		err := t.heap.ascendPages(0, false, func(rows []proto.Row) (bool, error) {
+			for _, r := range rows {
+				for name, tree := range idxs {
+					tree.Set(indexKey(r.Cells[cols[name]], r.ID), nil)
+				}
+			}
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	t.indexes = idxs
+	return idxs, nil
 }
 
 func (t *table) invalidateMerkles() {
@@ -312,6 +533,9 @@ func (t *table) invalidateMerkles() {
 	t.merkleMu.Unlock()
 }
 
+// indexInsert/indexDelete maintain the B+-trees; while indexes is nil
+// (manifest-restored table, not yet read through an index) they are no-ops
+// — the lazy build will see the heap's current state.
 func (t *table) indexInsert(row proto.Row) {
 	for name, idx := range t.indexes {
 		ci := t.spec.ColumnIndex(name)
@@ -343,7 +567,7 @@ func (s *Store) Insert(name string, rows []proto.Row) error {
 	return nil
 }
 
-func (s *Store) insertLocked(name string, rows []proto.Row) (*wal.Log, error) {
+func (s *Store) insertLocked(name string, rows []proto.Row) (*wal.Segmented, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, err := s.table(name)
@@ -359,7 +583,9 @@ func (s *Store) insertLocked(name string, rows []proto.Row) (*wal.Log, error) {
 			return nil, fmt.Errorf("%w: %d (within batch)", ErrDuplicateRow, row.ID)
 		}
 		seen[row.ID] = true
-		if _, exists := t.rows[row.ID]; exists {
+		if _, exists, err := t.heap.get(row.ID); err != nil {
+			return nil, err
+		} else if exists {
 			return nil, fmt.Errorf("%w: %d", ErrDuplicateRow, row.ID)
 		}
 	}
@@ -379,11 +605,10 @@ func (s *Store) applyInsert(name string, rows []proto.Row) error {
 		if err := t.validateRow(row); err != nil {
 			return err
 		}
-		if _, exists := t.rows[row.ID]; exists {
-			return fmt.Errorf("%w: %d", ErrDuplicateRow, row.ID)
-		}
 		r := copyRow(row)
-		t.rows[r.ID] = r
+		if err := t.heap.insert(r); err != nil {
+			return err
+		}
 		t.indexInsert(r)
 	}
 	t.invalidateMerkles()
@@ -405,7 +630,7 @@ func (s *Store) Delete(name string, ids []uint64) (uint64, error) {
 	return affected, nil
 }
 
-func (s *Store) deleteLocked(name string, ids []uint64) (uint64, *wal.Log, error) {
+func (s *Store) deleteLocked(name string, ids []uint64) (uint64, *wal.Segmented, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, err := s.table(name); err != nil {
@@ -426,13 +651,22 @@ func (s *Store) applyDelete(name string, ids []uint64) (uint64, error) {
 	}
 	var affected uint64
 	for _, id := range ids {
-		row, ok := t.rows[id]
-		if !ok {
-			continue
+		if t.indexes != nil {
+			row, ok, err := t.heap.get(id)
+			if err != nil {
+				return affected, err
+			}
+			if ok {
+				t.indexDelete(row)
+			}
 		}
-		t.indexDelete(row)
-		delete(t.rows, id)
-		affected++
+		ok, err := t.heap.delete(id)
+		if err != nil {
+			return affected, err
+		}
+		if ok {
+			affected++
+		}
 	}
 	if affected > 0 {
 		t.invalidateMerkles()
@@ -453,7 +687,7 @@ func (s *Store) Update(name string, rows []proto.Row) error {
 	return nil
 }
 
-func (s *Store) updateLocked(name string, rows []proto.Row) (*wal.Log, error) {
+func (s *Store) updateLocked(name string, rows []proto.Row) (*wal.Segmented, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, err := s.table(name)
@@ -464,7 +698,9 @@ func (s *Store) updateLocked(name string, rows []proto.Row) (*wal.Log, error) {
 		if err := t.validateRow(row); err != nil {
 			return nil, err
 		}
-		if _, ok := t.rows[row.ID]; !ok {
+		if _, ok, err := t.heap.get(row.ID); err != nil {
+			return nil, err
+		} else if !ok {
 			return nil, fmt.Errorf("%w: %d", ErrNoSuchRow, row.ID)
 		}
 	}
@@ -484,103 +720,23 @@ func (s *Store) applyUpdate(name string, rows []proto.Row) error {
 		if err := t.validateRow(row); err != nil {
 			return err
 		}
-		old, ok := t.rows[row.ID]
-		if !ok {
-			return fmt.Errorf("%w: %d", ErrNoSuchRow, row.ID)
+		if t.indexes != nil {
+			old, err := t.row(row.ID)
+			if err != nil {
+				return err
+			}
+			t.indexDelete(old)
 		}
-		t.indexDelete(old)
 		r := copyRow(row)
-		t.rows[r.ID] = r
+		if err := t.heap.replace(r); err != nil {
+			return err
+		}
 		t.indexInsert(r)
 	}
 	if len(rows) > 0 {
 		t.invalidateMerkles()
 	}
 	return nil
-}
-
-// --- Snapshot / compaction ---
-
-// Compact writes a snapshot of the full state and truncates the WAL.
-func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.dir == "" {
-		return nil
-	}
-	data := s.encodeSnapshot()
-	if err := wal.SaveSnapshot(s.snapshotPath(), data); err != nil {
-		return err
-	}
-	if s.log != nil {
-		return s.log.Reset()
-	}
-	return nil
-}
-
-// encodeSnapshot serializes state as a sequence of length-prefixed protocol
-// messages (CreateTable + Insert per table), reusing the wire codec.
-func (s *Store) encodeSnapshot() []byte {
-	var buf []byte
-	names := make([]string, 0, len(s.tables))
-	for name := range s.tables {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	appendMsg := func(m proto.Message) {
-		body := proto.Encode(m)
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
-		buf = append(buf, body...)
-	}
-	for _, name := range names {
-		t := s.tables[name]
-		appendMsg(&proto.CreateTableRequest{Spec: t.spec})
-		ids := t.sortedIDs()
-		const batch = 4096
-		for off := 0; off < len(ids); off += batch {
-			end := off + batch
-			if end > len(ids) {
-				end = len(ids)
-			}
-			rows := make([]proto.Row, 0, end-off)
-			for _, id := range ids[off:end] {
-				rows = append(rows, t.rows[id])
-			}
-			appendMsg(&proto.InsertRequest{Table: name, Rows: rows})
-		}
-	}
-	return buf
-}
-
-func (s *Store) restoreSnapshot(data []byte) error {
-	for len(data) > 0 {
-		if len(data) < 4 {
-			return fmt.Errorf("%w: truncated snapshot", ErrBadRequest)
-		}
-		n := binary.BigEndian.Uint32(data)
-		data = data[4:]
-		if uint64(len(data)) < uint64(n) {
-			return fmt.Errorf("%w: truncated snapshot record", ErrBadRequest)
-		}
-		msg, err := proto.Decode(data[:n])
-		if err != nil {
-			return fmt.Errorf("store: snapshot record: %w", err)
-		}
-		data = data[n:]
-		if err := s.apply(msg); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (t *table) sortedIDs() []uint64 {
-	ids := make([]uint64, 0, len(t.rows))
-	for id := range t.rows {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
 }
 
 // --- Reads ---
@@ -608,56 +764,69 @@ func (t *table) resolveProjection(projection []string) ([]string, []int, error) 
 	return projection, idx, nil
 }
 
-// matchingIDs returns the row ids satisfying the filter in index order when
-// an index is available, insertion-id order otherwise. A nil filter matches
-// every row. A non-zero limit stops the index walk (or the unindexed
-// comparison scan) after limit matches instead of collecting everything and
-// slicing afterwards.
-func (t *table) matchingIDs(f *proto.Filter, limit uint64) ([]uint64, error) {
-	if f == nil {
-		ids := t.sortedIDs()
-		if limit > 0 && uint64(len(ids)) > limit {
-			ids = ids[:limit]
-		}
-		return ids, nil
-	}
+// filterBounds resolves a filter to its column index and inclusive
+// [lo, hi] cell range, rejecting field-share columns.
+func (t *table) filterBounds(f *proto.Filter) (int, []byte, []byte, error) {
 	ci := t.spec.ColumnIndex(f.Col)
 	if ci < 0 {
-		return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, f.Col)
+		return 0, nil, nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, f.Col)
 	}
 	if t.spec.Columns[ci].Kind == proto.KindField {
-		return nil, fmt.Errorf("%w: cannot filter on field-share column %q", ErrBadRequest, f.Col)
+		return 0, nil, nil, fmt.Errorf("%w: cannot filter on field-share column %q", ErrBadRequest, f.Col)
 	}
-	var lo, hi []byte
 	switch f.Op {
 	case proto.FilterEq:
-		lo, hi = f.Lo, f.Lo
+		return ci, f.Lo, f.Lo, nil
 	case proto.FilterRange:
-		lo, hi = f.Lo, f.Hi
+		return ci, f.Lo, f.Hi, nil
 	default:
-		return nil, fmt.Errorf("%w: unknown filter op %d", ErrBadRequest, f.Op)
+		return 0, nil, nil, fmt.Errorf("%w: unknown filter op %d", ErrBadRequest, f.Op)
 	}
-	if idx, ok := t.indexes[f.Col]; ok {
+}
+
+// matchingIDs returns the row ids satisfying the filter in index order when
+// an index is available, id order otherwise. A nil filter matches every
+// row. A non-zero limit stops the index walk (or the page scan) after limit
+// matches instead of collecting everything and slicing afterwards.
+func (t *table) matchingIDs(f *proto.Filter, limit uint64) ([]uint64, error) {
+	if f == nil {
+		return t.heap.allIDs(limit)
+	}
+	ci, lo, hi, err := t.filterBounds(f)
+	if err != nil {
+		return nil, err
+	}
+	if t.spec.Columns[ci].Indexed {
+		idxs, err := t.ensureIndexes()
+		if err != nil {
+			return nil, err
+		}
 		// Composite keys are cell||rowID: scan [lo||0^8, hi||0xff^8].
 		start := indexKey(lo, 0)
 		end := indexKey(hi, ^uint64(0))
 		var ids []uint64
-		idx.AscendRange(start, append(end, 0), func(k, _ []byte) bool {
+		idxs[f.Col].AscendRange(start, append(end, 0), func(k, _ []byte) bool {
 			ids = append(ids, binary.BigEndian.Uint64(k[len(k)-8:]))
 			return limit == 0 || uint64(len(ids)) < limit
 		})
 		return ids, nil
 	}
-	// Unindexed: full scan comparing cell bytes.
+	// Unindexed: page scan comparing cell bytes.
 	var ids []uint64
-	for _, id := range t.sortedIDs() {
-		cell := t.rows[id].Cells[ci]
-		if bytes.Compare(cell, lo) >= 0 && bytes.Compare(cell, hi) <= 0 {
-			ids = append(ids, id)
-			if limit > 0 && uint64(len(ids)) == limit {
-				break
+	err = t.heap.ascendPages(0, false, func(rows []proto.Row) (bool, error) {
+		for _, r := range rows {
+			cell := r.Cells[ci]
+			if bytes.Compare(cell, lo) >= 0 && bytes.Compare(cell, hi) <= 0 {
+				ids = append(ids, r.ID)
+				if limit > 0 && uint64(len(ids)) == limit {
+					return false, nil
+				}
 			}
 		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ids, nil
 }
@@ -690,7 +859,10 @@ func (s *Store) Scan(name string, f *proto.Filter, projection []string, limit ui
 	}
 	resp := &proto.RowsResponse{Columns: cols}
 	for _, id := range ids {
-		row := t.rows[id]
+		row, err := t.row(id)
+		if err != nil {
+			return nil, err
+		}
 		out := proto.Row{ID: id, Cells: make([][]byte, len(colIdx))}
 		for i, ci := range colIdx {
 			out.Cells[i] = row.Cells[ci]
@@ -723,28 +895,44 @@ func RowDigest(row proto.Row) []byte {
 }
 
 // merkleFor returns (building if needed) the Merkle state of an indexed
-// column. Callers hold the store lock at least shared, which pins rows and
-// indexes; merkleMu additionally serializes cache builds so concurrent
+// column. Callers hold the store lock at least shared, which pins the heap
+// and indexes; merkleMu additionally serializes cache builds so concurrent
 // proof-carrying scans build each column tree once and then share it.
 func (t *table) merkleFor(col string) (*merkleState, error) {
-	idx, ok := t.indexes[col]
-	if !ok {
+	ci := t.spec.ColumnIndex(col)
+	if ci < 0 || !t.spec.Columns[ci].Indexed {
 		return nil, fmt.Errorf("%w: column %q is not indexed", ErrBadRequest, col)
 	}
+	idxs, err := t.ensureIndexes()
+	if err != nil {
+		return nil, err
+	}
+	idx := idxs[col]
 	t.merkleMu.Lock()
 	defer t.merkleMu.Unlock()
 	if m, ok := t.merkles[col]; ok {
 		return m, nil
 	}
 	m := &merkleState{}
+	var walkErr error
 	idx.Ascend(func(k, _ []byte) bool {
 		key := append([]byte(nil), k...)
 		rowID := binary.BigEndian.Uint64(key[len(key)-8:])
+		row, err := t.row(rowID)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		digest := RowDigest(row)
 		m.keys = append(m.keys, key)
 		m.rowIDs = append(m.rowIDs, rowID)
-		m.leaves = append(m.leaves, merkle.LeafHash(key, RowDigest(t.rows[rowID])))
+		m.digests = append(m.digests, digest)
+		m.leaves = append(m.leaves, merkle.LeafHash(key, digest))
 		return true
 	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
 	m.tree = merkle.New(m.leaves)
 	m.root = m.tree.Root()
 	t.merkles[col] = m
@@ -779,14 +967,14 @@ func (t *table) proveScan(f *proto.Filter) ([]byte, error) {
 		runStart = start - 1
 		p.LeftFence = &merkle.FenceLeaf{
 			Key:       m.keys[runStart],
-			RowDigest: RowDigest(t.rows[m.rowIDs[runStart]]),
+			RowDigest: m.digests[runStart],
 		}
 	}
 	if end < len(m.keys) {
 		runEnd = end + 1
 		p.RightFence = &merkle.FenceLeaf{
 			Key:       m.keys[end],
-			RowDigest: RowDigest(t.rows[m.rowIDs[end]]),
+			RowDigest: m.digests[end],
 		}
 	}
 	p.Start = uint64(runStart)
@@ -815,7 +1003,7 @@ func (s *Store) Digest(name, col string) (*proto.DigestResult, error) {
 }
 
 // ResyncDigest returns a provider-neutral Merkle summary of a whole table:
-// leaves walk the sorted row ids, and each leaf commits to the row's id,
+// leaves walk the row ids in order, and each leaf commits to the row's id,
 // its cell shapes, and the full bytes of plaintext-replicated (KindPlain)
 // cells. Share cells are covered by length only — OPP and field shares
 // differ across providers by construction, so their bytes can never agree —
@@ -829,15 +1017,20 @@ func (s *Store) ResyncDigest(name string) (*proto.DigestResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ids := t.sortedIDs()
-	leaves := make([]merkle.Hash, 0, len(ids))
+	leaves := make([]merkle.Hash, 0, t.heap.count)
 	var key [8]byte
-	for _, id := range ids {
-		binary.BigEndian.PutUint64(key[:], id)
-		leaves = append(leaves, merkle.LeafHash(key[:], resyncRowDigest(&t.spec, t.rows[id])))
+	err = t.heap.ascendPages(0, false, func(rows []proto.Row) (bool, error) {
+		for _, r := range rows {
+			binary.BigEndian.PutUint64(key[:], r.ID)
+			leaves = append(leaves, merkle.LeafHash(key[:], resyncRowDigest(&t.spec, r)))
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	root := merkle.New(leaves).Root()
-	return &proto.DigestResult{Root: root[:], Count: uint64(len(ids))}, nil
+	return &proto.DigestResult{Root: root[:], Count: uint64(len(leaves))}, nil
 }
 
 // resyncRowDigest hashes the provider-neutral view of one row: plaintext
@@ -886,7 +1079,11 @@ func (s *Store) Aggregate(name string, op proto.AggOp, orderCol, valueCol string
 		}
 		var sum field.Element
 		for _, id := range ids {
-			sum = sum.Add(field.New(binary.BigEndian.Uint64(t.rows[id].Cells[vi])))
+			row, err := t.row(id)
+			if err != nil {
+				return nil, err
+			}
+			sum = sum.Add(field.New(binary.BigEndian.Uint64(row.Cells[vi])))
 		}
 		res.Sum = sum.Uint64()
 		return res, nil
@@ -904,31 +1101,53 @@ func (s *Store) Aggregate(name string, op proto.AggOp, orderCol, valueCol string
 		var pickID uint64
 		switch op {
 		case proto.AggMin, proto.AggMax:
+			first, err := t.row(ids[0])
+			if err != nil {
+				return nil, err
+			}
 			pickID = ids[0]
-			best := t.rows[ids[0]].Cells[oi]
+			best := first.Cells[oi]
 			for _, id := range ids[1:] {
-				cell := t.rows[id].Cells[oi]
+				row, err := t.row(id)
+				if err != nil {
+					return nil, err
+				}
+				cell := row.Cells[oi]
 				cmp := bytes.Compare(cell, best)
 				if (op == proto.AggMin && cmp < 0) || (op == proto.AggMax && cmp > 0) {
 					best, pickID = cell, id
 				}
 			}
 		case proto.AggMedian:
-			// Sort matched ids by order cell; order preservation makes the
-			// lower-median row identical at every provider.
-			sorted := append([]uint64(nil), ids...)
+			// Sort matched rows by order cell; order preservation makes the
+			// lower-median row identical at every provider. Cells stay valid
+			// even if their page is evicted mid-sort (GC pins the buffers).
+			type idCell struct {
+				id   uint64
+				cell []byte
+			}
+			sorted := make([]idCell, 0, len(ids))
+			for _, id := range ids {
+				row, err := t.row(id)
+				if err != nil {
+					return nil, err
+				}
+				sorted = append(sorted, idCell{id: id, cell: row.Cells[oi]})
+			}
 			sort.Slice(sorted, func(a, b int) bool {
-				ca := t.rows[sorted[a]].Cells[oi]
-				cb := t.rows[sorted[b]].Cells[oi]
-				if c := bytes.Compare(ca, cb); c != 0 {
+				if c := bytes.Compare(sorted[a].cell, sorted[b].cell); c != 0 {
 					return c < 0
 				}
-				return sorted[a] < sorted[b]
+				return sorted[a].id < sorted[b].id
 			})
-			pickID = sorted[(len(sorted)-1)/2]
+			pickID = sorted[(len(sorted)-1)/2].id
+		}
+		row, err := t.row(pickID)
+		if err != nil {
+			return nil, err
 		}
 		res.HasRow = true
-		res.Row = t.rows[pickID]
+		res.Row = row
 		return res, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown aggregate op %d", ErrBadRequest, op)
@@ -975,7 +1194,10 @@ func (s *Store) AggregateGrouped(name string, op proto.AggOp, valueCol, groupCol
 	}
 	partials := make(map[string]*proto.GroupPartial)
 	for _, id := range ids {
-		row := t.rows[id]
+		row, err := t.row(id)
+		if err != nil {
+			return nil, err
+		}
 		key := string(row.Cells[gi])
 		g, ok := partials[key]
 		if !ok {
@@ -1035,17 +1257,29 @@ func (s *Store) Join(req *proto.JoinRequest) (*proto.JoinResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Hash join: build on the right side.
-	build := make(map[string][]uint64, len(rt.rows))
-	for _, rid := range rt.sortedIDs() {
-		cell := rt.rows[rid].Cells[rci]
-		build[string(cell)] = append(build[string(cell)], rid)
+	// Hash join: build on the right side, one page pass.
+	build := make(map[string][]uint64, rt.heap.count)
+	err = rt.heap.ascendPages(0, false, func(rows []proto.Row) (bool, error) {
+		for _, r := range rows {
+			cell := r.Cells[rci]
+			build[string(cell)] = append(build[string(cell)], r.ID)
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := &proto.JoinResult{Columns: append(append([]string(nil), lNames...), rNames...)}
 	for _, lid := range leftIDs {
-		lrow := lt.rows[lid]
+		lrow, err := lt.row(lid)
+		if err != nil {
+			return nil, err
+		}
 		for _, rid := range build[string(lrow.Cells[lci])] {
-			rrow := rt.rows[rid]
+			rrow, err := rt.row(rid)
+			if err != nil {
+				return nil, err
+			}
 			cells := make([][]byte, 0, len(lIdx)+len(rIdx))
 			for _, ci := range lIdx {
 				cells = append(cells, lrow.Cells[ci])
@@ -1067,5 +1301,5 @@ func (s *Store) RowCount(name string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return len(t.rows), nil
+	return t.heap.count, nil
 }

@@ -634,7 +634,7 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 	}
 }
 
-func TestCompactionAndRecovery(t *testing.T) {
+func TestCheckpointAndRecovery(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir)
 	if err != nil {
@@ -646,10 +646,10 @@ func TestCompactionAndRecovery(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := s.Compact(); err != nil {
+	if err := s.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	// Post-compaction mutations land in the fresh WAL.
+	// Post-checkpoint mutations land in the WAL suffix.
 	if err := s.Insert("employees", []proto.Row{row(21, 21)}); err != nil {
 		t.Fatal(err)
 	}
@@ -671,14 +671,18 @@ func TestCompactionAndRecovery(t *testing.T) {
 	if n != 20 {
 		t.Fatalf("rows = %d, want 20", n)
 	}
-	// Memory store Compact is a no-op.
+	// Only the two post-checkpoint records should have been replayed.
+	if got := s2.RecoveredRecords(); got != 2 {
+		t.Fatalf("replayed %d WAL records, want 2", got)
+	}
+	// Memory store Checkpoint is a no-op.
 	mem := memStore(t)
-	if err := mem.Compact(); err != nil {
+	if err := mem.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestOpenRejectsCorruptSnapshot(t *testing.T) {
+func TestOpenRejectsCorruptManifest(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir)
 	if err != nil {
@@ -688,14 +692,14 @@ func TestOpenRejectsCorruptSnapshot(t *testing.T) {
 	if err := s.Insert("employees", []proto.Row{row(1, 10)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Compact(); err != nil {
+	if err := s.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Flip a byte inside the snapshot payload: the checksum must catch it.
-	path := s.snapshotPath()
+	// Flip a byte inside the manifest payload: the checksum must catch it.
+	path := s.manifestPath()
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -705,15 +709,15 @@ func TestOpenRejectsCorruptSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir); err == nil {
-		t.Fatal("corrupt snapshot accepted")
+		t.Fatal("corrupt manifest accepted")
 	}
 }
 
-func TestOpenRejectsTruncatedSnapshotRecord(t *testing.T) {
+func TestOpenRejectsTruncatedManifest(t *testing.T) {
 	dir := t.TempDir()
-	// A snapshot with a valid checksum but a truncated record stream.
-	bogus := []byte{0, 0, 0, 99} // claims a 99-byte record, provides none
-	if err := wal.SaveSnapshot(filepath.Join(dir, "store.snapshot"), bogus); err != nil {
+	// A manifest with a valid checksum but a truncated field stream.
+	bogus := []byte{0, 0, 0, manifestVersion} // version only, nothing after
+	if err := wal.SaveSnapshot(filepath.Join(dir, "store.manifest"), bogus); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir); !errors.Is(err, ErrBadRequest) {
@@ -805,7 +809,7 @@ func TestRandomizedWithOracleAndReopen(t *testing.T) {
 
 	mutate(400)
 	check()
-	if err := s.Compact(); err != nil {
+	if err := s.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
 	mutate(200)

@@ -262,14 +262,30 @@ func OpenLocalSharded(groups, perGroup int, opts Options) (*Cluster, error) {
 // connects a client. With opts.Shards > 1 the directories are split into
 // Shards consecutive equal groups.
 func OpenLocalDirs(dirs []string, opts Options) (*Cluster, error) {
-	return openLocal(dirs, opts)
+	return openLocalWith(dirs, opts, StoreOptions{})
+}
+
+// StoreOptions tunes per-provider storage: page size, page-cache budget,
+// and checkpoint cadence. The zero value means defaults everywhere.
+type StoreOptions = store.Options
+
+// OpenLocalDirsWith is OpenLocalDirs with explicit storage options, for
+// providers whose tables are bigger than the memory they may use: a
+// bounded CacheBytes keeps each provider's resident pages within budget
+// while cold pages fault in from disk on demand.
+func OpenLocalDirsWith(dirs []string, opts Options, storeOpts StoreOptions) (*Cluster, error) {
+	return openLocalWith(dirs, opts, storeOpts)
 }
 
 func openLocal(dirs []string, opts Options) (*Cluster, error) {
+	return openLocalWith(dirs, opts, StoreOptions{})
+}
+
+func openLocalWith(dirs []string, opts Options, storeOpts StoreOptions) (*Cluster, error) {
 	cl := &Cluster{groupSize: len(dirs)}
 	conns := make([]transport.Conn, 0, len(dirs))
 	for _, dir := range dirs {
-		st, err := store.Open(dir)
+		st, err := store.OpenOptions(dir, storeOpts)
 		if err != nil {
 			cl.closeStores()
 			return nil, err

@@ -6,6 +6,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -75,6 +76,76 @@ func TestOpenLocalDirsPersistence(t *testing.T) {
 	// The provider still has the rows: creating the same table again fails.
 	if _, err := cluster2.Client.Exec(`CREATE TABLE t (a INT)`); err == nil {
 		t.Fatal("table survived on providers but create succeeded")
+	}
+}
+
+// A cluster whose providers run with a tiny page-cache budget must serve
+// a table many times the budget, stay within it, and survive a restart.
+func TestOpenLocalDirsWithPagedProviders(t *testing.T) {
+	dir := t.TempDir()
+	dirs := []string{filepath.Join(dir, "p0"), filepath.Join(dir, "p1"), filepath.Join(dir, "p2")}
+	for _, d := range dirs {
+		if err := mkdir(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := Options{K: 2, MasterKey: []byte("paged key")}
+	storeOpts := StoreOptions{PageBytes: 1 << 10, CacheBytes: 8 << 10, CheckpointInterval: -1}
+	cluster, err := OpenLocalDirsWith(dirs, opts, storeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Client.Exec(`CREATE TABLE t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 2000 // far larger than the 8 KiB per-provider budget
+	for i := 0; i < rows; i += 100 {
+		vals := make([]string, 0, 100)
+		for j := i; j < i+100; j++ {
+			vals = append(vals, fmt.Sprintf("(%d)", j))
+		}
+		if _, err := cluster.Client.Exec(`INSERT INTO t VALUES ` + strings.Join(vals, ", ")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := cluster.Client.Exec(`SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != rows {
+		t.Fatalf("count = %d, want %d", res.Rows[0][0].I, rows)
+	}
+	for i, st := range cluster.stores {
+		stats := st.Stats()
+		if stats.ResidentBytes > uint64(storeOpts.CacheBytes)+uint64(storeOpts.PageBytes) {
+			t.Fatalf("provider %d resident %d bytes over the %d budget", i, stats.ResidentBytes, storeOpts.CacheBytes)
+		}
+		if stats.Evictions == 0 {
+			t.Fatalf("provider %d never evicted despite the table outgrowing its cache", i)
+		}
+	}
+	catalog, err := cluster.Client.ExportCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cluster2, err := OpenLocalDirsWith(dirs, opts, storeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster2.Close()
+	if err := cluster2.Client.ImportCatalog(catalog); err != nil {
+		t.Fatal(err)
+	}
+	res, err = cluster2.Client.Exec(`SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != rows {
+		t.Fatalf("count after restart = %d, want %d", res.Rows[0][0].I, rows)
 	}
 }
 
