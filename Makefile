@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments experiments-full fmt clean
+.PHONY: all build vet test race bench bench-s6 experiments experiments-full fmt clean
 
 all: build vet test
 
@@ -21,6 +21,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Sustained-load serving suite with machine-readable output for trend
+# tracking (admission control, overload shedding, tenant fairness).
+bench-s6:
+	$(GO) run ./cmd/ssbench -only S6 -json BENCH_S6.json
 
 # Regenerate the paper's experiment tables (quick sizes).
 experiments:

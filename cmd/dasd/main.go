@@ -11,6 +11,14 @@
 // larger than RAM stay servable — cold pages fault in from disk on demand.
 // The provider never holds keys or plaintext: everything it stores is
 // shares and opaque payloads.
+//
+// Admission control is server-wide: -inflight bounds concurrently
+// executing requests across all connections, -queue bounds each tenant's
+// wait queue (excess is shed fast with a retryable busy error), and
+// -weights skews the deficit-round-robin scheduler between tenants. On
+// SIGINT/SIGTERM the provider stops accepting, drains queued and
+// in-flight requests for up to -drain-timeout (a second signal forces
+// immediate close), checkpoints, and exits.
 package main
 
 import (
@@ -20,7 +28,10 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
+	"time"
 
 	"sssdb/internal/server"
 	"sssdb/internal/store"
@@ -32,9 +43,17 @@ func main() {
 	dir := flag.String("dir", "", "data directory (empty = memory-only)")
 	checkpointOnStart := flag.Bool("checkpoint", false, "checkpoint and truncate the WAL after recovery")
 	cacheBytes := flag.Int64("cache-bytes", 0, "page cache budget in bytes (0 = default, <0 unbounded)")
-	inflight := flag.Int("inflight", 0, "max concurrent requests per connection (0 = default)")
+	inflight := flag.Int("inflight", 0, "server-wide max concurrently-executing requests (0 = default)")
+	queue := flag.Int("queue", 0, "per-tenant admission queue bound (0 = default, <0 = no queueing)")
+	weights := flag.String("weights", "", "per-tenant scheduling weights, e.g. analytics=1,serving=4")
 	chunk := flag.Int("chunk", 0, "streamed row-frame chunk size in bytes (0 = default, <0 disables streaming)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight and queued requests")
 	flag.Parse()
+
+	tenantWeights, err := parseWeights(*weights)
+	if err != nil {
+		log.Fatalf("dasd: %v", err)
+	}
 
 	if *dir != "" {
 		if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -45,7 +64,6 @@ func main() {
 	if err != nil {
 		log.Fatalf("dasd: opening store: %v", err)
 	}
-	defer st.Close()
 	if *checkpointOnStart {
 		if err := st.Checkpoint(); err != nil {
 			log.Fatalf("dasd: checkpointing: %v", err)
@@ -56,21 +74,59 @@ func main() {
 		log.Fatalf("dasd: listen %s: %v", *listen, err)
 	}
 	srv := transport.NewServerWith(ln, server.New(st), transport.ServerConfig{
-		MaxInflight: *inflight,
-		ChunkBytes:  *chunk,
+		MaxInflight:   *inflight,
+		MaxQueue:      *queue,
+		TenantWeights: tenantWeights,
+		ChunkBytes:    *chunk,
 	})
 	fmt.Printf("dasd: serving on %s (dir=%q, tables=%d)\n", srv.Addr(), *dir, len(st.ListTables()))
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("dasd: shutting down")
-	if err := srv.Close(); err != nil {
-		log.Printf("dasd: closing server: %v", err)
+
+	// Graceful shutdown: stop accepting, shed new submissions, and give
+	// queued and in-flight requests the drain budget to finish so their
+	// responses reach clients. A second signal skips the drain.
+	fmt.Printf("dasd: draining (up to %v; signal again to force)\n", *drainTimeout)
+	drained := make(chan bool, 1)
+	go func() { drained <- srv.Shutdown(*drainTimeout) }()
+	select {
+	case ok := <-drained:
+		if !ok {
+			log.Printf("dasd: drain timed out; closing with requests in flight")
+			srv.Close()
+		}
+	case <-sig:
+		fmt.Println("dasd: second signal; closing immediately")
+		srv.Close()
 	}
 	if *dir != "" {
 		if err := st.Checkpoint(); err != nil {
 			log.Printf("dasd: final checkpoint: %v", err)
 		}
 	}
+	if err := st.Close(); err != nil {
+		log.Printf("dasd: closing store: %v", err)
+	}
+}
+
+// parseWeights parses "tenant=weight,..." into the scheduler's weight map.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	m := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("weight %q: want TENANT=N", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("weight %q: want a positive integer", part)
+		}
+		m[name] = w
+	}
+	return m, nil
 }

@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	ssbench              # quick sizes (seconds)
-//	ssbench -full        # full sizes (minutes)
-//	ssbench -only E4,E5  # a subset
-//	ssbench -list        # list experiments
+//	ssbench                       # quick sizes (seconds)
+//	ssbench -full                 # full sizes (minutes)
+//	ssbench -only E4,E5           # a subset
+//	ssbench -list                 # list experiments
+//	ssbench -json BENCH_S6.json   # also write S6's machine-readable result
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,7 @@ func main() {
 	full := flag.Bool("full", false, "run full-size experiments")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E4,E11)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonPath := flag.String("json", "", "write the S6 serving suite's machine-readable result to this file")
 	flag.Parse()
 
 	runners := bench.All()
@@ -43,7 +46,19 @@ func main() {
 		if len(want) > 0 && !want[r.ID] {
 			continue
 		}
-		table, err := r.Fn(scale)
+		var table *bench.Table
+		var err error
+		if r.ID == "S6" && *jsonPath != "" {
+			// The JSON flag wants S6's raw numbers, not just the printed
+			// table; run the detailed form once and keep both.
+			var detail *bench.S6Result
+			table, detail, err = bench.RunS6Detailed(scale)
+			if err == nil {
+				err = writeS6JSON(*jsonPath, detail)
+			}
+		} else {
+			table, err = r.Fn(scale)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ssbench: %s: %v\n", r.ID, err)
 			os.Exit(1)
@@ -55,4 +70,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ssbench: no experiments matched -only; use -list")
 		os.Exit(1)
 	}
+}
+
+// writeS6JSON persists the serving suite's numbers for CI trend tracking.
+func writeS6JSON(path string, res *bench.S6Result) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("ssbench: wrote %s\n", path)
+	return nil
 }

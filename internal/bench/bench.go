@@ -186,6 +186,7 @@ func All() []Runner {
 		{"S3", RunS3, "supplementary: degraded writes and hinted-handoff repair"},
 		{"S4", RunS4, "supplementary: horizontal sharding scatter-gather scaling"},
 		{"S5", RunS5, "supplementary: paged storage at 1x/4x/10x cache budget"},
+		{"S6", RunS6, "supplementary: sustained-load serving — admission control and overload shedding"},
 	}
 }
 

@@ -364,6 +364,42 @@ func TestS5PagedStorage(t *testing.T) {
 	}
 }
 
+// S6 shape: three serving suites over real TCP providers. The runner
+// asserts the acceptance criteria itself (bounded p99 and held goodput at
+// 4x overload, point-tenant protection under streaming scans); here check
+// the suites ran and the overload run actually shed load.
+func TestS6SustainedLoadServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second open-loop load run")
+	}
+	table, res, err := RunS6Detailed(Scale{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.ID != "S6" || len(table.Rows) != 3 {
+		t.Fatalf("S6 shape: %+v", table)
+	}
+	if len(res.Suites) != 3 {
+		t.Fatalf("suites: %+v", res.Suites)
+	}
+	names := []string{"max-throughput", "overload-4x", "scan-vs-points"}
+	for i, s := range res.Suites {
+		if s.Name != names[i] {
+			t.Fatalf("suite %d is %q, want %q", i, s.Name, names[i])
+		}
+		if s.Offered == 0 {
+			t.Fatalf("suite %s offered no load", s.Name)
+		}
+	}
+	over := res.Suites[1]
+	if over.Busy+over.SchedShed+over.Dropped == 0 {
+		t.Fatalf("overload suite shed nothing: %+v", over)
+	}
+	if res.SaturationGoodput <= 0 || res.SaturationP99 == 0 {
+		t.Fatalf("saturation point not measured: %+v", res)
+	}
+}
+
 func TestRunAllPrints(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")

@@ -1,0 +1,144 @@
+// Package hist provides a fixed-bucket latency histogram designed for hot
+// paths: recording is one atomic increment into a log-spaced bucket, so the
+// transport scheduler and the load harness can observe every request
+// without contending on a lock or allocating. Buckets are geometric
+// (factor ~1.25) from 1µs to ~4.7min, which keeps quantile error under
+// ~12% across the whole range — plenty for p50/p99/p999 reporting where
+// the signal is orders of magnitude, not microseconds.
+package hist
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Bucket layout: bucket i covers durations in (bounds[i-1], bounds[i]].
+// bounds are precomputed at init as base * growth^i, deduplicated to stay
+// strictly increasing at the low end.
+const (
+	numBuckets = 96
+	baseNanos  = 1_000 // 1µs
+)
+
+// growthNum/growthDen encode the 1.25 growth factor in integer math so the
+// bounds are identical on every platform.
+const (
+	growthNum = 5
+	growthDen = 4
+)
+
+// bounds[i] is the inclusive upper edge (nanoseconds) of bucket i; the
+// final bucket is open-ended.
+var bounds [numBuckets]uint64
+
+func init() {
+	b := uint64(baseNanos)
+	for i := range bounds {
+		bounds[i] = b
+		next := b * growthNum / growthDen
+		if next <= b {
+			next = b + 1
+		}
+		b = next
+	}
+}
+
+// Hist is a concurrency-safe fixed-bucket histogram of durations. The zero
+// value is ready to use. Recording never blocks; snapshots are "torn" in
+// the usual counter sense (observations racing a snapshot may or may not be
+// included), which is fine for monitoring.
+type Hist struct {
+	counts [numBuckets + 1]atomic.Uint64 // last slot: overflow
+	sum    atomic.Uint64                 // total nanoseconds observed
+	count  atomic.Uint64
+}
+
+// bucketFor returns the bucket index for a duration in nanoseconds.
+func bucketFor(ns uint64) int {
+	// Binary search over the static bounds; 7 probes for 96 buckets.
+	lo, hi := 0, numBuckets
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns <= bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo // numBuckets == overflow
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.counts[bucketFor(ns)].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean observed duration (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
+// the upper edge of the bucket containing the q·N-th observation. Returns 0
+// when the histogram is empty.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := uint64(0)
+	var counts [numBuckets + 1]uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	cum := uint64(0)
+	for i, c := range counts[:numBuckets] {
+		cum += c
+		if cum >= rank {
+			return time.Duration(bounds[i])
+		}
+	}
+	// Overflow bucket: report the largest tracked edge.
+	return time.Duration(bounds[numBuckets-1])
+}
+
+// Merge adds other's observations into h.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil {
+		return
+	}
+	for i := range h.counts {
+		if c := other.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.sum.Add(other.sum.Load())
+	h.count.Add(other.count.Load())
+}
+
+// Snapshot returns a point-in-time copy, useful for delta computations.
+func (h *Hist) Snapshot() *Hist {
+	s := &Hist{}
+	s.Merge(h)
+	return s
+}

@@ -1,0 +1,104 @@
+package hist
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBoundsMonotone(t *testing.T) {
+	for i := 1; i < numBuckets; i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds[%d]=%d not > bounds[%d]=%d", i, bounds[i], i-1, bounds[i-1])
+		}
+	}
+	if bounds[numBuckets-1] < uint64(time.Minute) {
+		t.Fatalf("top bucket edge %v does not cover a minute", time.Duration(bounds[numBuckets-1]))
+	}
+}
+
+func TestQuantileBracketsTruth(t *testing.T) {
+	h := &Hist{}
+	// 1..1000 ms uniformly: true p50 = 500ms, p99 = 990ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 500 * time.Millisecond}, {0.99, 990 * time.Millisecond}, {0.999, 999 * time.Millisecond}} {
+		got := h.Quantile(tc.q)
+		// The estimate is the bucket's upper edge: it must be >= the true
+		// quantile and within one growth factor (25%) above it.
+		if got < tc.want || float64(got) > float64(tc.want)*1.3 {
+			t.Errorf("Quantile(%v) = %v, want in [%v, %v]", tc.q, got, tc.want, time.Duration(float64(tc.want)*1.3))
+		}
+	}
+	mean := h.Mean()
+	if mean < 490*time.Millisecond || mean > 510*time.Millisecond {
+		t.Errorf("mean = %v, want ~500ms", mean)
+	}
+}
+
+func TestQuantileEmptyAndEdges(t *testing.T) {
+	h := &Hist{}
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(0) // sub-microsecond lands in the first bucket
+	h.Observe(-time.Second)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if got := h.Quantile(0.5); got != time.Duration(bounds[0]) {
+		t.Fatalf("tiny observation quantile = %v, want first edge %v", got, time.Duration(bounds[0]))
+	}
+	h2 := &Hist{}
+	h2.Observe(10 * time.Hour) // beyond the last edge: overflow bucket
+	if got := h2.Quantile(0.99); got != time.Duration(bounds[numBuckets-1]) {
+		t.Fatalf("overflow quantile = %v, want top edge", got)
+	}
+}
+
+func TestMergeAndSnapshot(t *testing.T) {
+	a, b := &Hist{}, &Hist{}
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(time.Second)
+	}
+	snap := a.Snapshot()
+	snap.Merge(b)
+	if snap.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", snap.Count())
+	}
+	if a.Count() != 100 {
+		t.Fatalf("snapshot mutated source: %d", a.Count())
+	}
+	if q := snap.Quantile(0.25); q > 2*time.Millisecond {
+		t.Errorf("p25 = %v, want ~1ms", q)
+	}
+	if q := snap.Quantile(0.75); q < time.Second {
+		t.Errorf("p75 = %v, want >= 1s", q)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	h := &Hist{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 80_000 {
+		t.Fatalf("count = %d, want 80000", h.Count())
+	}
+}

@@ -1,0 +1,192 @@
+// Package loadgen is an open-loop load harness for sustained-load serving
+// experiments: operations arrive on a fixed schedule derived from a target
+// rate — independent of how fast the system under test completes them —
+// and latency is measured from each operation's *scheduled* arrival time.
+// A slow server therefore cannot slow the arrival process down and hide
+// its own queueing delay (the coordinated-omission trap of closed-loop
+// benchmarks): if the system falls behind, measured latency grows by the
+// backlog, exactly as a real user would experience.
+//
+// The harness generates operations from a workload.Mix (YCSB-style
+// read/write/scan ratios, optionally Zipf-skewed keys), executes them on a
+// caller-provided function across a bounded worker pool, and classifies
+// every outcome: completed, shed by server admission control (busy),
+// failed, or dropped client-side because the arrival queue overflowed —
+// the open-loop analogue of a user giving up before the request is sent.
+package loadgen
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sssdb/internal/hist"
+	"sssdb/internal/transport"
+	"sssdb/internal/workload"
+)
+
+// Stage is one step of a ramp schedule: offer Rate ops/s for Duration.
+type Stage struct {
+	Rate     float64
+	Duration time.Duration
+}
+
+// Config tunes one open-loop run.
+type Config struct {
+	// Rate is the target arrival rate in ops/s. Ignored when Ramp is set.
+	Rate float64
+	// Duration is the arrival window. Ignored when Ramp is set.
+	Duration time.Duration
+	// Ramp, when non-empty, replaces Rate/Duration with a stage schedule
+	// (e.g. warm-up at low rate, then step to overload).
+	Ramp []Stage
+	// Workers bounds concurrent in-flight operations. It must comfortably
+	// exceed rate×(typical latency) or the harness itself becomes the
+	// bottleneck; default 64.
+	Workers int
+	// QueueCap bounds arrivals waiting for a worker; an arrival finding
+	// the queue full is dropped (counted, not silently lost). Default
+	// 4×Workers.
+	QueueCap int
+	// Mix is the operation mix; zero value means workload.MixReadHeavy.
+	Mix workload.Mix
+	// Keys is the keyspace size (row ids 1..Keys); default 10_000.
+	Keys uint64
+	// ZipfS skews key popularity when > 1; uniform otherwise.
+	ZipfS float64
+	// Seed makes the operation stream reproducible.
+	Seed int64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 64
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4 * cfg.Workers
+	}
+	if cfg.Mix.Read+cfg.Mix.Write+cfg.Mix.Scan == 0 {
+		cfg.Mix = workload.MixReadHeavy
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 10_000
+	}
+	if len(cfg.Ramp) == 0 {
+		cfg.Ramp = []Stage{{Rate: cfg.Rate, Duration: cfg.Duration}}
+	}
+	return cfg
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Offered counts operations the schedule generated (including drops).
+	Offered uint64
+	// Completed operations finished without error.
+	Completed uint64
+	// Busy operations ultimately failed with a server-busy rejection
+	// (after the transport's transparent retries, if enabled).
+	Busy uint64
+	// Failed operations returned any other error.
+	Failed uint64
+	// Dropped arrivals never executed: the client-side queue was full.
+	Dropped uint64
+	// Window is the offered-load window: the sum of the stage durations.
+	Window time.Duration
+	// Elapsed spans the first scheduled arrival to the last completion
+	// (the window plus however long the backlog took to drain).
+	Elapsed time.Duration
+	// Latency aggregates completed-operation latency measured from the
+	// scheduled arrival time (queue wait included).
+	Latency hist.Hist
+}
+
+// Goodput is completed operations per second over the offered-load
+// window — the open-loop convention: the denominator is the schedule the
+// harness controls, not the (system-dependent) drain tail, so two runs at
+// different overload levels are compared on equal footing.
+func (r *Result) Goodput() float64 {
+	den := r.Window
+	if den <= 0 {
+		den = r.Elapsed
+	}
+	if den <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / den.Seconds()
+}
+
+// arrival is one scheduled operation.
+type arrival struct {
+	op  workload.Op
+	due time.Time
+}
+
+// Run executes one open-loop run, invoking do once per arrival from a
+// bounded worker pool. do's error classifies the outcome: nil completed,
+// transport.IsBusy busy, anything else failed.
+func Run(cfg Config, do func(workload.Op) error) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{}
+	stream := workload.NewOpStream(cfg.Mix, cfg.Keys, cfg.ZipfS, cfg.Seed)
+	arrivals := make(chan arrival, cfg.QueueCap)
+
+	var completed, busy, failed atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range arrivals {
+				err := do(a.op)
+				lat := time.Since(a.due)
+				switch {
+				case err == nil:
+					completed.Add(1)
+					res.Latency.Observe(lat)
+				case transport.IsBusy(err):
+					busy.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+
+	// The pacer: arrivals are due at fixed offsets from the stage start,
+	// regardless of completions. Sleeping until each op's due time (rather
+	// than ticking a fixed interval) keeps the schedule honest even when
+	// the pacer itself is briefly descheduled: it catches up by emitting
+	// the overdue arrivals back to back.
+	start := time.Now()
+	for _, stage := range cfg.Ramp {
+		if stage.Rate <= 0 || stage.Duration <= 0 {
+			continue
+		}
+		res.Window += stage.Duration
+		interval := time.Duration(float64(time.Second) / stage.Rate)
+		stageStart := time.Now()
+		n := int(stage.Duration.Seconds() * stage.Rate)
+		for i := 0; i < n; i++ {
+			due := stageStart.Add(time.Duration(i) * interval)
+			if wait := time.Until(due); wait > 0 {
+				time.Sleep(wait)
+			}
+			res.Offered++
+			select {
+			case arrivals <- arrival{op: stream.Next(), due: due}:
+			default:
+				res.Dropped++
+			}
+		}
+		if tail := time.Until(stageStart.Add(stage.Duration)); tail > 0 {
+			time.Sleep(tail)
+		}
+	}
+	close(arrivals)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Completed = completed.Load()
+	res.Busy = busy.Load()
+	res.Failed = failed.Load()
+	return res
+}

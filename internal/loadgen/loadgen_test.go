@@ -1,0 +1,79 @@
+package loadgen
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sssdb/internal/proto"
+	"sssdb/internal/workload"
+)
+
+// TestRunOfferedAndClassification checks the open-loop schedule offers the
+// configured number of operations and classifies every outcome.
+func TestRunOfferedAndClassification(t *testing.T) {
+	var n atomic.Uint64
+	res := Run(Config{Rate: 1000, Duration: 200 * time.Millisecond, Workers: 8, Seed: 1},
+		func(op workload.Op) error {
+			switch n.Add(1) % 10 {
+			case 0:
+				return &proto.RemoteError{Code: proto.CodeServerBusy, Msg: "shed"}
+			case 1:
+				return errors.New("boom")
+			default:
+				return nil
+			}
+		})
+	if want := uint64(200); res.Offered != want {
+		t.Fatalf("offered %d ops, want %d", res.Offered, want)
+	}
+	if got := res.Completed + res.Busy + res.Failed + res.Dropped; got != res.Offered {
+		t.Fatalf("outcomes %d do not account for %d offered ops", got, res.Offered)
+	}
+	if res.Busy == 0 || res.Failed == 0 {
+		t.Fatalf("classification lost outcomes: %+v", res)
+	}
+	if res.Completed == 0 || res.Latency.Count() != res.Completed {
+		t.Fatalf("latency histogram holds %d samples, want %d", res.Latency.Count(), res.Completed)
+	}
+	if res.Goodput() <= 0 {
+		t.Fatal("goodput not computed")
+	}
+}
+
+// TestRunOpenLoopLatency proves coordinated-omission resistance: with one
+// worker and a handler far slower than the arrival interval, measured
+// latency must include the queue backlog, so the p99 greatly exceeds the
+// handler's own service time.
+func TestRunOpenLoopLatency(t *testing.T) {
+	const service = 5 * time.Millisecond
+	res := Run(Config{Rate: 400, Duration: 250 * time.Millisecond, Workers: 1, QueueCap: 1000, Seed: 2},
+		func(op workload.Op) error {
+			time.Sleep(service)
+			return nil
+		})
+	// 400/s offered into a 200/s server: the backlog grows the whole run,
+	// so tail latency is dominated by queue wait, not service time.
+	if p99 := res.Latency.Quantile(0.99); p99 < 4*service {
+		t.Fatalf("p99 %v under 2x overload; open-loop latency must include queue wait (service %v)", p99, service)
+	}
+}
+
+// TestRunRampStages checks a ramp schedule offers each stage's load.
+func TestRunRampStages(t *testing.T) {
+	res := Run(Config{
+		Ramp: []Stage{
+			{Rate: 100, Duration: 100 * time.Millisecond},
+			{Rate: 500, Duration: 100 * time.Millisecond},
+		},
+		Workers: 8,
+		Seed:    3,
+	}, func(op workload.Op) error { return nil })
+	if want := uint64(10 + 50); res.Offered != want {
+		t.Fatalf("ramp offered %d ops, want %d", res.Offered, want)
+	}
+	if res.Elapsed < 200*time.Millisecond {
+		t.Fatalf("ramp finished in %v, want >= 200ms", res.Elapsed)
+	}
+}

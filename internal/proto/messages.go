@@ -264,11 +264,13 @@ func (*OKResponse) Kind() Kind            { return KOK }
 func (m *OKResponse) marshal(w *writer)   { w.uvarint(m.Affected) }
 func (m *OKResponse) unmarshal(r *reader) { m.Affected = r.uvarint() }
 
-// StatsResponse answers a ping with the provider's storage state: how much
-// of the page cache is in use, how effective it is, and how far the WAL has
-// run ahead of the last checkpoint. The client's repair loop reads it on
-// every probe, so provider memory pressure and checkpoint lag are visible
-// without a separate stats round-trip.
+// StatsResponse answers a ping with the provider's storage and serving
+// state: how much of the page cache is in use, how effective it is, how far
+// the WAL has run ahead of the last checkpoint, how long fsyncs are taking,
+// and — on TCP servers — what the admission scheduler sees (queue depth,
+// admission waits, handler latency quantiles). The client's repair loop
+// reads it on every probe, so provider memory pressure, durability lag, and
+// serving pressure are visible without a separate stats round-trip.
 type StatsResponse struct {
 	Tables        uint64
 	Rows          uint64
@@ -284,6 +286,27 @@ type StatsResponse struct {
 	CheckpointLSN uint64 // LSN the durable manifest covers
 	CheckpointLag uint64 // records a restart would replay right now
 	Checkpoints   uint64
+
+	// WAL fsync visibility: how many group-commit fsyncs ran, their total
+	// and maximum wall time. Mean lag = WALFsyncNanos / WALFsyncs.
+	WALFsyncs       uint64
+	WALFsyncNanos   uint64
+	WALFsyncMaxNano uint64
+
+	// Serving-path stats, filled by the TCP transport's admission
+	// scheduler (zero on in-process loopback connections): current queue
+	// depth across tenant queues, tenants with queued work, cumulative
+	// admitted/shed request counts, and latency quantiles in nanoseconds
+	// for admission wait and handler execution.
+	QueueDepth   uint64
+	QueueTenants uint64
+	Admitted     uint64
+	Shed         uint64
+	AdmitWaitP50 uint64
+	AdmitWaitP99 uint64
+	HandleP50    uint64
+	HandleP99    uint64
+	HandleP999   uint64
 }
 
 func (*StatsResponse) Kind() Kind { return KStats }
@@ -302,6 +325,18 @@ func (m *StatsResponse) marshal(w *writer) {
 	w.uvarint(m.CheckpointLSN)
 	w.uvarint(m.CheckpointLag)
 	w.uvarint(m.Checkpoints)
+	w.uvarint(m.WALFsyncs)
+	w.uvarint(m.WALFsyncNanos)
+	w.uvarint(m.WALFsyncMaxNano)
+	w.uvarint(m.QueueDepth)
+	w.uvarint(m.QueueTenants)
+	w.uvarint(m.Admitted)
+	w.uvarint(m.Shed)
+	w.uvarint(m.AdmitWaitP50)
+	w.uvarint(m.AdmitWaitP99)
+	w.uvarint(m.HandleP50)
+	w.uvarint(m.HandleP99)
+	w.uvarint(m.HandleP999)
 }
 func (m *StatsResponse) unmarshal(r *reader) {
 	m.Tables = r.uvarint()
@@ -318,6 +353,18 @@ func (m *StatsResponse) unmarshal(r *reader) {
 	m.CheckpointLSN = r.uvarint()
 	m.CheckpointLag = r.uvarint()
 	m.Checkpoints = r.uvarint()
+	m.WALFsyncs = r.uvarint()
+	m.WALFsyncNanos = r.uvarint()
+	m.WALFsyncMaxNano = r.uvarint()
+	m.QueueDepth = r.uvarint()
+	m.QueueTenants = r.uvarint()
+	m.Admitted = r.uvarint()
+	m.Shed = r.uvarint()
+	m.AdmitWaitP50 = r.uvarint()
+	m.AdmitWaitP99 = r.uvarint()
+	m.HandleP50 = r.uvarint()
+	m.HandleP99 = r.uvarint()
+	m.HandleP999 = r.uvarint()
 }
 
 // ErrorResponse reports a provider-side failure.

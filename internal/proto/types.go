@@ -183,6 +183,11 @@ const (
 	CodeDuplicateRow
 	CodeNoSuchRow
 	CodeInternal
+	// CodeServerBusy is a fast-fail admission rejection: the server's
+	// scheduler shed the request before executing it (the tenant's queue
+	// was full or the server is draining). The request never ran, so the
+	// client may safely retry after a backoff.
+	CodeServerBusy
 )
 
 func (c ErrorCode) String() string {
@@ -201,6 +206,8 @@ func (c ErrorCode) String() string {
 		return "no such row id"
 	case CodeInternal:
 		return "internal error"
+	case CodeServerBusy:
+		return "server busy"
 	default:
 		return "unknown error"
 	}

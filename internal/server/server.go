@@ -77,20 +77,23 @@ func (p *Provider) Handle(req proto.Message) proto.Message {
 		// pressure and checkpoint lag from every liveness check.
 		st := p.store.Stats()
 		return &proto.StatsResponse{
-			Tables:        uint64(st.Tables),
-			Rows:          st.Rows,
-			Pages:         st.Pages,
-			ResidentPages: st.ResidentPages,
-			ResidentBytes: st.ResidentBytes,
-			CacheBudget:   st.CacheBudget,
-			CacheHits:     st.CacheHits,
-			CacheMisses:   st.CacheMisses,
-			Evictions:     st.Evictions,
-			Writebacks:    st.Writebacks,
-			WALRecords:    st.WALRecords,
-			CheckpointLSN: st.CheckpointLSN,
-			CheckpointLag: st.CheckpointLag,
-			Checkpoints:   st.Checkpoints,
+			Tables:          uint64(st.Tables),
+			Rows:            st.Rows,
+			Pages:           st.Pages,
+			ResidentPages:   st.ResidentPages,
+			ResidentBytes:   st.ResidentBytes,
+			CacheBudget:     st.CacheBudget,
+			CacheHits:       st.CacheHits,
+			CacheMisses:     st.CacheMisses,
+			Evictions:       st.Evictions,
+			Writebacks:      st.Writebacks,
+			WALRecords:      st.WALRecords,
+			CheckpointLSN:   st.CheckpointLSN,
+			CheckpointLag:   st.CheckpointLag,
+			Checkpoints:     st.Checkpoints,
+			WALFsyncs:       st.WALFsyncs,
+			WALFsyncNanos:   st.WALFsyncNanos,
+			WALFsyncMaxNano: st.WALFsyncMaxNano,
 		}
 	case *proto.CreateTableRequest:
 		if err := p.store.CreateTable(m.Spec); err != nil {

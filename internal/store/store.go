@@ -257,6 +257,13 @@ type Stats struct {
 	Checkpoints        uint64
 	CheckpointFailures uint64
 	RecoveredRecords   uint64 // WAL records replayed at Open
+
+	// WAL fsync lag: group-commit fsync count, cumulative and worst-case
+	// wall time. A commit path stalling on a slow disk shows up here
+	// before it shows up as tail latency.
+	WALFsyncs       uint64
+	WALFsyncNanos   uint64
+	WALFsyncMaxNano uint64
 }
 
 // Stats returns current storage statistics.
@@ -287,6 +294,7 @@ func (s *Store) Stats() Stats {
 	if s.log != nil {
 		st.WALRecords = s.log.LSN()
 		st.CheckpointLag = st.WALRecords - st.CheckpointLSN
+		st.WALFsyncs, st.WALFsyncNanos, st.WALFsyncMaxNano = s.log.SyncStats()
 	}
 	return st
 }

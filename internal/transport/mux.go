@@ -26,6 +26,12 @@ const (
 	// reader backpressures the connection.
 	streamWindow = 4
 	connBufSize  = 64 << 10
+	// Busy-retry tuning: a CodeServerBusy rejection was shed before
+	// executing, so retrying is always safe; exponential backoff keeps
+	// retries from re-contributing to the overload that shed them.
+	defaultBusyRetries = 4
+	busyBackoffBase    = 2 * time.Millisecond
+	busyBackoffCap     = 100 * time.Millisecond
 )
 
 // DialConfig tunes a TCP provider connection.
@@ -41,6 +47,17 @@ type DialConfig struct {
 	// connection dies. 0 means the default (2); negative disables
 	// reconnecting entirely.
 	MaxRedials int
+	// Tenant names the workload this session belongs to for the server's
+	// admission scheduler: all connections announcing the same tenant share
+	// one fair-scheduling queue, however many there are. Empty joins the
+	// anonymous tenant.
+	Tenant string
+	// BusyRetries caps transparent retries (with exponential backoff) of
+	// calls the server shed with CodeServerBusy. Shed requests never
+	// executed, so the retry is safe even for writes. 0 means the default
+	// (4); negative disables retrying, surfacing the busy error to the
+	// caller.
+	BusyRetries int
 }
 
 // Dial connects to a provider at addr (host:port).
@@ -65,6 +82,12 @@ func DialWith(addr string, cfg DialConfig) (Conn, error) {
 		cfg.MaxRedials = defaultMaxRedials
 	case cfg.MaxRedials < 0:
 		cfg.MaxRedials = 0
+	}
+	switch {
+	case cfg.BusyRetries == 0:
+		cfg.BusyRetries = defaultBusyRetries
+	case cfg.BusyRetries < 0:
+		cfg.BusyRetries = 0
 	}
 	c := &tcpConn{addr: addr, cfg: cfg}
 	s, err := c.dialSession()
@@ -248,7 +271,7 @@ func (c *tcpConn) negotiate(s *session) (int32, error) {
 			return 0, err
 		}
 	}
-	hello := helloBody(protoVersionMux)
+	hello := helloBody(protoVersionMux, c.cfg.Tenant)
 	if err := writeFrame(s.bw, hello); err != nil {
 		return 0, err
 	}
@@ -268,7 +291,7 @@ func (c *tcpConn) negotiate(s *session) (int32, error) {
 			return 0, err
 		}
 	}
-	if v, ok := parseNegotiation(ack, ackPrefix); ok && v >= protoVersionMux {
+	if v, _, ok := parseNegotiation(ack, ackPrefix); ok && v >= protoVersionMux {
 		s.version.Store(protoVersionMux)
 		go s.readLoop()
 		return protoVersionMux, nil
@@ -307,11 +330,40 @@ func (c *tcpConn) CallStream(req proto.Message, yield func(*proto.RowsResponse) 
 	}
 }
 
-// do runs one call, redialing a dead session up to MaxRedials times as
+// do runs one call with transparent busy-retries: a response the server
+// shed with CodeServerBusy (admission queue full — the request never
+// executed, so replaying is safe even for writes) is retried up to
+// BusyRetries times behind exponential backoff. Anything else passes
+// straight through.
+func (c *tcpConn) do(req proto.Message, yield func(*proto.RowsResponse) error) (proto.Message, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.doOnce(req, yield)
+		busy := IsBusy(err)
+		if er, ok := resp.(*proto.ErrorResponse); ok && er.Code == proto.CodeServerBusy {
+			busy = true
+		}
+		if !busy || attempt >= c.cfg.BusyRetries {
+			return resp, err
+		}
+		time.Sleep(busyBackoff(attempt))
+	}
+}
+
+// busyBackoff is the wait before busy-retry attempt+1: exponential from
+// busyBackoffBase, capped.
+func busyBackoff(attempt int) time.Duration {
+	d := busyBackoffBase << attempt
+	if d > busyBackoffCap || d <= 0 {
+		return busyBackoffCap
+	}
+	return d
+}
+
+// doOnce runs one call, redialing a dead session up to MaxRedials times as
 // long as the request has not touched the wire (a request that may have
 // reached the provider is never replayed — the caller's failover logic
 // owns that decision).
-func (c *tcpConn) do(req proto.Message, yield func(*proto.RowsResponse) error) (proto.Message, error) {
+func (c *tcpConn) doOnce(req proto.Message, yield func(*proto.RowsResponse) error) (proto.Message, error) {
 	body := proto.Encode(req)
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRedials; attempt++ {

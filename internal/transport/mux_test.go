@@ -161,7 +161,7 @@ func TestMuxStatsExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := c.Stats()
-	hello := frameLen(helloBody(protoVersionMux)) // 6-byte body + 8-byte legacy header
+	hello := frameLen(helloBody(protoVersionMux, "")) // 6-byte body + 8-byte legacy header
 	ping := frameLenV2(proto.Encode(&proto.PingRequest{}))
 	if want := hello + ping; st.BytesSent != want {
 		t.Fatalf("sent %d bytes, want %d", st.BytesSent, want)

@@ -20,19 +20,41 @@ const (
 	// outQueueLen buffers response frames between handler workers and the
 	// per-connection writer goroutine.
 	outQueueLen = 64
+	// defaultWriteStall bounds how long the writer goroutine may sit in one
+	// socket write before the connection is declared dead. With a shared
+	// handler pool, a client that stops reading would otherwise wedge pool
+	// workers behind its full response queue indefinitely.
+	defaultWriteStall = 30 * time.Second
 )
 
 // ServerConfig tunes a provider-side transport server.
 type ServerConfig struct {
-	// MaxInflight caps concurrently-executing handlers per multiplexed
-	// connection; excess requests queue at the frame reader. 0 means the
+	// MaxInflight caps concurrently-executing handlers across the WHOLE
+	// server (it was per-connection before the admission scheduler): this
+	// is the global inflight budget the per-tenant queues drain into, so N
+	// connections can no longer overcommit the store N-fold. 0 means the
 	// default (32, floored at 2×GOMAXPROCS).
 	MaxInflight int
+	// MaxQueue bounds pending (admitted-but-not-executing) requests per
+	// tenant; a request arriving at a full queue is shed immediately with
+	// CodeServerBusy instead of waiting. 0 means the default
+	// (8×MaxInflight); negative means 1.
+	MaxQueue int
+	// TenantWeights sets deficit-round-robin weights by tenant id (the id
+	// the client sent in its hello). Unlisted tenants weigh 1. A tenant
+	// with weight w gets w shares of the inflight budget under contention,
+	// however many connections it opens.
+	TenantWeights map[string]int
 	// ChunkBytes is the streaming threshold and chunk size target: a
 	// RowsResponse whose rows exceed it is sent as a sequence of row-chunk
 	// frames of roughly ChunkBytes each, bounding encode-buffer memory.
 	// 0 means the default (256 KiB); negative disables streaming.
 	ChunkBytes int
+	// WriteStall bounds a single blocking socket write; a connection whose
+	// client stops reading for longer is closed so shared pool workers
+	// cannot be held hostage by its backpressure. 0 means the default
+	// (30s); negative disables the bound.
+	WriteStall time.Duration
 }
 
 func (cfg ServerConfig) withDefaults() ServerConfig {
@@ -42,25 +64,43 @@ func (cfg ServerConfig) withDefaults() ServerConfig {
 			cfg.MaxInflight = floor
 		}
 	}
+	switch {
+	case cfg.MaxQueue == 0:
+		cfg.MaxQueue = 8 * cfg.MaxInflight
+	case cfg.MaxQueue < 0:
+		cfg.MaxQueue = 1
+	}
 	if cfg.ChunkBytes == 0 {
 		cfg.ChunkBytes = defaultChunkBytes
+	}
+	switch {
+	case cfg.WriteStall == 0:
+		cfg.WriteStall = defaultWriteStall
+	case cfg.WriteStall < 0:
+		cfg.WriteStall = 0
 	}
 	return cfg
 }
 
-// Server accepts framed connections and dispatches them to a Handler.
-// Multiplexed (v2) connections execute requests on a bounded worker pool
-// and reply out of order through a per-connection writer goroutine; legacy
-// (v1) connections are served one request at a time, in order.
+// Server accepts framed connections and dispatches them to a Handler
+// through a server-wide admission scheduler: requests from every
+// connection land in per-tenant FIFO queues (the tenant is announced in
+// the connection hello; legacy and anonymous connections share one queue)
+// drained deficit-weighted round-robin into a global worker budget.
+// Requests beyond a tenant's queue bound are shed fast with
+// CodeServerBusy. Legacy (v1) connections are served one request at a
+// time, in order, through the same scheduler.
 type Server struct {
-	handler Handler
-	cfg     ServerConfig
-	ln      net.Listener
-	mu      sync.Mutex
-	conns   map[net.Conn]struct{}
-	done    chan struct{}
-	closed  sync.Once
-	wg      sync.WaitGroup
+	handler  Handler
+	cfg      ServerConfig
+	sched    *scheduler
+	ln       net.Listener
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	done     chan struct{}
+	quiesced sync.Once
+	closed   sync.Once
+	wg       sync.WaitGroup
 }
 
 // NewServer starts serving h on ln with default configuration. It returns
@@ -71,9 +111,11 @@ func NewServer(ln net.Listener, h Handler) *Server {
 
 // NewServerWith starts serving h on ln with explicit configuration.
 func NewServerWith(ln net.Listener, h Handler, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{
 		handler: h,
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
+		sched:   newScheduler(cfg.MaxInflight, cfg.MaxQueue, cfg.TenantWeights),
 		ln:      ln,
 		conns:   make(map[net.Conn]struct{}),
 		done:    make(chan struct{}),
@@ -85,6 +127,10 @@ func NewServerWith(ln net.Listener, h Handler, cfg ServerConfig) *Server {
 
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// SchedStats returns a snapshot of the admission scheduler (queue depth,
+// admitted/shed counts, admission-wait and handler-latency quantiles).
+func (s *Server) SchedStats() SchedStats { return s.sched.stats() }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -130,19 +176,20 @@ func (s *Server) serveConn(nc net.Conn) {
 	br := bufio.NewReaderSize(nc, connBufSize)
 	bw := bufio.NewWriterSize(nc, connBufSize)
 	// The first frame decides the protocol version: a hello upgrades the
-	// connection to v2; anything else is a legacy client's first request.
+	// connection to v2 (and names the tenant the session belongs to);
+	// anything else is a legacy client's first request.
 	first, err := readFrame(br)
 	if err != nil {
 		return
 	}
-	if _, isHello := parseNegotiation(first, helloPrefix); isHello {
+	if _, tenant, isHello := parseNegotiation(first, helloPrefix); isHello {
 		if err := writeFrame(bw, ackBody(protoVersionMux)); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
 			return
 		}
-		s.serveMux(nc, br, bw)
+		s.serveMux(nc, br, bw, string(tenant))
 		return
 	}
 	if !s.serveLegacyRequest(bw, first) {
@@ -159,15 +206,34 @@ func (s *Server) serveConn(nc net.Conn) {
 	}
 }
 
-// serveLegacyRequest handles one v1 request body and reports whether the
-// connection is still usable.
+// handleOne runs one buffered request through the handler, attaching the
+// scheduler's serving stats to stats replies so every ping doubles as a
+// queue-pressure probe.
+func (s *Server) handleOne(req proto.Message) proto.Message {
+	resp := s.handler.Handle(req)
+	if sr, ok := resp.(*proto.StatsResponse); ok {
+		s.sched.fillStats(sr)
+	}
+	return resp
+}
+
+// serveLegacyRequest handles one v1 request body (through the admission
+// scheduler, tenant "") and reports whether the connection is still usable.
 func (s *Server) serveLegacyRequest(bw *bufio.Writer, body []byte) bool {
 	req, err := proto.Decode(body)
 	var resp proto.Message
 	if err != nil {
 		resp = &proto.ErrorResponse{Code: proto.CodeBadRequest, Msg: err.Error()}
 	} else {
-		resp = s.handler.Handle(req)
+		done := make(chan proto.Message, 1)
+		admitted := s.sched.submit("", &schedItem{enq: time.Now(), run: func() {
+			done <- s.handleOne(req)
+		}})
+		if admitted {
+			resp = <-done
+		} else {
+			resp = busyResponse()
+		}
 	}
 	if err := writeFrame(bw, proto.Encode(resp)); err != nil {
 		return false
@@ -183,11 +249,13 @@ type outFrame struct {
 }
 
 // serveMux runs the v2 loop: the read side decodes request frames and
-// hands each to a worker (bounded by MaxInflight); workers push response
-// frames — possibly several chunk frames per response — into out, and a
-// single writer goroutine serializes them onto the socket, so responses
-// complete in whatever order the handlers finish.
-func (s *Server) serveMux(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) {
+// submits each to the server-wide scheduler under this connection's
+// tenant; scheduler workers push response frames — possibly several chunk
+// frames per response — into out, and a single writer goroutine serializes
+// them onto the socket, so responses complete in whatever order the
+// handlers finish. Requests the scheduler sheds are answered inline with
+// CodeServerBusy without consuming a worker.
+func (s *Server) serveMux(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, tenant string) {
 	out := make(chan outFrame, outQueueLen)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -195,14 +263,23 @@ func (s *Server) serveMux(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) {
 		defer writerWG.Done()
 		s.writeLoop(nc, bw, out)
 	}()
-	sem := make(chan struct{}, s.cfg.MaxInflight)
-	var handlers sync.WaitGroup
+	// pending tracks requests this connection has handed to the scheduler
+	// (queued or executing); out may not close until they have produced
+	// their frames.
+	var pending sync.WaitGroup
 	// cancels maps in-flight request ids to their cancellation signal. The
-	// read loop registers an id before spawning its worker and processes
-	// frames in order, so a cancel frame (which the client writes after the
-	// request) can never observe its request as unregistered.
+	// read loop registers an id before submitting its work item and
+	// processes frames in order, so a cancel frame (which the client writes
+	// after the request) can never observe its request as unregistered. A
+	// cancel for a still-queued request closes the signal early, and the
+	// streaming path checks it before producing anything.
 	var cancelMu sync.Mutex
 	cancels := make(map[uint64]chan struct{})
+	unregister := func(id uint64) {
+		cancelMu.Lock()
+		delete(cancels, id)
+		cancelMu.Unlock()
+	}
 	for {
 		id, flags, body, err := readFrameV2(br)
 		if err != nil {
@@ -227,35 +304,40 @@ func (s *Server) serveMux(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) {
 		cancelMu.Lock()
 		cancels[id] = cancel
 		cancelMu.Unlock()
-		sem <- struct{}{}
-		handlers.Add(1)
-		go func(id uint64, req proto.Message, cancel chan struct{}) {
-			defer handlers.Done()
-			defer func() { <-sem }()
-			defer func() {
-				cancelMu.Lock()
-				delete(cancels, id)
-				cancelMu.Unlock()
-			}()
-			if s.cfg.ChunkBytes > 0 {
-				if sh, ok := s.handler.(StreamHandler); ok {
-					if s.serveStream(sh, id, req, cancel, out) {
-						return
-					}
-				}
-			}
-			resp := s.handler.Handle(req)
-			// One handler emits its frames in order into the shared queue;
-			// interleaving with other responses is fine — every frame
-			// carries its request id.
-			for _, f := range s.responseFrames(id, resp) {
-				out <- f
-			}
-		}(id, req, cancel)
+		pending.Add(1)
+		admitted := s.sched.submit(tenant, &schedItem{enq: time.Now(), run: func() {
+			defer pending.Done()
+			defer unregister(id)
+			s.runRequest(id, req, cancel, out)
+		}})
+		if !admitted {
+			unregister(id)
+			pending.Done()
+			out <- outFrame{id: id, flags: flagFinal, body: proto.Encode(busyResponse())}
+		}
 	}
-	handlers.Wait()
+	pending.Wait()
 	close(out)
 	writerWG.Wait()
+}
+
+// runRequest executes one admitted request, preferring the streaming path
+// for handlers that support it.
+func (s *Server) runRequest(id uint64, req proto.Message, cancel chan struct{}, out chan<- outFrame) {
+	if s.cfg.ChunkBytes > 0 {
+		if sh, ok := s.handler.(StreamHandler); ok {
+			if s.serveStream(sh, id, req, cancel, out) {
+				return
+			}
+		}
+	}
+	resp := s.handleOne(req)
+	// One handler emits its frames in order into the shared queue;
+	// interleaving with other responses is fine — every frame carries its
+	// request id.
+	for _, f := range s.responseFrames(id, resp) {
+		out <- f
+	}
 }
 
 // serveStream runs one request through the handler's streaming path,
@@ -309,19 +391,29 @@ func (s *Server) serveStream(sh StreamHandler, id uint64, req proto.Message, can
 // writeLoop drains response frames onto the socket, flushing only when the
 // queue runs dry so bursts of small responses batch into few syscalls. On
 // a write error it closes the socket (unblocking the read loop) and keeps
-// draining so handler workers never block on a dead connection.
+// draining so handler workers never block on a dead connection. Each write
+// is bounded by WriteStall: a client that stops reading long enough to
+// stall the writer is treated as dead rather than allowed to wedge shared
+// pool workers behind its full response queue.
 func (s *Server) writeLoop(nc net.Conn, bw *bufio.Writer, out <-chan outFrame) {
 	failed := false
+	arm := func() {
+		if s.cfg.WriteStall > 0 {
+			nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteStall))
+		}
+	}
 	for f := range out {
 		if failed {
 			continue
 		}
+		arm()
 		if err := writeFrameV2(bw, f.id, f.flags, f.body); err != nil {
 			failed = true
 			nc.Close()
 			continue
 		}
 		if len(out) == 0 {
+			arm()
 			if err := bw.Flush(); err != nil {
 				failed = true
 				nc.Close()
@@ -329,6 +421,7 @@ func (s *Server) writeLoop(nc net.Conn, bw *bufio.Writer, out <-chan outFrame) {
 		}
 	}
 	if !failed {
+		arm()
 		bw.Flush()
 	}
 }
@@ -373,19 +466,59 @@ func (s *Server) responseFrames(id uint64, resp proto.Message) []outFrame {
 	return frames
 }
 
+// quiesce stops accepting new connections. Idempotent.
+func (s *Server) quiesce() error {
+	var err error
+	s.quiesced.Do(func() {
+		close(s.done)
+		err = s.ln.Close()
+	})
+	return err
+}
+
+// Shutdown gracefully stops the server: it stops accepting connections,
+// sheds new requests with CodeServerBusy, waits up to timeout for queued
+// and executing requests to finish, then closes every connection and
+// stops the scheduler. It returns true when the drain completed within the
+// timeout (false means remaining work was cut off by the close).
+func (s *Server) Shutdown(timeout time.Duration) bool {
+	s.quiesce()
+	s.sched.drain()
+	drained := s.sched.waitIdle(timeout)
+	if drained {
+		// Close only the read half of each connection: its read loop sees
+		// EOF and winds down through the normal path, which flushes any
+		// response frames still queued for the writer before the socket
+		// closes. A full close here could cut off an answer the drain just
+		// finished computing.
+		s.mu.Lock()
+		for nc := range s.conns {
+			if cr, ok := nc.(interface{ CloseRead() error }); ok {
+				cr.CloseRead()
+			} else {
+				nc.Close()
+			}
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	}
+	s.Close()
+	return drained
+}
+
 // Close stops accepting, closes all connections, and waits for handlers.
 // It is safe to call more than once.
 func (s *Server) Close() error {
 	var err error
 	s.closed.Do(func() {
-		close(s.done)
-		err = s.ln.Close()
+		err = s.quiesce()
 		s.mu.Lock()
 		for nc := range s.conns {
 			nc.Close()
 		}
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.sched.close()
 	})
 	return err
 }

@@ -280,9 +280,15 @@ var (
 	ackPrefix   = []byte{0, 'S', 'S', 'X', 'A'}
 )
 
-// helloBody builds the client hello advertising its maximum version.
-func helloBody(maxVersion uint8) []byte {
-	return append(append([]byte(nil), helloPrefix...), maxVersion)
+// helloBody builds the client hello advertising its maximum version,
+// followed by the session's tenant id (arbitrary trailing bytes, possibly
+// empty). Servers predating tenant ids required an exact-length hello, so
+// a tenant-bearing hello falls back to v1 against them — a harmless
+// degradation (v1 still serves every request) that disappears once both
+// ends upgrade.
+func helloBody(maxVersion uint8, tenant string) []byte {
+	b := append(append([]byte(nil), helloPrefix...), maxVersion)
+	return append(b, tenant...)
 }
 
 // ackBody builds the server ack selecting the version to speak.
@@ -291,17 +297,18 @@ func ackBody(version uint8) []byte {
 }
 
 // parseNegotiation matches body against the given prefix and returns the
-// trailing version byte.
-func parseNegotiation(body, prefix []byte) (version uint8, ok bool) {
-	if len(body) != len(prefix)+1 {
-		return 0, false
+// version byte plus any trailing payload (the tenant id on hellos; empty
+// on acks and old-client hellos).
+func parseNegotiation(body, prefix []byte) (version uint8, rest []byte, ok bool) {
+	if len(body) < len(prefix)+1 {
+		return 0, nil, false
 	}
 	for i, b := range prefix {
 		if body[i] != b {
-			return 0, false
+			return 0, nil, false
 		}
 	}
-	return body[len(prefix)], true
+	return body[len(prefix)], body[len(prefix)+1:], true
 }
 
 // --- In-process loopback ---

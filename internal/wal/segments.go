@@ -30,6 +30,12 @@ type Segmented struct {
 	curFirst uint64 // LSN the active segment's first record has (or will have)
 	lsn      uint64 // last appended LSN
 	sealed   []sealedSegment
+
+	// fsync stats of segments already retired by TruncateThrough, folded
+	// in so SyncStats stays cumulative across the log's whole life.
+	retiredFsyncs     uint64
+	retiredFsyncNanos uint64
+	retiredFsyncMax   uint64
 }
 
 type sealedSegment struct {
@@ -157,6 +163,30 @@ func (s *Segmented) Sync() error {
 	return cur.Sync()
 }
 
+// SyncStats reports cumulative group-commit fsync count, total nanoseconds,
+// and the single slowest fsync across every segment this log has owned.
+func (s *Segmented) SyncStats() (count, nanos, max uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	count, nanos, max = s.retiredFsyncs, s.retiredFsyncNanos, s.retiredFsyncMax
+	logs := make([]*Log, 0, len(s.sealed)+1)
+	logs = append(logs, s.cur)
+	for _, seg := range s.sealed {
+		if seg.log != nil {
+			logs = append(logs, seg.log)
+		}
+	}
+	for _, l := range logs {
+		c, n, m := l.SyncStats()
+		count += c
+		nanos += n
+		if m > max {
+			max = m
+		}
+	}
+	return count, nanos, max
+}
+
 // Rotate seals the active segment — flushing and fsyncing it, so every
 // record up to LSN() is durable — and starts a new one. An empty active
 // segment is left in place. The sealed file stays open (and replayable)
@@ -199,6 +229,12 @@ func (s *Segmented) TruncateThrough(lsn uint64) error {
 			continue
 		}
 		if seg.log != nil {
+			c, n, m := seg.log.SyncStats()
+			s.retiredFsyncs += c
+			s.retiredFsyncNanos += n
+			if m > s.retiredFsyncMax {
+				s.retiredFsyncMax = m
+			}
 			if err := seg.log.Close(); err != nil && firstErr == nil {
 				firstErr = err
 			}

@@ -22,6 +22,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -47,6 +49,13 @@ type Log struct {
 	// syncMu serializes fsyncs and guards synced.
 	syncMu sync.Mutex
 	synced uint64 // highest seq known to be on stable storage
+
+	// fsync timing, readable without locks (SyncStats): the serving layer
+	// reports fsync lag on every ping so a slow disk is visible before it
+	// becomes a latency incident.
+	fsyncs     atomic.Uint64
+	fsyncNanos atomic.Uint64
+	fsyncMax   atomic.Uint64
 }
 
 // Open opens (creating if needed) the log at path for appending. Any torn
@@ -116,13 +125,34 @@ func (l *Log) Sync() error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.observeFsync(time.Since(start))
 	if l.synced < covered {
 		l.synced = covered
 	}
 	return nil
+}
+
+// observeFsync records one fsync's wall time.
+func (l *Log) observeFsync(d time.Duration) {
+	ns := uint64(d)
+	l.fsyncs.Add(1)
+	l.fsyncNanos.Add(ns)
+	for {
+		cur := l.fsyncMax.Load()
+		if ns <= cur || l.fsyncMax.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// SyncStats reports how many group-commit fsyncs ran and their total and
+// maximum wall time in nanoseconds.
+func (l *Log) SyncStats() (count, nanos, max uint64) {
+	return l.fsyncs.Load(), l.fsyncNanos.Load(), l.fsyncMax.Load()
 }
 
 // Close flushes and closes the log.

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	mrand "math/rand"
+)
+
+// OpKind classifies one serving-workload operation.
+type OpKind uint8
+
+const (
+	// OpRead is a point lookup of one row by key.
+	OpRead OpKind = iota
+	// OpWrite is an update of one row by key.
+	OpWrite
+	// OpScan is a short range scan of ScanLimit rows starting at the key.
+	OpScan
+)
+
+// String names the kind for reports.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpScan:
+		return "scan"
+	default:
+		return "unknown"
+	}
+}
+
+// Mix is a serving-workload operation mix in the YCSB style: percentages
+// of point reads, point writes, and short scans, summing to 100.
+type Mix struct {
+	Name  string
+	Read  int
+	Write int
+	Scan  int
+	// ScanLimit is the row count of each OpScan (0 when Scan is 0).
+	ScanLimit int
+}
+
+// The canned mixes the load harness and S6 suites use. ReadHeavy is
+// YCSB-B shaped, Balanced is YCSB-A, ScanHeavy is YCSB-E shaped (short
+// scans with a trickle of writes).
+var (
+	MixReadHeavy = Mix{Name: "read-heavy", Read: 95, Write: 5}
+	MixBalanced  = Mix{Name: "50-50", Read: 50, Write: 50}
+	MixScanHeavy = Mix{Name: "scan-heavy", Read: 0, Write: 5, Scan: 95, ScanLimit: 50}
+)
+
+// Mixes lists the canned mixes.
+func Mixes() []Mix { return []Mix{MixReadHeavy, MixBalanced, MixScanHeavy} }
+
+// MixByName resolves a canned mix by its Name.
+func MixByName(name string) (Mix, bool) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mix{}, false
+}
+
+// Op is one generated operation against a keyspace of row ids.
+type Op struct {
+	Kind OpKind
+	// Key is a 1-based row id in [1, keys].
+	Key uint64
+}
+
+// OpStream deterministically generates operations following a Mix over a
+// fixed keyspace, optionally with Zipf-skewed key popularity. Identical
+// (mix, keys, skew, seed) inputs yield identical streams, so open-loop
+// load runs are reproducible. An OpStream is not safe for concurrent use;
+// give each generator goroutine its own (offset the seed per worker).
+type OpStream struct {
+	mix  Mix
+	keys uint64
+	rng  *mrand.Rand
+	zipf *mrand.Zipf
+}
+
+// NewOpStream builds a stream over keys row ids. zipfS > 1 skews key
+// popularity with a Zipf(s=zipfS) distribution; zipfS <= 1 selects keys
+// uniformly. keys must be at least 1.
+func NewOpStream(mix Mix, keys uint64, zipfS float64, seed int64) *OpStream {
+	if keys == 0 {
+		keys = 1
+	}
+	rng := mrand.New(mrand.NewSource(seed))
+	s := &OpStream{mix: mix, keys: keys, rng: rng}
+	if zipfS > 1 && keys > 1 {
+		s.zipf = mrand.NewZipf(rng, zipfS, 1, keys-1)
+	}
+	return s
+}
+
+// Next generates the next operation.
+func (s *OpStream) Next() Op {
+	var key uint64
+	if s.zipf != nil {
+		key = s.zipf.Uint64() + 1
+	} else {
+		key = uint64(s.rng.Int63n(int64(s.keys))) + 1
+	}
+	roll := s.rng.Intn(100)
+	kind := OpScan
+	switch {
+	case roll < s.mix.Read:
+		kind = OpRead
+	case roll < s.mix.Read+s.mix.Write:
+		kind = OpWrite
+	}
+	return Op{Kind: kind, Key: key}
+}

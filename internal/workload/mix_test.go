@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestOpStreamDeterminism locks down reproducibility: identical parameters
+// must generate identical operation streams, and a different seed must
+// diverge.
+func TestOpStreamDeterminism(t *testing.T) {
+	const n = 1000
+	a := NewOpStream(MixBalanced, 10_000, 1.2, 42)
+	b := NewOpStream(MixBalanced, 10_000, 1.2, 42)
+	diverged := false
+	c := NewOpStream(MixBalanced, 10_000, 1.2, 43)
+	for i := 0; i < n; i++ {
+		oa, ob, oc := a.Next(), b.Next(), c.Next()
+		if oa != ob {
+			t.Fatalf("op %d: same seed produced %v and %v", i, oa, ob)
+		}
+		if oa != oc {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical 1000-op streams")
+	}
+}
+
+// TestOpStreamMixRatios checks every canned mix's generated kind fractions
+// land near their specification, and that keys stay in [1, keys].
+func TestOpStreamMixRatios(t *testing.T) {
+	const (
+		n    = 20_000
+		keys = 500
+		tol  = 2.0 // percentage points of slack on a 20k sample
+	)
+	for _, mix := range Mixes() {
+		if mix.Read+mix.Write+mix.Scan != 100 {
+			t.Fatalf("mix %s percentages sum to %d, want 100", mix.Name, mix.Read+mix.Write+mix.Scan)
+		}
+		s := NewOpStream(mix, keys, 0, 7)
+		var counts [3]int
+		for i := 0; i < n; i++ {
+			op := s.Next()
+			if op.Key < 1 || op.Key > keys {
+				t.Fatalf("mix %s generated key %d outside [1, %d]", mix.Name, op.Key, keys)
+			}
+			counts[op.Kind]++
+		}
+		for kind, want := range map[OpKind]int{OpRead: mix.Read, OpWrite: mix.Write, OpScan: mix.Scan} {
+			got := float64(counts[kind]) * 100 / n
+			if got < float64(want)-tol || got > float64(want)+tol {
+				t.Errorf("mix %s: %s fraction %.2f%%, want %d%% ± %.0f", mix.Name, kind, got, want, tol)
+			}
+		}
+	}
+}
+
+// TestOpStreamZipfSkew sanity-checks key skew: under Zipf the hottest key
+// must be dramatically more popular than under uniform selection, and the
+// uniform stream must stay near-flat.
+func TestOpStreamZipfSkew(t *testing.T) {
+	const (
+		n    = 50_000
+		keys = 1000
+	)
+	hottest := func(zipfS float64) (key uint64, frac float64) {
+		s := NewOpStream(MixReadHeavy, keys, zipfS, 11)
+		counts := make(map[uint64]int)
+		for i := 0; i < n; i++ {
+			counts[s.Next().Key]++
+		}
+		best, bestKey := 0, uint64(0)
+		for k, c := range counts {
+			if c > best {
+				best, bestKey = c, k
+			}
+		}
+		return bestKey, float64(best) / n
+	}
+	_, uniformTop := hottest(0)
+	skewKey, skewTop := hottest(1.5)
+	// Uniform: expected 1/1000 per key; the max of 1000 binomials stays
+	// well under 1%.
+	if uniformTop > 0.01 {
+		t.Fatalf("uniform hottest key holds %.2f%% of ops, want < 1%%", uniformTop*100)
+	}
+	// Zipf(1.5) concentrates heavily on the first ranks.
+	if skewTop < 0.05 {
+		t.Fatalf("zipf hottest key holds %.2f%% of ops, want >= 5%%", skewTop*100)
+	}
+	if skewTop < uniformTop*10 {
+		t.Fatalf("zipf hottest (%.3f) not clearly hotter than uniform hottest (%.3f)", skewTop, uniformTop)
+	}
+	if skewKey > keys/10 {
+		t.Errorf("zipf hottest key is %d; Zipf popularity should concentrate on low ranks", skewKey)
+	}
+}

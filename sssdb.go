@@ -112,6 +112,17 @@ type DialConfig struct {
 	// dies, per call, for requests that never reached the wire. Zero
 	// means the default (2); negative disables redialing.
 	MaxRedials int
+	// Tenant names this client's workload to the providers' admission
+	// schedulers: all connections carrying the same tenant id share one
+	// fair-scheduling queue server-side, so opening more connections (or
+	// more clients) under one tenant never multiplies that tenant's share.
+	// Empty joins the anonymous tenant.
+	Tenant string
+	// BusyRetries caps transparent retries (with exponential backoff) when
+	// an overloaded provider sheds a request with "server busy". Shed
+	// requests never executed, so retrying is safe. Zero means the default
+	// (4); negative disables retrying and surfaces the busy error.
+	BusyRetries int
 }
 
 // Open connects a data source to n providers listening at the given TCP
@@ -136,6 +147,8 @@ func OpenWith(addrs []string, opts Options, dc DialConfig) (*Client, error) {
 		Timeout:          dc.Timeout,
 		DisableMultiplex: dc.SerialTransport,
 		MaxRedials:       dc.MaxRedials,
+		Tenant:           dc.Tenant,
+		BusyRetries:      dc.BusyRetries,
 	}
 	conns := make([]transport.Conn, 0, len(addrs))
 	for _, addr := range addrs {
