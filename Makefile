@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-s6 experiments experiments-full fmt clean
+.PHONY: all build vet test race race-txn bench bench-s6 bench-s7 experiments experiments-full fmt clean
 
 all: build vet test
 
@@ -19,6 +19,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the transaction paths: the client-side 2PC and
+# snapshot machinery plus the randomized concurrent-transaction differential
+# (interleaved workers vs a serial oracle, plain and sharded).
+race-txn:
+	$(GO) test -race -count=1 -run 'TestTx|TestWatermark|TestSharded' ./internal/client
+	$(GO) test -race -count=1 -run 'TestTx' .
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -26,6 +33,11 @@ bench:
 # tracking (admission control, overload shedding, tenant fairness).
 bench-s6:
 	$(GO) run ./cmd/ssbench -only S6 -json BENCH_S6.json
+
+# Transaction suite: 2PC commit latency and abort rate under contention,
+# with machine-readable output for trend tracking.
+bench-s7:
+	$(GO) run ./cmd/ssbench -only S7 -json BENCH_S7.json
 
 # Regenerate the paper's experiment tables (quick sizes).
 experiments:

@@ -97,6 +97,29 @@ func main() {
 		return
 	}
 
+	// The shell holds at most one open transaction: BEGIN opens it, and
+	// every later statement routes through the handle until COMMIT or
+	// ROLLBACK (or an abort) finishes it.
+	var tx *sssdb.Tx
+	execLine := func(q string) (*sssdb.Result, error) {
+		if tx != nil {
+			res, err := tx.Exec(q)
+			if tx.Done() {
+				tx = nil
+			}
+			return res, err
+		}
+		if word := strings.ToUpper(strings.Fields(q)[0]); word == "BEGIN" {
+			t, err := db.Begin()
+			if err != nil {
+				return nil, err
+			}
+			tx = t
+			return &sssdb.Result{}, nil
+		}
+		return db.Exec(q)
+	}
+
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("sssdb> ")
@@ -109,6 +132,7 @@ func main() {
 		case line == ".help":
 			fmt.Println("statements: CREATE [PUBLIC] TABLE / INSERT / SELECT [GROUP BY|ORDER BY|VERIFIED] /")
 			fmt.Println("            UPDATE / DELETE / DROP TABLE / EXPLAIN SELECT ...")
+			fmt.Println("            BEGIN / COMMIT / ROLLBACK (multi-statement transactions)")
 			fmt.Println("shell: .tables  .stats  .audit <table>  .quit")
 		case line == ".tables":
 			for _, t := range db.Tables() {
@@ -126,7 +150,7 @@ func main() {
 			}
 			fmt.Printf("  %d rows verified; faulty providers: %v\n", report.Rows, report.Faulty)
 		default:
-			res, err := db.Exec(line)
+			res, err := execLine(line)
 			if err != nil {
 				fmt.Println("error:", err)
 				break
@@ -135,7 +159,11 @@ func main() {
 			// Persist schema changes and row-id counters.
 			saveCatalog()
 		}
-		fmt.Print("sssdb> ")
+		if tx != nil {
+			fmt.Print("sssdb(tx)> ")
+		} else {
+			fmt.Print("sssdb> ")
+		}
 	}
 }
 

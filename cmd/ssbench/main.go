@@ -24,7 +24,7 @@ func main() {
 	full := flag.Bool("full", false, "run full-size experiments")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E4,E11)")
 	list := flag.Bool("list", false, "list experiments and exit")
-	jsonPath := flag.String("json", "", "write the S6 serving suite's machine-readable result to this file")
+	jsonPath := flag.String("json", "", "write the S6/S7 suite's machine-readable result to this file")
 	flag.Parse()
 
 	runners := bench.All()
@@ -48,15 +48,22 @@ func main() {
 		}
 		var table *bench.Table
 		var err error
-		if r.ID == "S6" && *jsonPath != "" {
-			// The JSON flag wants S6's raw numbers, not just the printed
-			// table; run the detailed form once and keep both.
+		switch {
+		case r.ID == "S6" && *jsonPath != "":
+			// The JSON flag wants the suite's raw numbers, not just the
+			// printed table; run the detailed form once and keep both.
 			var detail *bench.S6Result
 			table, detail, err = bench.RunS6Detailed(scale)
 			if err == nil {
-				err = writeS6JSON(*jsonPath, detail)
+				err = writeJSON(*jsonPath, detail)
 			}
-		} else {
+		case r.ID == "S7" && *jsonPath != "":
+			var detail *bench.S7Result
+			table, detail, err = bench.RunS7Detailed(scale)
+			if err == nil {
+				err = writeJSON(*jsonPath, detail)
+			}
+		default:
 			table, err = r.Fn(scale)
 		}
 		if err != nil {
@@ -72,8 +79,8 @@ func main() {
 	}
 }
 
-// writeS6JSON persists the serving suite's numbers for CI trend tracking.
-func writeS6JSON(path string, res *bench.S6Result) error {
+// writeJSON persists a suite's numbers for CI trend tracking.
+func writeJSON(path string, res any) error {
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err

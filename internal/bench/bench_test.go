@@ -400,6 +400,42 @@ func TestS6SustainedLoadServing(t *testing.T) {
 	}
 }
 
+// S7 shape: four transaction suites. The runner asserts atomicity itself
+// (every store converges to exactly the committed transactions' rows, no
+// aborts while healthy, aborts under the flapping W=N provider); here check
+// the suites ran and the flaky suite both aborted and committed work.
+func TestS7TransactionCommit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-suite transaction run")
+	}
+	table, res, err := RunS7Detailed(Scale{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.ID != "S7" || len(table.Rows) != 4 {
+		t.Fatalf("S7 shape: %+v", table)
+	}
+	names := []string{"disjoint", "hot-rows", "sharded-2x3", "flaky-W=N"}
+	if len(res.Suites) != len(names) {
+		t.Fatalf("suites: %+v", res.Suites)
+	}
+	for i, s := range res.Suites {
+		if s.Name != names[i] {
+			t.Fatalf("suite %d is %q, want %q", i, s.Name, names[i])
+		}
+		if s.Committed+s.Aborted != s.Txns {
+			t.Fatalf("suite %s lost transactions: %+v", s.Name, s)
+		}
+		if s.Committed > 0 && s.CommitP50Nanos == 0 {
+			t.Fatalf("suite %s measured no commit latency: %+v", s.Name, s)
+		}
+	}
+	flaky := res.Suites[3]
+	if flaky.Aborted == 0 {
+		t.Fatalf("flaky suite aborted nothing: %+v", flaky)
+	}
+}
+
 func TestRunAllPrints(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")

@@ -25,6 +25,7 @@ import (
 	"sssdb/internal/proto"
 	"sssdb/internal/secretshare"
 	"sssdb/internal/transport"
+	"sssdb/internal/wal"
 )
 
 // Client-level errors.
@@ -164,6 +165,17 @@ type Client struct {
 	// missed acknowledged mutations, so reads mask rows above its lag floor
 	// and the repair loop owns bringing it back in sync.
 	hints []*hintJournal
+
+	// txLog is the client's transaction log (txlog.wal under HintDir):
+	// per-provider op batches and the commit decision of every
+	// multi-statement transaction, appended ahead of the 2PC rounds so a
+	// coordinator crash is recoverable (see tx.go). nil without HintDir.
+	// Only Commit (under the exclusive statement lock) and Close touch it.
+	txLog *wal.Log
+	// txHook, when non-nil, runs between 2PC stages ("intent", "prepared",
+	// "committed"); crash-injection tests return an error from it to
+	// simulate the coordinator dying at that point.
+	txHook func(stage string) error
 
 	// statMu guards provStat: the last storage StatsResponse each provider
 	// returned to a repair-loop ping probe (nil until first probed).
@@ -318,6 +330,14 @@ func New(conns []transport.Conn, opts Options) (*Client, error) {
 			c.ensureRepairLoop()
 		}
 	}
+	// Transaction-log recovery: re-drive committed transactions, presumed-
+	// abort in-doubt ones (see tx.go). Runs after the hint journals are open
+	// so recovery hints land durably.
+	if err := c.openTxLog(); err != nil {
+		c.stopRepairLoop()
+		_ = c.closeHints()
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -330,7 +350,7 @@ const defaultAlphabet = " 0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ_abcdefghijklmnopq
 // reloaded by the next client.
 func (c *Client) Close() error {
 	if c.shards != nil {
-		var firstErr error
+		firstErr := c.closeTxLog()
 		for _, sub := range c.shards {
 			if err := sub.Close(); err != nil && firstErr == nil {
 				firstErr = err
@@ -340,6 +360,9 @@ func (c *Client) Close() error {
 	}
 	c.stopRepairLoop()
 	firstErr := c.closeHints()
+	if err := c.closeTxLog(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	for _, conn := range c.conns {
 		if err := conn.Close(); err != nil && firstErr == nil {
 			firstErr = err

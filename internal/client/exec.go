@@ -40,6 +40,12 @@ func (c *Client) Exec(query string) (*Result, error) {
 		c.mu.RLock()
 		defer c.mu.RUnlock()
 		return c.execInsert(s)
+	case *sql.BeginTx, *sql.CommitTx, *sql.RollbackTx:
+		// Transactions need a handle to buffer statements on: BEGIN maps to
+		// Client.Begin, COMMIT/ROLLBACK to methods of the returned Tx (the
+		// dasql REPL does this mapping for interactive sessions).
+		return nil, fmt.Errorf("%w: %T outside a transaction handle (use Client.Begin and Tx.Exec)",
+			ErrUnsupported, stmt)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

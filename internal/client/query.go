@@ -222,22 +222,35 @@ type scanResult struct {
 // falls back to the buffered path below, which owns provider failover; no
 // rows have reached the caller at that point.
 func (c *Client) scanTable(meta *tableMeta, preds []compiledPred, limit uint64, verified bool) (*scanResult, error) {
+	return c.scanTableAsOf(meta, preds, limit, verified, noEpoch)
+}
+
+// scanTableAsOf is scanTable with an explicit snapshot epoch: rows with ids
+// at or above epoch are invisible on both the streaming and buffered paths,
+// which is what gives reads inside a transaction snapshot isolation — the
+// epoch is the table's stable watermark captured at Begin, so everything
+// committed since reads as absent. noEpoch disables the cap.
+func (c *Client) scanTableAsOf(meta *tableMeta, preds []compiledPred, limit uint64, verified bool, epoch uint64) (*scanResult, error) {
 	for _, cp := range preds {
 		if cp.empty {
 			return &scanResult{verified: verified}, nil
 		}
 	}
 	if !verified && !c.hasPending(meta.Name) && !c.opts.BufferedScans {
-		if res, err := c.collectStream(meta, preds, limit); err == nil {
+		if res, err := c.collectStreamAsOf(meta, preds, limit, epoch); err == nil {
 			return res, nil
 		}
 	}
-	return c.scanTableBuffered(meta, preds, limit, verified)
+	return c.scanTableBufferedAsOf(meta, preds, limit, verified, epoch)
 }
 
 // scanTableBuffered is the materializing scan: gather whole responses from
 // a quorum, then align, reconstruct, and filter.
 func (c *Client) scanTableBuffered(meta *tableMeta, preds []compiledPred, limit uint64, verified bool) (*scanResult, error) {
+	return c.scanTableBufferedAsOf(meta, preds, limit, verified, noEpoch)
+}
+
+func (c *Client) scanTableBufferedAsOf(meta *tableMeta, preds []compiledPred, limit uint64, verified bool, epoch uint64) (*scanResult, error) {
 	if verified && len(preds) == 0 {
 		// Synthesize a full-domain range on the first queryable column so
 		// the provider can attach a completeness proof.
@@ -284,7 +297,12 @@ func (c *Client) scanTableBuffered(meta *tableMeta, preds []compiledPred, limit 
 	// and is dropped from every response below, so the K row sets always
 	// agree on what both of them have fully durable. (Verified reads hold
 	// the exclusive lock — no insert is in flight and nothing is dropped.)
+	// A transaction's snapshot epoch tightens the same bound: rows committed
+	// after Begin sit at or above it and read as absent.
 	watermark := c.stableWatermark(meta)
+	if epoch < watermark {
+		watermark = epoch
+	}
 	var responses []indexedResponse
 	var err error
 	if verified {

@@ -83,14 +83,30 @@ func NewSharded(groups [][]transport.Conn, opts Options) (*Client, error) {
 		shards = append(shards, sub)
 	}
 	// The router's own opts mirror a sub-client's normalized copy (so N()
-	// and K() report per-group values) plus the group count.
+	// and K() report per-group values) plus the group count — except
+	// HintDir, which must point back at the ROOT directory: the sub-copy
+	// holds group 0's subdirectory, and the router's cross-group
+	// transaction log (txlog.wal, see tx.go) lives beside the group
+	// subdirectories, not inside one of them.
 	ropts := shards[0].opts
 	ropts.Shards = len(groups)
-	return &Client{
+	ropts.HintDir = opts.HintDir
+	router := &Client{
 		opts:     ropts,
 		shards:   shards,
 		shardMap: make(map[string]*shardInfo),
-	}, nil
+	}
+	// Cross-group transaction recovery: committed multi-group transactions
+	// whose fate was undecided at the last shutdown are re-driven, in-doubt
+	// ones presumed-aborted (global provider index g*N+i maps back onto the
+	// owning group's sub-client).
+	if err := router.openTxLog(); err != nil {
+		for _, sub := range shards {
+			sub.Close()
+		}
+		return nil, err
+	}
+	return router, nil
 }
 
 // shardHash is the splitmix64 finalizer: a cheap, well-mixed hash from an
@@ -239,6 +255,9 @@ func (c *Client) shardExec(query string) (*Result, error) {
 		return c.shardUpdate(s, query)
 	case *sql.Delete:
 		return c.shardDelete(s, query)
+	case *sql.BeginTx, *sql.CommitTx, *sql.RollbackTx:
+		return nil, fmt.Errorf("%w: %T outside a transaction handle (use Client.Begin and Tx.Exec)",
+			ErrUnsupported, stmt)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnsupported, stmt)
 	}

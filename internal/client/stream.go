@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"sssdb/internal/proto"
 	"sssdb/internal/sql"
@@ -47,8 +48,20 @@ type alignedBatch struct {
 type rowStream struct {
 	out    chan alignedBatch
 	done   chan struct{}
+	stop   sync.Once
 	err    error
 	closed bool
+}
+
+// interrupt signals the provider goroutines to abandon their calls (the
+// transport then best-effort cancels the server-side cursors). Both the
+// consumer (Close) and the aligner (on any exit) call it: before the
+// aligner signaled too, an aligner that failed mid-scan left the surviving
+// providers' goroutines parked on full chunk channels — each pinning a
+// server-side cursor — until the consumer happened to Close, and a
+// consumer that abandoned the cursor after an error leaked them for good.
+func (rs *rowStream) interrupt() {
+	rs.stop.Do(func() { close(rs.done) })
 }
 
 // Close cancels the stream: provider goroutines abandon their calls (which
@@ -59,7 +72,7 @@ func (rs *rowStream) Close() {
 		return
 	}
 	rs.closed = true
-	close(rs.done)
+	rs.interrupt()
 	for range rs.out { // release the aligner if it is mid-send
 	}
 }
@@ -80,6 +93,12 @@ type provStream struct {
 // providers. Any error after this point surfaces through rs.err when
 // rs.out closes.
 func (c *Client) openRowStream(meta *tableMeta, preds []compiledPred, limit uint64) (*rowStream, error) {
+	return c.openRowStreamAsOf(meta, preds, limit, noEpoch)
+}
+
+// openRowStreamAsOf is openRowStream with a snapshot epoch capping the
+// insert watermark (transactional reads; see scanTableAsOf).
+func (c *Client) openRowStreamAsOf(meta *tableMeta, preds []compiledPred, limit uint64, epoch uint64) (*rowStream, error) {
 	pushLimit := limit
 	if len(preds) > 1 || (len(preds) == 1 && preds[0].set != nil) {
 		// Residual predicates (and IN, whose pushed range is a superset)
@@ -96,6 +115,9 @@ func (c *Client) openRowStream(meta *tableMeta, preds []compiledPred, limit uint
 		filters[i] = f
 	}
 	watermark := c.stableWatermark(meta)
+	if epoch < watermark {
+		watermark = epoch
+	}
 	order := c.providerOrder()
 	providers := append([]int(nil), order[:c.opts.K]...)
 	sort.Ints(providers)
@@ -173,6 +195,14 @@ func (ps *provStream) fill(watermark uint64) {
 // aligned spans through reconstruction whenever streamBatchRows accumulate.
 func (c *Client) alignStreams(rs *rowStream, meta *tableMeta, preds []compiledPred, streams []*provStream, providers []int, watermark, limit uint64) {
 	defer close(rs.out)
+	// Whatever ends this aligner — completion, a satisfied LIMIT, a failed
+	// or inconsistent provider — the surviving provider goroutines must be
+	// released NOW, not at consumer Close: each one parked on a full chunk
+	// channel holds a server-side cursor open, and a consumer that abandons
+	// its Rows after seeing the error would leak those cursors. Runs before
+	// the close(rs.out) above (LIFO), so by the time the consumer observes
+	// the closed stream the cancels are already on the wire.
+	defer rs.interrupt()
 
 	// Residual predicates re-checked client-side, mirroring scanTable.
 	residual := preds
@@ -296,7 +326,12 @@ func (c *Client) alignStreams(rs *rowStream, meta *tableMeta, preds []compiledPr
 // scanTable: on any error the caller falls back to the buffered path (which
 // owns failover), since no rows have escaped to the user yet.
 func (c *Client) collectStream(meta *tableMeta, preds []compiledPred, limit uint64) (*scanResult, error) {
-	rs, err := c.openRowStream(meta, preds, limit)
+	return c.collectStreamAsOf(meta, preds, limit, noEpoch)
+}
+
+// collectStreamAsOf is collectStream under a snapshot epoch.
+func (c *Client) collectStreamAsOf(meta *tableMeta, preds []compiledPred, limit uint64, epoch uint64) (*scanResult, error) {
+	rs, err := c.openRowStreamAsOf(meta, preds, limit, epoch)
 	if err != nil {
 		return nil, err
 	}

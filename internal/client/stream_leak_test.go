@@ -1,0 +1,115 @@
+package client
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sssdb/internal/proto"
+	"sssdb/internal/server"
+	"sssdb/internal/store"
+	"sssdb/internal/transport"
+)
+
+// leakProbe wraps a provider's stream handler with an active-stream counter
+// and optional mid-stream failure injection. It re-slices the store's
+// batches into single-row chunks with a small delay per chunk, so a
+// surviving stream is reliably parked mid-transfer when the aligner dies.
+type leakProbe struct {
+	*server.Provider
+	active  *atomic.Int32
+	started *atomic.Int32
+	// failAfter > 0 injects a transport-shaped error after that many emitted
+	// rows, simulating a provider dying mid-stream.
+	failAfter int
+}
+
+var errInjectedStream = errors.New("injected mid-stream provider failure")
+
+func (p *leakProbe) HandleStream(req proto.Message, emit func(*proto.RowsResponse) error) (bool, error) {
+	if _, ok := req.(*proto.ScanRequest); !ok {
+		return p.Provider.HandleStream(req, emit)
+	}
+	p.started.Add(1)
+	p.active.Add(1)
+	defer p.active.Add(-1)
+	emitted := 0
+	return p.Provider.HandleStream(req, func(chunk *proto.RowsResponse) error {
+		if len(chunk.Rows) == 0 {
+			return emit(chunk)
+		}
+		for i := range chunk.Rows {
+			if p.failAfter > 0 && emitted >= p.failAfter {
+				return errInjectedStream
+			}
+			one := &proto.RowsResponse{Columns: chunk.Columns, Rows: chunk.Rows[i : i+1]}
+			if err := emit(one); err != nil {
+				return err
+			}
+			emitted++
+			time.Sleep(200 * time.Microsecond)
+		}
+		return nil
+	})
+}
+
+// TestAbandonedRowsReleasesStreams is the leak gate for the streaming scan
+// path: when one provider dies mid-stream and the consumer abandons its Rows
+// cursor without Close (the documented-wrong-but-inevitable pattern after an
+// error), the surviving providers' server-side cursors must still be
+// released — the aligner, not the consumer, owns that cleanup. Before the
+// aligner interrupted its provider goroutines on exit, each survivor parked
+// on a full chunk channel held its cursor open for the life of the process.
+func TestAbandonedRowsReleasesStreams(t *testing.T) {
+	var active, started atomic.Int32
+	stores := make([]*store.Store, 3)
+	conns := make([]transport.Conn, 3)
+	for i := range stores {
+		st, err := store.Open("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = st
+		t.Cleanup(func() { st.Close() })
+		probe := &leakProbe{Provider: server.New(st), active: &active, started: &started}
+		if i == 0 {
+			probe.failAfter = 2 // first provider dies two rows in
+		}
+		conns[i] = transport.NewLocal(probe)
+	}
+	c, err := New(conns, Options{K: 2, MasterKey: []byte("test master key")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`CREATE TABLE big (x INT)`); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]Value, 64)
+	for i := range rows {
+		rows[i] = []Value{IntValue(int64(i))}
+	}
+	if _, err := c.InsertValues("big", rows); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := c.QueryRows(`SELECT x FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abandon the cursor: no Next, no Close. The injected failure kills the
+	// aligner; the surviving provider's goroutine must be interrupted and
+	// its server-side stream drained without any help from the consumer.
+	deadline := time.Now().Add(5 * time.Second)
+	for active.Load() != 0 || started.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned cursor leaked server-side streams: %d active (%d started)",
+				active.Load(), started.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Close late, only to release the statement lock for Client.Close; the
+	// streams were already gone.
+	r.Close()
+}

@@ -31,6 +31,11 @@ const (
 	KGroupResult
 	KTableState
 	KStats
+	KTxPrepare
+	KTxCommit
+	KTxAbort
+	KTxOps
+	KTxMark
 )
 
 // Message is anything that can travel in a frame.
@@ -612,6 +617,16 @@ func newMessage(k Kind) (Message, error) {
 		return &TableStateRequest{}, nil
 	case KStats:
 		return &StatsResponse{}, nil
+	case KTxPrepare:
+		return &TxPrepareRequest{}, nil
+	case KTxCommit:
+		return &TxCommitRequest{}, nil
+	case KTxAbort:
+		return &TxAbortRequest{}, nil
+	case KTxOps:
+		return &TxOpsRecord{}, nil
+	case KTxMark:
+		return &TxMarkRecord{}, nil
 	default:
 		return nil, fmt.Errorf("proto: unknown message kind %d", k)
 	}

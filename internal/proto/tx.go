@@ -1,0 +1,122 @@
+package proto
+
+// Transaction messages: client-coordinated two-phase commit. The data
+// source is the only coordinator (the paper's trust model — providers never
+// talk to each other), so the protocol is deliberately thin: prepare ships
+// the transaction's buffered per-provider mutations for staging, commit
+// applies the staged batch atomically under the store lock, abort discards
+// it. Durability of the decision lives in the CLIENT's transaction log, not
+// at providers: a provider that loses its staged ops between prepare and
+// commit answers commit with CodeNoSuchTx and the client falls back to
+// hinted-handoff replay of the raw ops.
+
+// TxPrepareRequest stages a transaction's mutations at one provider. Ops
+// are encoded Insert/Update/Delete request bodies (Encode output), applied
+// in order at commit. Re-preparing an id replaces the staged ops
+// (idempotent retransmit).
+type TxPrepareRequest struct {
+	TxID uint64
+	Ops  [][]byte
+}
+
+func (*TxPrepareRequest) Kind() Kind { return KTxPrepare }
+func (m *TxPrepareRequest) marshal(w *writer) {
+	w.u64(m.TxID)
+	writeByteSlices(w, m.Ops)
+}
+func (m *TxPrepareRequest) unmarshal(r *reader) {
+	m.TxID = r.u64()
+	m.Ops = readByteSlices(r)
+}
+
+// TxCommitRequest applies a staged transaction. Unknown ids answer
+// CodeNoSuchTx so the client can distinguish "never staged / lost" from a
+// hard rejection.
+type TxCommitRequest struct {
+	TxID uint64
+}
+
+func (*TxCommitRequest) Kind() Kind            { return KTxCommit }
+func (m *TxCommitRequest) marshal(w *writer)   { w.u64(m.TxID) }
+func (m *TxCommitRequest) unmarshal(r *reader) { m.TxID = r.u64() }
+
+// TxAbortRequest discards a staged transaction; unknown ids succeed
+// (presumed abort makes aborts safe to over-send).
+type TxAbortRequest struct {
+	TxID uint64
+}
+
+func (*TxAbortRequest) Kind() Kind            { return KTxAbort }
+func (m *TxAbortRequest) marshal(w *writer)   { w.u64(m.TxID) }
+func (m *TxAbortRequest) unmarshal(r *reader) { m.TxID = r.u64() }
+
+// --- Client transaction-log records ---
+//
+// The client's tx log reuses the proto encoding (like the hint journals):
+// each WAL record is one encoded message. TxOpsRecord captures one
+// provider's share of the transaction before prepare is sent; TxMarkRecord
+// captures state transitions. Recovery replays the log in order: a tx whose
+// commit mark made it to the log is re-driven to completion, anything else
+// is presumed aborted.
+
+// Transaction states recorded in TxMarkRecord.
+const (
+	TxStateIntent uint8 = iota + 1
+	TxStateCommitted
+	TxStateAborted
+	TxStateResolved
+)
+
+// TxOpsRecord is one provider's encoded op batch for a transaction.
+type TxOpsRecord struct {
+	TxID     uint64
+	Provider uint32
+	Ops      [][]byte
+}
+
+func (*TxOpsRecord) Kind() Kind { return KTxOps }
+func (m *TxOpsRecord) marshal(w *writer) {
+	w.u64(m.TxID)
+	w.uvarint(uint64(m.Provider))
+	writeByteSlices(w, m.Ops)
+}
+func (m *TxOpsRecord) unmarshal(r *reader) {
+	m.TxID = r.u64()
+	m.Provider = uint32(r.uvarint())
+	m.Ops = readByteSlices(r)
+}
+
+// TxMarkRecord is a transaction state transition in the client's tx log.
+type TxMarkRecord struct {
+	TxID  uint64
+	State uint8
+}
+
+func (*TxMarkRecord) Kind() Kind { return KTxMark }
+func (m *TxMarkRecord) marshal(w *writer) {
+	w.u64(m.TxID)
+	w.u8(m.State)
+}
+func (m *TxMarkRecord) unmarshal(r *reader) {
+	m.TxID = r.u64()
+	m.State = r.u8()
+}
+
+func writeByteSlices(w *writer, bs [][]byte) {
+	w.uvarint(uint64(len(bs)))
+	for _, b := range bs {
+		w.bytes(b)
+	}
+}
+
+func readByteSlices(r *reader) [][]byte {
+	n := r.length(1 << 20)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = r.bytes()
+	}
+	return out
+}

@@ -188,6 +188,12 @@ const (
 	// was full or the server is draining). The request never ran, so the
 	// client may safely retry after a backoff.
 	CodeServerBusy
+	// CodeNoSuchTx answers a commit (or prepare-less operation) for a
+	// transaction id the provider holds no staged state for: the staging is
+	// in memory only, so a provider restart between prepare and commit
+	// forgets it. The client treats this as "replay the ops via hints", not
+	// as a hard rejection.
+	CodeNoSuchTx
 )
 
 func (c ErrorCode) String() string {
@@ -208,6 +214,8 @@ func (c ErrorCode) String() string {
 		return "internal error"
 	case CodeServerBusy:
 		return "server busy"
+	case CodeNoSuchTx:
+		return "no such transaction"
 	default:
 		return "unknown error"
 	}

@@ -160,6 +160,19 @@ func (p *Provider) Handle(req proto.Message) proto.Message {
 			return errResponse(err)
 		}
 		return res
+	case *proto.TxPrepareRequest:
+		if err := p.store.PrepareTx(m.TxID, m.Ops); err != nil {
+			return errResponse(err)
+		}
+		return &proto.OKResponse{}
+	case *proto.TxCommitRequest:
+		if err := p.store.CommitTx(m.TxID); err != nil {
+			return errResponse(err)
+		}
+		return &proto.OKResponse{}
+	case *proto.TxAbortRequest:
+		p.store.AbortTx(m.TxID)
+		return &proto.OKResponse{}
 	default:
 		return &proto.ErrorResponse{
 			Code: proto.CodeBadRequest,
@@ -184,6 +197,8 @@ func errResponse(err error) *proto.ErrorResponse {
 		code = proto.CodeDuplicateRow
 	case errors.Is(err, store.ErrNoSuchRow):
 		code = proto.CodeNoSuchRow
+	case errors.Is(err, store.ErrNoSuchTx):
+		code = proto.CodeNoSuchTx
 	}
 	return &proto.ErrorResponse{Code: code, Msg: err.Error()}
 }

@@ -259,3 +259,20 @@ type Explain struct {
 }
 
 func (*Explain) stmt() {}
+
+// BeginTx is BEGIN [TRANSACTION|WORK]: start a multi-statement transaction.
+type BeginTx struct{}
+
+func (*BeginTx) stmt() {}
+
+// CommitTx is COMMIT [TRANSACTION|WORK]: run the transaction's two-phase
+// commit across the provider fleet.
+type CommitTx struct{}
+
+func (*CommitTx) stmt() {}
+
+// RollbackTx is ROLLBACK [TRANSACTION|WORK]: discard the transaction's
+// buffered statements.
+type RollbackTx struct{}
+
+func (*RollbackTx) stmt() {}

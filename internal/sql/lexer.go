@@ -45,6 +45,8 @@ var keywords = map[string]bool{
 	"MEDIAN": true,
 	"INT":    true, "DECIMAL": true, "VARCHAR": true, "BLOB": true,
 	"VERIFIED": true,
+	"BEGIN":    true, "COMMIT": true, "ROLLBACK": true,
+	"TRANSACTION": true, "WORK": true,
 }
 
 // SyntaxError reports a lexical or grammatical problem with its position.

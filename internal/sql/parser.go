@@ -96,8 +96,28 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseUpdate()
 	case p.at(TokKeyword, "DELETE"):
 		return p.parseDelete()
+	case p.at(TokKeyword, "BEGIN"):
+		p.advance()
+		p.eatTxNoise()
+		return &BeginTx{}, nil
+	case p.at(TokKeyword, "COMMIT"):
+		p.advance()
+		p.eatTxNoise()
+		return &CommitTx{}, nil
+	case p.at(TokKeyword, "ROLLBACK"):
+		p.advance()
+		p.eatTxNoise()
+		return &RollbackTx{}, nil
 	default:
 		return nil, errorf(p.cur().Pos, "expected a statement, found %q", p.cur().Text)
+	}
+}
+
+// eatTxNoise consumes the optional TRANSACTION/WORK keyword after
+// BEGIN/COMMIT/ROLLBACK.
+func (p *parser) eatTxNoise() {
+	if !p.eat(TokKeyword, "TRANSACTION") {
+		p.eat(TokKeyword, "WORK")
 	}
 }
 

@@ -348,3 +348,36 @@ func BenchmarkParseSelect(b *testing.B) {
 		}
 	}
 }
+
+func TestParseTransactionKeywords(t *testing.T) {
+	cases := []struct {
+		q    string
+		want Statement
+	}{
+		{`BEGIN`, &BeginTx{}},
+		{`begin transaction`, &BeginTx{}},
+		{`BEGIN WORK`, &BeginTx{}},
+		{`COMMIT`, &CommitTx{}},
+		{`COMMIT TRANSACTION`, &CommitTx{}},
+		{`commit work`, &CommitTx{}},
+		{`ROLLBACK`, &RollbackTx{}},
+		{`ROLLBACK TRANSACTION`, &RollbackTx{}},
+		{`ROLLBACK WORK`, &RollbackTx{}},
+	}
+	for _, c := range cases {
+		stmt, err := Parse(c.q)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.q, err)
+			continue
+		}
+		if reflect.TypeOf(stmt) != reflect.TypeOf(c.want) {
+			t.Errorf("Parse(%q) = %T, want %T", c.q, stmt, c.want)
+		}
+	}
+	// Trailing garbage is still rejected.
+	for _, q := range []string{`BEGIN TRANSACTION NOW`, `COMMIT 5`, `ROLLBACK WORK PLEASE`} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want syntax error", q)
+		}
+	}
+}

@@ -101,6 +101,12 @@ type Store struct {
 	ckptMu   sync.Mutex
 	ckptHook func(stage string) error
 
+	// txMu guards staged: in-memory per-transaction op batches between
+	// PrepareTx and CommitTx/AbortTx (see txn.go). Leaf lock; never held
+	// while taking mu.
+	txMu   sync.Mutex
+	staged map[uint64][]proto.Message
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }

@@ -1,0 +1,85 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"sssdb/internal/proto"
+)
+
+func encOps(t *testing.T, msgs ...proto.Message) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		out[i] = proto.Encode(m)
+	}
+	return out
+}
+
+// TestPrepareTxRejectsDuplicateRowID pins the prepare-time duplicate check:
+// a prepare ack promises the commit cannot be rejected outright, so an
+// insert colliding with a live row (the stale-catalog client failure mode)
+// must fail at prepare — where the coordinator can still abort — never at
+// commit, when the decision is already durable at the client.
+func TestPrepareTxRejectsDuplicateRowID(t *testing.T) {
+	s := memStore(t)
+	defer s.Close()
+	if err := s.CreateTable(testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("employees", []proto.Row{row(1, 10), row(2, 20)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Colliding insert → rejected at prepare, nothing staged.
+	err := s.PrepareTx(100, encOps(t,
+		&proto.InsertRequest{Table: "employees", Rows: []proto.Row{row(1, 99)}}))
+	if !errors.Is(err, ErrDuplicateRow) {
+		t.Fatalf("colliding prepare: %v, want ErrDuplicateRow", err)
+	}
+	if n := s.StagedTxs(); n != 0 {
+		t.Fatalf("rejected prepare left %d staged txs", n)
+	}
+
+	// Two inserts of the same id within one batch → rejected.
+	err = s.PrepareTx(101, encOps(t,
+		&proto.InsertRequest{Table: "employees", Rows: []proto.Row{row(7, 70)}},
+		&proto.InsertRequest{Table: "employees", Rows: []proto.Row{row(7, 71)}}))
+	if !errors.Is(err, ErrDuplicateRow) {
+		t.Fatalf("within-batch duplicate: %v, want ErrDuplicateRow", err)
+	}
+
+	// Delete-then-reinsert of a live id is legal: ops apply in order at
+	// commit, so the simulation must track the delete.
+	ops := encOps(t,
+		&proto.DeleteRequest{Table: "employees", RowIDs: []uint64{1}},
+		&proto.InsertRequest{Table: "employees", Rows: []proto.Row{row(1, 50)}})
+	if err := s.PrepareTx(102, ops); err != nil {
+		t.Fatalf("delete-then-reinsert prepare: %v", err)
+	}
+	// Re-prepare is idempotent.
+	if err := s.PrepareTx(102, ops); err != nil {
+		t.Fatalf("re-prepare: %v", err)
+	}
+	if err := s.CommitTx(102); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	got, err := s.RowCount("employees")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("after delete+reinsert commit: %d rows, want 2", got)
+	}
+	// Fresh ids still stage and commit fine after id 1 was recycled.
+	if err := s.PrepareTx(103, encOps(t,
+		&proto.InsertRequest{Table: "employees", Rows: []proto.Row{row(3, 30)}})); err != nil {
+		t.Fatalf("fresh prepare: %v", err)
+	}
+	if err := s.CommitTx(103); err != nil {
+		t.Fatalf("fresh commit: %v", err)
+	}
+	if n := s.StagedTxs(); n != 0 {
+		t.Fatalf("%d staged txs after commits", n)
+	}
+}

@@ -44,6 +44,10 @@ const schedQuantum = 4
 type schedItem struct {
 	enq time.Time
 	run func()
+	// shed, when non-nil, replies busy without executing; drain uses it to
+	// fast-fail work that was queued but never admitted. Falls back to run
+	// when unset.
+	shed func()
 }
 
 // tenantQ is one tenant's FIFO of pending requests plus its DWRR state.
@@ -196,12 +200,38 @@ func (s *scheduler) worker() {
 	}
 }
 
-// drain stops admitting new work (submissions shed) while already-queued
-// and executing requests run to completion.
+// drain stops admitting new work (submissions shed) AND sheds everything
+// still queued: only requests a worker has already admitted run to
+// completion. Shutdown latency is therefore bounded by the in-flight
+// handlers, not by the queue depth — before this, a deep queue (say, a
+// tenant's backlog of streaming scans behind a slow handler) pinned
+// Shutdown against its full drain timeout while callers sat unanswered.
+// Shed callers get the same fast-fail busy reply submit would have sent.
 func (s *scheduler) drain() {
 	s.mu.Lock()
 	s.draining = true
+	var dropped []*schedItem
+	for _, t := range s.tenants {
+		for _, it := range t.q {
+			dropped = append(dropped, it)
+		}
+		t.q = nil
+		t.deficit = 0
+		t.inRing = false
+	}
+	s.ring = nil
+	s.ringPos = 0
+	s.queued = 0
 	s.mu.Unlock()
+	// Reply outside the lock: shed closures write to connection queues.
+	for _, it := range dropped {
+		s.shed.Add(1)
+		if it.shed != nil {
+			it.shed()
+		} else {
+			it.run()
+		}
+	}
 }
 
 // waitIdle blocks until no work is queued or executing, or the timeout

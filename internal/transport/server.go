@@ -228,6 +228,8 @@ func (s *Server) serveLegacyRequest(bw *bufio.Writer, body []byte) bool {
 		done := make(chan proto.Message, 1)
 		admitted := s.sched.submit("", &schedItem{enq: time.Now(), run: func() {
 			done <- s.handleOne(req)
+		}, shed: func() {
+			done <- busyResponse()
 		}})
 		if admitted {
 			resp = <-done
@@ -309,6 +311,10 @@ func (s *Server) serveMux(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, tenan
 			defer pending.Done()
 			defer unregister(id)
 			s.runRequest(id, req, cancel, out)
+		}, shed: func() {
+			unregister(id)
+			out <- outFrame{id: id, flags: flagFinal, body: proto.Encode(busyResponse())}
+			pending.Done()
 		}})
 		if !admitted {
 			unregister(id)

@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sssdb/internal/proto"
+)
+
+// TestDrainShedsQueuedItems is the scheduler-level gate for fast shutdown:
+// drain must fast-fail everything still queued through its shed callback
+// instead of running it, without waiting on the executing item.
+func TestDrainShedsQueuedItems(t *testing.T) {
+	s, release := gateScheduler(t, 1024, nil)
+	const queued = 10
+	var ran, shedded atomic.Int32
+	for i := 0; i < queued; i++ {
+		ok := s.submit("a", &schedItem{
+			enq:  time.Now(),
+			run:  func() { ran.Add(1) },
+			shed: func() { shedded.Add(1) },
+		})
+		if !ok {
+			t.Fatalf("submission %d shed before drain", i)
+		}
+	}
+	start := time.Now()
+	s.drain() // the gate item is still executing: drain must not wait for it
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("drain blocked %v behind an executing item", d)
+	}
+	if got := shedded.Load(); got != queued {
+		t.Fatalf("drain shed %d of %d queued items", got, queued)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("drain ran %d items it should have shed", got)
+	}
+	if st := s.stats(); st.QueueDepth != 0 || st.Shed != queued {
+		t.Fatalf("post-drain stats: depth=%d shed=%d, want 0 and %d", st.QueueDepth, st.Shed, queued)
+	}
+	// New submissions are refused while draining.
+	if s.submit("a", &schedItem{enq: time.Now(), run: func() { ran.Add(1) }}) {
+		t.Fatal("submission admitted during drain")
+	}
+	release()
+	if !s.waitIdle(5 * time.Second) {
+		t.Fatal("scheduler never went idle after release")
+	}
+}
+
+// TestShutdownShedsDeepQueue drives the same property end to end: with a
+// single-slot inflight budget held by a slow handler and a deep backlog of
+// queued scans, Shutdown must answer every queued caller with CodeServerBusy
+// immediately — bounded by the one executing handler, not the queue depth.
+// Before drain shed queued work, each of these callers sat unanswered until
+// the full drain timeout burned down.
+func TestShutdownShedsDeepQueue(t *testing.T) {
+	h := &blockingHandler{release: make(chan struct{})}
+	defer h.once.Do(func() { close(h.release) })
+	srv := newTestServer(t, h, ServerConfig{MaxInflight: 1, MaxQueue: 64})
+	c, err := DialWith(srv.Addr().String(), DialConfig{BusyRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Occupy the only worker slot.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Call(&proto.ScanRequest{Table: "gate"})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for h.started.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("gate scan never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stage a backlog behind it.
+	const backlog = 10
+	type reply struct {
+		resp proto.Message
+		err  error
+	}
+	replies := make(chan reply, backlog)
+	for i := 0; i < backlog; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := c.Call(&proto.ScanRequest{Table: "queued"})
+			replies <- reply{resp, err}
+		}()
+	}
+	waitDeadline := time.Now().Add(5 * time.Second)
+	for srv.sched.stats().QueueDepth < backlog {
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("backlog never queued: depth %d", srv.sched.stats().QueueDepth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Shutdown with a generous drain timeout. The queued callers must be
+	// answered busy long before that timeout; only then is the gate
+	// released so Shutdown itself can finish.
+	done := make(chan bool, 1)
+	go func() { done <- srv.Shutdown(30 * time.Second) }()
+	start := time.Now()
+	for i := 0; i < backlog; i++ {
+		select {
+		case r := <-replies:
+			busy := IsBusy(r.err)
+			if er, ok := r.resp.(*proto.ErrorResponse); ok && er.Code == proto.CodeServerBusy {
+				busy = true
+			}
+			if !busy {
+				t.Errorf("queued caller got %v / %v, want server-busy", r.resp, r.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("queued caller %d still unanswered %v after Shutdown (drain did not shed)", i, time.Since(start))
+		}
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Errorf("shedding the queue took %v, want well under the drain timeout", d)
+	}
+	h.once.Do(func() { close(h.release) })
+	select {
+	case drained := <-done:
+		if !drained {
+			t.Error("Shutdown reported an unfinished drain")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown never returned after the gate released")
+	}
+	wg.Wait()
+}

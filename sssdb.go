@@ -67,6 +67,14 @@ type Rows = client.Rows
 // Value is a typed cell value.
 type Value = client.Value
 
+// Tx is a multi-statement transaction handle, returned by Client.Begin.
+// Reads inside a Tx see a snapshot of committed state as of Begin; writes
+// buffer client-side and land atomically at Commit via a client-coordinated
+// two-phase commit across the provider fleet (all groups of a sharded
+// client included). Rollback discards the buffer. Not safe for concurrent
+// use.
+type Tx = client.Tx
+
 // AuditReport summarizes a verified full-table sweep.
 type AuditReport = client.AuditReport
 
@@ -94,6 +102,11 @@ var (
 	ErrUnsupported  = client.ErrUnsupported
 	ErrNotEnough    = client.ErrNotEnough
 	ErrVerification = client.ErrVerification
+	// ErrTxDone reports use of a committed or rolled-back Tx.
+	ErrTxDone = client.ErrTxDone
+	// ErrTxAborted reports a Commit that could not reach its write quorum
+	// and rolled back everywhere.
+	ErrTxAborted = client.ErrTxAborted
 )
 
 // DialConfig tunes how the client connects to providers over TCP.

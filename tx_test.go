@@ -1,0 +1,225 @@
+package sssdb
+
+import (
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestTxLifecyclePublicAPI smoke-tests the exported transaction surface:
+// Begin/Exec/Commit, SQL keyword forms, rollback, and the spent-handle
+// sentinel.
+func TestTxLifecyclePublicAPI(t *testing.T) {
+	cluster, err := OpenLocal(3, Options{K: 2, MasterKey: []byte("tx key")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	db := cluster.Client
+	if _, err := db.Exec(`CREATE TABLE notes (body VARCHAR(8))`); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO notes VALUES ('hello')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`COMMIT`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("commit after COMMIT: %v, want ErrTxDone", err)
+	}
+	res, err := db.Exec(`SELECT body FROM notes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("committed insert missing: %d rows", len(res.Rows))
+	}
+	tx2, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Exec(`DELETE FROM notes`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := db.Exec(`SELECT body FROM notes`); len(res.Rows) != 1 {
+		t.Fatal("rollback lost a committed row")
+	}
+}
+
+// txOracle is one worker's serial shadow of its private id range: the state
+// its committed transactions must have produced under any serialization.
+type txOracle struct {
+	bal map[int]int
+}
+
+// runTxDifferential interleaves W concurrent workers, each running a
+// sequence of randomized multi-statement transactions over a private id
+// range, against one shared client. Because ranges are disjoint, every
+// interleaving is equivalent to the serial execution of each worker's
+// commits — so the final table must equal the union of the per-worker
+// oracles, with rolled-back and aborted transactions leaving no trace.
+func runTxDifferential(t *testing.T, db *Client, seed int64) {
+	t.Helper()
+	if _, err := db.Exec(`CREATE TABLE acct (id INT, bal INT)`); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers     = 4
+		txPerWorker = 10
+		rangeSize   = 1000
+	)
+	oracles := make([]*txOracle, workers)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		oracles[w] = &txOracle{bal: make(map[int]int)}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := mrand.New(mrand.NewSource(seed + int64(w)))
+			o := oracles[w]
+			nextID := w * rangeSize
+			for i := 0; i < txPerWorker; i++ {
+				tx, err := db.Begin()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				// Shadow of this tx's effects, applied to the oracle only on
+				// commit. Updates and deletes target rows committed by EARLIER
+				// transactions: commit-time evaluation runs against pre-tx
+				// state, so same-tx inserts are not visible to them.
+				type op struct {
+					kind string
+					id   int
+					bal  int
+				}
+				var ops []op
+				prior := make([]int, 0, len(o.bal))
+				for id := range o.bal {
+					prior = append(prior, id)
+				}
+				sort.Ints(prior)
+				stmts := 1 + rng.Intn(4)
+				for s := 0; s < stmts; s++ {
+					switch k := rng.Intn(10); {
+					case k < 5 || len(prior) == 0: // insert fresh ids
+						n := 1 + rng.Intn(3)
+						for r := 0; r < n; r++ {
+							id, bal := nextID, rng.Intn(10000)
+							nextID++
+							if _, err := tx.Exec(fmt.Sprintf(`INSERT INTO acct VALUES (%d, %d)`, id, bal)); err != nil {
+								errCh <- err
+								return
+							}
+							ops = append(ops, op{"ins", id, bal})
+						}
+					case k < 8: // update one prior row
+						id := prior[rng.Intn(len(prior))]
+						bal := rng.Intn(10000)
+						if _, err := tx.Exec(fmt.Sprintf(`UPDATE acct SET bal = %d WHERE id = %d`, bal, id)); err != nil {
+							errCh <- err
+							return
+						}
+						ops = append(ops, op{"upd", id, bal})
+					default: // delete one prior row
+						id := prior[rng.Intn(len(prior))]
+						if _, err := tx.Exec(fmt.Sprintf(`DELETE FROM acct WHERE id = %d`, id)); err != nil {
+							errCh <- err
+							return
+						}
+						ops = append(ops, op{"del", id, 0})
+					}
+				}
+				if rng.Intn(4) == 0 {
+					if err := tx.Rollback(); err != nil {
+						errCh <- err
+						return
+					}
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					errCh <- fmt.Errorf("worker %d tx %d: %w", w, i, err)
+					return
+				}
+				// Committed: fold the shadow into the oracle. Deletes and
+				// updates of ids deleted by an earlier stmt of the SAME tx
+				// replay in order, mirroring provider-side apply order.
+				for _, p := range ops {
+					switch p.kind {
+					case "ins":
+						o.bal[p.id] = p.bal
+					case "upd":
+						if _, live := o.bal[p.id]; live {
+							o.bal[p.id] = p.bal
+						}
+					case "del":
+						delete(o.bal, p.id)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	want := make([]string, 0)
+	for _, o := range oracles {
+		for id, bal := range o.bal {
+			want = append(want, fmt.Sprintf("%d,%d", id, bal))
+		}
+	}
+	sort.Strings(want)
+	res, err := db.Exec(`SELECT id, bal FROM acct`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedRowStrings(res)
+	if len(got) != len(want) {
+		t.Fatalf("final table has %d rows, oracle has %d\n got  %v\n want %v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("diverges at row %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTxConcurrentDifferential: interleaved transactions on one group.
+func TestTxConcurrentDifferential(t *testing.T) {
+	cluster, err := OpenLocal(3, Options{K: 2, MasterKey: []byte("tx diff key")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	runTxDifferential(t, cluster.Client, 20260808)
+}
+
+// TestTxConcurrentDifferentialSharded: the same workload through the shard
+// router, where every commit is a cross-group 2PC.
+func TestTxConcurrentDifferentialSharded(t *testing.T) {
+	cluster, err := OpenLocalSharded(2, 3, Options{
+		K:         2,
+		MasterKey: []byte("tx diff key"),
+		ShardKeys: map[string]string{"acct": "id"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	runTxDifferential(t, cluster.Client, 8080622)
+}
