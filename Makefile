@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-txn bench bench-s6 bench-s7 experiments experiments-full fmt clean
+.PHONY: all build vet test race race-txn race-hedge bench bench-s6 bench-s7 bench-s8 experiments experiments-full fmt clean
 
 all: build vet test
 
@@ -26,6 +26,13 @@ race-txn:
 	$(GO) test -race -count=1 -run 'TestTx|TestWatermark|TestSharded' ./internal/client
 	$(GO) test -race -count=1 -run 'TestTx' .
 
+# Focused race pass over the tail-tolerance paths: hedged buffered and
+# streaming reads, health scoring, end-to-end deadlines, the flapping
+# provider's repair loop, and the deadline-aware transport.
+race-hedge:
+	$(GO) test -race -count=1 -run 'TestHedge|TestNoHedges|TestHealth|TestCircuit|TestDynamic|TestReadDeadline|TestRepairFlapping' ./internal/client
+	$(GO) test -race -count=1 -run 'TestFaulty|TestWaitBackoff|TestCallDeadline|TestLocalConn|TestDelaySchedule' ./internal/transport
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -38,6 +45,12 @@ bench-s6:
 # with machine-readable output for trend tracking.
 bench-s7:
 	$(GO) run ./cmd/ssbench -only S7 -json BENCH_S7.json
+
+# Tail-tolerance suite: gray-failure straggler vs healthy p99, hedge
+# counters, and the end-to-end deadline scenario, with machine-readable
+# output for trend tracking.
+bench-s8:
+	$(GO) run ./cmd/ssbench -only S8 -json BENCH_S8.json
 
 # Regenerate the paper's experiment tables (quick sizes).
 experiments:

@@ -24,7 +24,7 @@ func main() {
 	full := flag.Bool("full", false, "run full-size experiments")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E4,E11)")
 	list := flag.Bool("list", false, "list experiments and exit")
-	jsonPath := flag.String("json", "", "write the S6/S7 suite's machine-readable result to this file")
+	jsonPath := flag.String("json", "", "write the S6/S7/S8 suite's machine-readable result to this file")
 	flag.Parse()
 
 	runners := bench.All()
@@ -60,6 +60,12 @@ func main() {
 		case r.ID == "S7" && *jsonPath != "":
 			var detail *bench.S7Result
 			table, detail, err = bench.RunS7Detailed(scale)
+			if err == nil {
+				err = writeJSON(*jsonPath, detail)
+			}
+		case r.ID == "S8" && *jsonPath != "":
+			var detail *bench.S8Result
+			table, detail, err = bench.RunS8Detailed(scale)
 			if err == nil {
 				err = writeJSON(*jsonPath, detail)
 			}

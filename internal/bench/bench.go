@@ -188,6 +188,7 @@ func All() []Runner {
 		{"S5", RunS5, "supplementary: paged storage at 1x/4x/10x cache budget"},
 		{"S6", RunS6, "supplementary: sustained-load serving — admission control and overload shedding"},
 		{"S7", RunS7, "supplementary: multi-statement transactions — 2PC commit latency and abort rate"},
+		{"S8", RunS8, "supplementary: tail-tolerant reads under gray failure — health scoring, hedging, deadlines"},
 	}
 }
 

@@ -436,6 +436,44 @@ func TestS7TransactionCommit(t *testing.T) {
 	}
 }
 
+// S8 shape: healthy and straggler phases for both read paths plus the
+// deadline scenario. The runner asserts the tail bounds itself (degraded
+// p99 within ~2x healthy, ~zero hedges while healthy, ErrDeadline in
+// bounded time); here check the phases ran and the result is coherent.
+func TestS8TailTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("straggler and deadline phases sleep on injected delays")
+	}
+	table, res, err := RunS8Detailed(Scale{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.ID != "S8" || len(table.Rows) != 4 {
+		t.Fatalf("S8 shape: %+v", table)
+	}
+	names := []string{"point healthy", "scan healthy", "point straggler", "scan straggler"}
+	if len(res.Suites) != len(names) {
+		t.Fatalf("suites: %+v", res.Suites)
+	}
+	for i, s := range res.Suites {
+		if s.Name != names[i] {
+			t.Fatalf("suite %d is %q, want %q", i, s.Name, names[i])
+		}
+		if s.Ops == 0 || s.P50Nanos == 0 || s.P99Nanos < s.P50Nanos {
+			t.Fatalf("suite %s measured nothing: %+v", s.Name, s)
+		}
+	}
+	if res.StragglerDelayNanos < 50_000_000 {
+		t.Fatalf("straggler delay %d below the 50ms floor", res.StragglerDelayNanos)
+	}
+	if !res.DeadlineHit {
+		t.Fatalf("deadline scenario did not surface ErrDeadline: %+v", res)
+	}
+	if res.DeadlineReturnNanos > 2_000_000_000 {
+		t.Fatalf("deadline statement took %dns to fail", res.DeadlineReturnNanos)
+	}
+}
+
 func TestRunAllPrints(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")

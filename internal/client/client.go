@@ -41,6 +41,7 @@ var (
 	ErrInconsistent  = errors.New("client: providers returned inconsistent results")
 	ErrVerification  = errors.New("client: verification failed")
 	ErrValueOverflow = errors.New("client: aggregate exceeds safe bounds")
+	ErrDeadline      = errors.New("client: read deadline exceeded")
 )
 
 // Options configures a data source.
@@ -105,6 +106,24 @@ type Options struct {
 	// K-of-N quorum with independent hint journals and repair — and build a
 	// shard router via NewSharded. New itself rejects Shards > 1.
 	Shards int
+	// ReadDeadline, when positive, bounds the end-to-end latency of each
+	// read statement (Query/QueryRows and their sharded scatter-gather):
+	// the absolute deadline is fixed when the statement starts and
+	// propagates through provider calls, streaming scans (providers abandon
+	// cursor batches for it), and transport dial/retry backoffs. A
+	// statement that cannot complete in time fails with ErrDeadline instead
+	// of hanging on slow providers. Zero means unbounded. Write statements
+	// and repair-loop scans are never deadline-bounded.
+	ReadDeadline time.Duration
+	// HedgeDelay tunes hedged reads. A read-set member that has not
+	// answered within the straggler threshold gets hedged: the same
+	// request is issued to a spare provider and whichever answers first
+	// wins. 0 (default) derives the threshold dynamically from recent call
+	// latencies (a multiple of the observed p99, once enough calls have
+	// been seen); a positive value fixes the threshold; a negative value
+	// disables hedging. Hedges are rate-limited to a small fraction of
+	// total calls so a uniformly slow fleet is not amplified.
+	HedgeDelay time.Duration
 	// ShardKeys optionally names a shard-key column per table
 	// (table name -> column name), consulted at CREATE TABLE time. A table
 	// whose name appears here is hash-partitioned on that column's encoded
@@ -160,6 +179,11 @@ type Client struct {
 	downMu sync.Mutex
 	// down tracks providers considered crashed (failover state).
 	down []bool
+	// health is the tail-tolerance ledger (health.go): per-provider EWMA
+	// latency and circuit breakers feeding read-set ranking, plus the
+	// hedged-request budget. It has its own internal locking and is
+	// touched on every provider call.
+	health *healthState
 	// hints holds one hinted-handoff journal per provider (see hints.go).
 	// A provider with queued hints is "lagging": it answers calls but has
 	// missed acknowledged mutations, so reads mask rows above its lag floor
@@ -315,6 +339,7 @@ func New(conns []transport.Conn, opts Options) (*Client, error) {
 		domains:  make(map[string]*opp.Scheme),
 		tables:   make(map[string]*tableMeta),
 		aead:     aead,
+		health:   newHealthState(opts.N),
 		down:     make([]bool, opts.N),
 		hints:    hints,
 		provStat: make([]*proto.StatsResponse, opts.N),
@@ -415,13 +440,25 @@ type indexedResponse struct {
 
 // call sends one request to one provider, surfacing remote errors.
 func (c *Client) call(provider int, req proto.Message) (proto.Message, error) {
-	resp, err := c.conns[provider].Call(req)
+	return c.callDeadline(provider, req, time.Time{})
+}
+
+// callDeadline is call under an absolute deadline (zero = unbounded). Every
+// call through here feeds the health ledger — including repair-loop pings,
+// so an idle client still tracks provider latency.
+func (c *Client) callDeadline(provider int, req proto.Message, deadline time.Time) (proto.Message, error) {
+	start := time.Now()
+	resp, err := transport.CallWithDeadline(c.conns[provider], req, deadline)
 	if err != nil {
+		c.health.observe(provider, time.Since(start), err)
 		return nil, err
 	}
 	if e, ok := resp.(*proto.ErrorResponse); ok {
-		return nil, e.Err()
+		err := e.Err()
+		c.health.observe(provider, time.Since(start), err)
+		return nil, err
 	}
+	c.health.observe(provider, time.Since(start), nil)
 	return resp, nil
 }
 
@@ -508,20 +545,27 @@ func (c *Client) callWrite(build func(provider int) proto.Message) ([]int, error
 // plain scans below their lag floor), then previously-down ones (they may
 // have recovered), with down-and-lagging last. Lagging providers appear at
 // all only because masking makes them safe for id-carrying scans; paths
-// that cannot mask use cleanOrder instead.
+// that cannot mask use cleanOrder instead. Within each availability tier,
+// providers are ranked by observed health (EWMA latency, circuit breaker —
+// see health.go), so read sets prefer the currently-fastest K; the sort is
+// stable, so providers without fresh observations keep index order.
 func (c *Client) providerOrder() []int {
 	c.downMu.Lock()
-	defer c.downMu.Unlock()
 	order := make([]int, 0, c.opts.N)
-	for _, wantDown := range []bool{false, true} {
-		for _, wantLag := range []bool{false, true} {
-			for i := 0; i < c.opts.N; i++ {
-				if c.down[i] == wantDown && c.hints[i].lagging == wantLag {
-					order = append(order, i)
-				}
-			}
+	tier := make([]int, 0, c.opts.N)
+	for i := 0; i < c.opts.N; i++ {
+		t := 0
+		if c.hints[i].lagging {
+			t += 1
 		}
+		if c.down[i] {
+			t += 2
+		}
+		order = append(order, i)
+		tier = append(tier, t)
 	}
+	c.downMu.Unlock()
+	c.rankOrder(order, tier)
 	return order
 }
 
@@ -532,16 +576,43 @@ func (c *Client) providerOrder() []int {
 // candidate at any priority.
 func (c *Client) cleanOrder() []int {
 	c.downMu.Lock()
-	defer c.downMu.Unlock()
 	order := make([]int, 0, c.opts.N)
-	for _, wantDown := range []bool{false, true} {
-		for i := 0; i < c.opts.N; i++ {
-			if c.down[i] == wantDown && !c.hints[i].lagging {
-				order = append(order, i)
-			}
+	tier := make([]int, 0, c.opts.N)
+	for i := 0; i < c.opts.N; i++ {
+		if c.hints[i].lagging {
+			continue
 		}
+		t := 0
+		if c.down[i] {
+			t = 1
+		}
+		order = append(order, i)
+		tier = append(tier, t)
 	}
+	c.downMu.Unlock()
+	c.rankOrder(order, tier)
 	return order
+}
+
+// rankOrder stable-sorts a candidate list by (availability tier, health
+// rank): tier dominates — a fast-but-lagging provider never overtakes a
+// caught-up one — and health breaks ties within it. tier is indexed
+// parallel to order's initial (ascending provider index) layout, so it is
+// captured by position before sorting.
+func (c *Client) rankOrder(order, tier []int) {
+	now := time.Now()
+	type key struct{ tier, rank int }
+	keys := make(map[int]key, len(order))
+	for j, p := range order {
+		keys[p] = key{tier: tier[j], rank: c.health.rank(p, now)}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		if ka.tier != kb.tier {
+			return ka.tier < kb.tier
+		}
+		return ka.rank < kb.rank
+	})
 }
 
 // markProvider records a provider's health after a call. Concurrent read
@@ -559,54 +630,162 @@ func (c *Client) markProvider(provider int, down bool) {
 // without row ids to mask, and a provider that missed writes would
 // silently contribute stale state to them.
 func (c *Client) callQuorum(need int, build func(provider int) proto.Message) ([]indexedResponse, error) {
-	return c.callQuorumOrdered(need, c.cleanOrder(), build)
+	return c.callQuorumDeadline(need, c.cleanOrder(), build, c.readDeadline())
 }
 
 // callQuorumOrdered is callQuorum over an explicit candidate order; the
 // plain-scan path passes the full providerOrder (lagging included) because
 // lag-floor masking makes stale providers safe there.
 func (c *Client) callQuorumOrdered(need int, order []int, build func(provider int) proto.Message) ([]indexedResponse, error) {
+	return c.callQuorumDeadline(need, order, build, c.readDeadline())
+}
+
+// callQuorumDeadline gathers `need` responses from the candidate order
+// under an absolute deadline, hedging stragglers. The first `need`
+// candidates are launched concurrently; then the collector waits on three
+// clocks at once:
+//
+//   - a response arriving — failures launch the next candidate immediately
+//     (plain failover, not charged to the hedge budget), successes count
+//     toward the quorum;
+//   - the straggler threshold elapsing with candidates still unlaunched —
+//     one hedge is issued per elapse, budget permitting, and whichever of
+//     the duplicated calls answers first is used (the loser's response is
+//     discarded on arrival; over the mux transport an abandoned slow call
+//     dies with its own timeout);
+//   - the deadline elapsing — the statement fails with ErrDeadline rather
+//     than waiting out a slow provider.
+func (c *Client) callQuorumDeadline(need int, order []int, build func(provider int) proto.Message, deadline time.Time) ([]indexedResponse, error) {
 	if need > c.opts.N {
 		return nil, fmt.Errorf("%w: need %d of %d", ErrNotEnough, need, c.opts.N)
 	}
+	type res struct {
+		provider int
+		msg      proto.Message
+		err      error
+	}
+	ch := make(chan res, len(order))
+	// launchedAt lets a firing hedge timer attribute the stall: every
+	// launched-but-unanswered provider older than the threshold gets a
+	// right-censored latency observation (observeStall), so ranking learns
+	// about a gray failure from the very first hedge. Accessed only from
+	// this goroutine's loop.
+	launchedAt := make(map[int]time.Time, len(order))
+	launch := func(p int) {
+		launchedAt[p] = time.Now()
+		go func() {
+			msg, err := c.callDeadline(p, build(p), deadline)
+			ch <- res{provider: p, msg: msg, err: err}
+		}()
+	}
+	next := 0
+	for ; next < min(need, len(order)); next++ {
+		launch(order[next])
+	}
 	var got []indexedResponse
 	var errs []error
-	next := 0
-	for len(got) < need && next < len(order) {
-		// Launch the next batch concurrently: as many as still needed.
-		batch := order[next:min(next+need-len(got), len(order))]
-		next += len(batch)
-		type res struct {
-			provider int
-			msg      proto.Message
-			err      error
+	inflight := next
+	var hedgedProvs map[int]bool
+	threshold := c.hedgeThreshold()
+	var deadlineCh <-chan time.Time
+	if !deadline.IsZero() {
+		dt := time.NewTimer(time.Until(deadline))
+		defer dt.Stop()
+		deadlineCh = dt.C
+	}
+	for len(got) < need && inflight > 0 {
+		// The hedge timer is re-armed per wait: each stall of threshold
+		// duration with spare candidates available may add one hedge.
+		var hedgeCh <-chan time.Time
+		if threshold > 0 && next < len(order) {
+			ht := time.NewTimer(threshold)
+			hedgeCh = ht.C
+			select {
+			case r := <-ch:
+				ht.Stop()
+				inflight--
+				delete(launchedAt, r.provider)
+				if r.err != nil {
+					errs = append(errs, fmt.Errorf("provider %d: %w", r.provider, r.err))
+					c.markProvider(r.provider, true)
+					// Plain failover: replace the failed candidate if the
+					// quorum still needs it.
+					if len(got)+inflight < need && next < len(order) {
+						launch(order[next])
+						next++
+						inflight++
+					}
+					continue
+				}
+				c.markProvider(r.provider, false)
+				if len(got) < need {
+					if hedgedProvs[r.provider] {
+						c.health.hedgesWon.Add(1)
+					}
+					got = append(got, indexedResponse{provider: r.provider, msg: r.msg})
+				}
+			case <-hedgeCh:
+				for p, at := range launchedAt {
+					if stalled := time.Since(at); stalled >= threshold {
+						c.health.observeStall(p, stalled)
+						delete(launchedAt, p) // one stall sample per statement
+					}
+				}
+				if c.health.allowHedge() {
+					if hedgedProvs == nil {
+						hedgedProvs = make(map[int]bool)
+					}
+					hedgedProvs[order[next]] = true
+					launch(order[next])
+					next++
+					inflight++
+				} else {
+					// Budget denied: stop trying this statement (the timer
+					// would otherwise re-fire every threshold).
+					threshold = 0
+				}
+			case <-deadlineCh:
+				ht.Stop()
+				return nil, fmt.Errorf("%w: %d of %d needed answered before deadline (%v)",
+					ErrDeadline, len(got), need, errors.Join(errs...))
+			}
+			continue
 		}
-		// Run the last member of the batch on this goroutine: with K=2
-		// that halves goroutine spawns per statement, and the spawned
-		// goroutines overlap with it either way.
-		ch := make(chan res, len(batch))
-		for _, p := range batch[:len(batch)-1] {
-			go func(p int) {
-				msg, err := c.call(p, build(p))
-				ch <- res{provider: p, msg: msg, err: err}
-			}(p)
-		}
-		last := batch[len(batch)-1]
-		msg, err := c.call(last, build(last))
-		ch <- res{provider: last, msg: msg, err: err}
-		for range batch {
-			r := <-ch
+		select {
+		case r := <-ch:
+			inflight--
+			delete(launchedAt, r.provider)
 			if r.err != nil {
-				c.markProvider(r.provider, true)
 				errs = append(errs, fmt.Errorf("provider %d: %w", r.provider, r.err))
+				c.markProvider(r.provider, true)
+				if len(got)+inflight < need && next < len(order) {
+					launch(order[next])
+					next++
+					inflight++
+				}
 				continue
 			}
 			c.markProvider(r.provider, false)
-			got = append(got, indexedResponse{provider: r.provider, msg: r.msg})
+			if len(got) < need {
+				if hedgedProvs[r.provider] {
+					c.health.hedgesWon.Add(1)
+				}
+				got = append(got, indexedResponse{provider: r.provider, msg: r.msg})
+			}
+		case <-deadlineCh:
+			return nil, fmt.Errorf("%w: %d of %d needed answered before deadline (%v)",
+				ErrDeadline, len(got), need, errors.Join(errs...))
 		}
 	}
 	if len(got) < need {
-		return nil, fmt.Errorf("%w: %d of %d needed answered (%v)", ErrNotEnough, len(got), need, errors.Join(errs...))
+		base := ErrNotEnough
+		// The per-call transport deadlines and the collector's deadline
+		// timer race benignly; either way the statement ran out of time,
+		// not out of providers.
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			base = ErrDeadline
+		}
+		return nil, fmt.Errorf("%w: %d of %d needed answered (%v)", base, len(got), need, errors.Join(errs...))
 	}
 	sort.Slice(got, func(i, j int) bool { return got[i].provider < got[j].provider })
 	return got, nil
@@ -617,8 +796,10 @@ func (c *Client) callQuorumOrdered(need int, order []int, build func(provider in
 // at least minNeed. Verified reads use it: they want maximal redundancy so
 // that detectably-faulty providers can be dropped while a quorum survives.
 // Lagging providers are skipped — their stale share sets would fail
-// cross-checks indistinguishably from malice.
-func (c *Client) callAvailable(minNeed int, build func(provider int) proto.Message) ([]indexedResponse, error) {
+// cross-checks indistinguishably from malice. Hedging does not apply (all
+// candidates are already called), but the deadline does: verified reads
+// keep strict semantics while still failing fast when bounded.
+func (c *Client) callAvailable(minNeed int, build func(provider int) proto.Message, deadline time.Time) ([]indexedResponse, error) {
 	type res struct {
 		provider int
 		msg      proto.Message
@@ -628,7 +809,7 @@ func (c *Client) callAvailable(minNeed int, build func(provider int) proto.Messa
 	ch := make(chan res, len(candidates))
 	for _, i := range candidates {
 		go func(i int) {
-			msg, err := c.call(i, build(i))
+			msg, err := c.callDeadline(i, build(i), deadline)
 			ch <- res{provider: i, msg: msg, err: err}
 		}(i)
 	}
@@ -645,8 +826,12 @@ func (c *Client) callAvailable(minNeed int, build func(provider int) proto.Messa
 		got = append(got, indexedResponse{provider: r.provider, msg: r.msg})
 	}
 	if len(got) < minNeed {
+		base := ErrNotEnough
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			base = ErrDeadline
+		}
 		return nil, fmt.Errorf("%w: %d of %d needed answered (%v)",
-			ErrNotEnough, len(got), minNeed, errors.Join(errs...))
+			base, len(got), minNeed, errors.Join(errs...))
 	}
 	sort.Slice(got, func(i, j int) bool { return got[i].provider < got[j].provider })
 	return got, nil

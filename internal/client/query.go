@@ -3,9 +3,11 @@ package client
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"sssdb/internal/field"
 	"sssdb/internal/merkle"
@@ -236,21 +238,30 @@ func (c *Client) scanTableAsOf(meta *tableMeta, preds []compiledPred, limit uint
 			return &scanResult{verified: verified}, nil
 		}
 	}
+	// The statement's deadline is fixed here, once: the streaming attempt
+	// and a buffered fallback share it, so a failed stream cannot double
+	// the budget. A deadline failure does not fall back at all — the
+	// buffered path would just time out again, later.
+	deadline := c.readDeadline()
 	if !verified && !c.hasPending(meta.Name) && !c.opts.BufferedScans {
-		if res, err := c.collectStreamAsOf(meta, preds, limit, epoch); err == nil {
+		res, err := c.collectStreamAsOf(meta, preds, limit, epoch, deadline)
+		if err == nil {
 			return res, nil
 		}
+		if errors.Is(err, ErrDeadline) {
+			return nil, err
+		}
 	}
-	return c.scanTableBufferedAsOf(meta, preds, limit, verified, epoch)
+	return c.scanTableBufferedAsOf(meta, preds, limit, verified, epoch, deadline)
 }
 
 // scanTableBuffered is the materializing scan: gather whole responses from
 // a quorum, then align, reconstruct, and filter.
 func (c *Client) scanTableBuffered(meta *tableMeta, preds []compiledPred, limit uint64, verified bool) (*scanResult, error) {
-	return c.scanTableBufferedAsOf(meta, preds, limit, verified, noEpoch)
+	return c.scanTableBufferedAsOf(meta, preds, limit, verified, noEpoch, c.readDeadline())
 }
 
-func (c *Client) scanTableBufferedAsOf(meta *tableMeta, preds []compiledPred, limit uint64, verified bool, epoch uint64) (*scanResult, error) {
+func (c *Client) scanTableBufferedAsOf(meta *tableMeta, preds []compiledPred, limit uint64, verified bool, epoch uint64, deadline time.Time) (*scanResult, error) {
 	if verified && len(preds) == 0 {
 		// Synthesize a full-domain range on the first queryable column so
 		// the provider can attach a completeness proof.
@@ -285,10 +296,11 @@ func (c *Client) scanTableBufferedAsOf(meta *tableMeta, preds []compiledPred, li
 	}
 	buildScan := func(i int) proto.Message {
 		return &proto.ScanRequest{
-			Table:     meta.Name,
-			Filter:    filters[i],
-			Limit:     pushLimit,
-			WithProof: verified,
+			Table:         meta.Name,
+			Filter:        filters[i],
+			Limit:         pushLimit,
+			WithProof:     verified,
+			TimeoutMillis: timeoutMillis(deadline),
 		}
 	}
 	// INSERTs run under the shared statement lock, so a batch may be landing
@@ -309,12 +321,12 @@ func (c *Client) scanTableBufferedAsOf(meta *tableMeta, preds []compiledPred, li
 		// Verified reads want every reachable provider: redundancy is what
 		// lets proof-failing or outvoted providers be dropped while a
 		// quorum of K survives.
-		responses, err = c.callAvailable(c.opts.K, buildScan)
+		responses, err = c.callAvailable(c.opts.K, buildScan, deadline)
 	} else {
 		// Plain scans may fail over onto a lagging provider (one with
 		// queued hints): its rows below the lag floor are exactly its
 		// peers', and everything at or above the floor is masked below.
-		responses, err = c.callQuorumOrdered(c.opts.K, c.providerOrder(), buildScan)
+		responses, err = c.callQuorumDeadline(c.opts.K, c.providerOrder(), buildScan, deadline)
 	}
 	if err != nil {
 		return nil, err

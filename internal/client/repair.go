@@ -366,7 +366,10 @@ func (c *Client) resyncDigest(provider int, table string) (*proto.DigestResult, 
 // holds the exclusive statement lock, so no statement observes the
 // polynomial swap in progress.
 func (c *Client) reseedTable(p int, meta *tableMeta) error {
-	scan, err := c.scanTableBuffered(meta, nil, 0, false)
+	// Zero deadline deliberately: repair scans rebuild provider state and
+	// must run to completion even when the client bounds its foreground
+	// reads with Options.ReadDeadline.
+	scan, err := c.scanTableBufferedAsOf(meta, nil, 0, false, noEpoch, time.Time{})
 	if err != nil {
 		return err
 	}

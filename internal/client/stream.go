@@ -16,8 +16,10 @@ package client
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"sssdb/internal/proto"
 	"sssdb/internal/sql"
@@ -82,23 +84,240 @@ type provStream struct {
 	p    int
 	ch   chan *proto.RowsResponse
 	errc chan error
-	cols []string
-	rows []proto.Row
-	off  int
-	eof  bool
-	err  error
+	// stop cancels this stream alone (a hedge race loser) without touching
+	// its siblings; rs.done still cancels all of them at once.
+	stop     chan struct{}
+	stopOnce sync.Once
+	cols     []string
+	rows     []proto.Row
+	off      int
+	eof      bool
+	err      error
+	// skip drops this many post-watermark rows before any are delivered: a
+	// hedge rival fast-forwards to the slot's current position. accepted
+	// counts post-watermark, post-skip rows delivered so far — i.e. the
+	// slot position a future rival of THIS stream must skip to. OPP share
+	// ordering makes this sound: every provider returns the same logical
+	// rows in the same id order for the same logical filter, so "row
+	// number accepted so far" addresses the identical row on any provider.
+	skip     int
+	accepted int
 }
 
-// openRowStream starts a streaming scan over the first K failover-ordered
-// providers. Any error after this point surfaces through rs.err when
-// rs.out closes.
+// cancel stops this stream's provider goroutine (best-effort cancel frame
+// on the wire, cursor released server-side). Idempotent.
+func (ps *provStream) cancel() {
+	ps.stopOnce.Do(func() { close(ps.stop) })
+}
+
+// ingest folds one chunk receive (chunk, ok := <-ps.ch) into the stream
+// state: watermark rows drop, skip rows fast-forward, the rest land in
+// ps.rows. Only legal when every previously delivered row is consumed
+// (ps.off >= len(ps.rows)).
+func (ps *provStream) ingest(chunk *proto.RowsResponse, ok bool, watermark uint64) {
+	if !ok {
+		ps.err = <-ps.errc
+		ps.eof = true
+		return
+	}
+	if ps.cols == nil && len(chunk.Columns) > 0 {
+		ps.cols = chunk.Columns
+	}
+	rows := chunk.Rows[:0]
+	for _, row := range chunk.Rows {
+		if row.ID >= watermark {
+			continue
+		}
+		if ps.skip > 0 {
+			ps.skip--
+			continue
+		}
+		rows = append(rows, row)
+	}
+	ps.rows = rows
+	ps.off = 0
+	ps.accepted += len(rows)
+}
+
+// ready reports that the aligner can make progress on this stream without
+// blocking: unconsumed rows are available or the stream has ended.
+func (ps *provStream) ready() bool {
+	return ps.eof || ps.off < len(ps.rows)
+}
+
+// fill blocks until ps has at least one unconsumed row or has reached end
+// of stream, dropping rows at or above the insert watermark as they arrive
+// (the same stable-watermark filtering the buffered path applies).
+func (ps *provStream) fill(watermark uint64) {
+	for !ps.ready() {
+		chunk, ok := <-ps.ch
+		ps.ingest(chunk, ok, watermark)
+	}
+}
+
+// fillWait is fill with a stall bound: it returns false if the stream
+// produced nothing for d (the straggler threshold — the aligner then
+// considers hedging), true once the stream is ready.
+func (ps *provStream) fillWait(watermark uint64, d time.Duration) bool {
+	if d <= 0 {
+		ps.fill(watermark)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	for !ps.ready() {
+		select {
+		case chunk, ok := <-ps.ch:
+			ps.ingest(chunk, ok, watermark)
+		case <-t.C:
+			return false
+		}
+	}
+	return true
+}
+
+// streamScan carries the per-scan state the aligner needs to hedge: how to
+// start a replacement provider stream mid-scan, and which spares remain.
+type streamScan struct {
+	c         *Client
+	rs        *rowStream
+	meta      *tableMeta
+	filters   []*proto.Filter
+	pushLimit uint64
+	watermark uint64
+	deadline  time.Time
+	// threshold is the straggler threshold for this scan (0 = no hedging);
+	// it flips to 0 once the hedge budget denies, so a slow scan does not
+	// keep re-arming stall timers it can never act on.
+	threshold time.Duration
+	// spares are ranked candidates not in the read set: not down, not
+	// lagging (a lagging spare could not honor the already-fixed watermark
+	// — its lag floor might sit below rows this scan already emitted).
+	spares []int
+}
+
+// start launches one provider chunk stream, skipping the first `skip`
+// post-watermark rows (0 for the initial read set; the slot position for a
+// hedge rival). Time-to-first-chunk feeds the health ledger — whole-stream
+// duration would scale with result size, not provider health.
+func (sc *streamScan) start(p int, skip int) *provStream {
+	ps := &provStream{
+		p:        p,
+		ch:       make(chan *proto.RowsResponse, 1),
+		errc:     make(chan error, 1),
+		stop:     make(chan struct{}),
+		skip:     skip,
+		accepted: skip,
+	}
+	req := &proto.ScanRequest{
+		Table:         sc.meta.Name,
+		Filter:        sc.filters[p],
+		Limit:         sc.pushLimit,
+		TimeoutMillis: timeoutMillis(sc.deadline),
+	}
+	go func() {
+		started := time.Now()
+		first := true
+		err := transport.CallStreamWithDeadline(sc.c.conns[p], req, sc.deadline, func(chunk *proto.RowsResponse) error {
+			if first {
+				sc.c.health.observe(p, time.Since(started), nil)
+				first = false
+			}
+			select {
+			case ps.ch <- chunk:
+				return nil
+			case <-ps.stop:
+				return errStreamDone
+			case <-sc.rs.done:
+				return errStreamDone
+			}
+		})
+		if err == nil {
+			sc.c.markProvider(p, false)
+		} else if !errors.Is(err, errStreamDone) {
+			sc.c.markProvider(p, true)
+			if first {
+				sc.c.health.observe(p, time.Since(started), err)
+			}
+		}
+		ps.errc <- err
+		close(ps.ch)
+	}()
+	return ps
+}
+
+// tryHedge starts a rival stream for a stalled slot, if a spare provider
+// and hedge budget remain.
+func (sc *streamScan) tryHedge(old *provStream) *provStream {
+	// The stalled stream has provably produced nothing for a full
+	// threshold: feed that as a right-censored latency sample so ranking
+	// demotes a gray-failing provider without waiting for the stream to
+	// finish or die (see healthState.observeStall).
+	sc.c.health.observeStall(old.p, sc.threshold)
+	if len(sc.spares) == 0 {
+		return nil
+	}
+	if !sc.c.health.allowHedge() {
+		sc.threshold = 0
+		return nil
+	}
+	p := sc.spares[0]
+	sc.spares = sc.spares[1:]
+	return sc.start(p, old.accepted)
+}
+
+// race waits for either the stalled stream or its rival to become usable
+// and returns the slot's new owner, canceling the other. A mid-stream
+// death of either side hands the slot to the survivor — hedging doubles as
+// mid-stream failover. Both streams sit at the same slot position (the
+// rival skipped to it), so whichever produces rows first produces the SAME
+// rows; a clean EOF is equally adoptable from either.
+func (sc *streamScan) race(old, rival *provStream) *provStream {
+	oldCh, rivalCh := old.ch, rival.ch
+	for {
+		if old != nil && old.ready() {
+			if old.eof && old.err != nil && rival != nil {
+				old, oldCh = nil, nil
+			} else {
+				if rival != nil {
+					rival.cancel()
+				}
+				return old
+			}
+		}
+		if rival != nil && rival.ready() {
+			if rival.eof && rival.err != nil {
+				if old == nil {
+					return rival // both dead; surface the rival's error
+				}
+				rival, rivalCh = nil, nil
+				continue
+			}
+			if old != nil {
+				old.cancel()
+			}
+			sc.c.health.hedgesWon.Add(1)
+			return rival
+		}
+		select {
+		case chunk, ok := <-oldCh:
+			old.ingest(chunk, ok, sc.watermark)
+		case chunk, ok := <-rivalCh:
+			rival.ingest(chunk, ok, sc.watermark)
+		}
+	}
+}
+
+// openRowStream starts a streaming scan over the best-ranked K providers.
+// Any error after this point surfaces through rs.err when rs.out closes.
 func (c *Client) openRowStream(meta *tableMeta, preds []compiledPred, limit uint64) (*rowStream, error) {
-	return c.openRowStreamAsOf(meta, preds, limit, noEpoch)
+	return c.openRowStreamAsOf(meta, preds, limit, noEpoch, c.readDeadline())
 }
 
 // openRowStreamAsOf is openRowStream with a snapshot epoch capping the
-// insert watermark (transactional reads; see scanTableAsOf).
-func (c *Client) openRowStreamAsOf(meta *tableMeta, preds []compiledPred, limit uint64, epoch uint64) (*rowStream, error) {
+// insert watermark (transactional reads; see scanTableAsOf) and an
+// absolute deadline bounding every provider stream (zero = unbounded).
+func (c *Client) openRowStreamAsOf(meta *tableMeta, preds []compiledPred, limit uint64, epoch uint64, deadline time.Time) (*rowStream, error) {
 	pushLimit := limit
 	if len(preds) > 1 || (len(preds) == 1 && preds[0].set != nil) {
 		// Residual predicates (and IN, whose pushed range is a superset)
@@ -133,67 +352,46 @@ func (c *Client) openRowStreamAsOf(meta *tableMeta, preds []compiledPred, limit 
 		out:  make(chan alignedBatch, 1),
 		done: make(chan struct{}),
 	}
+	sc := &streamScan{
+		c:         c,
+		rs:        rs,
+		meta:      meta,
+		filters:   filters,
+		pushLimit: pushLimit,
+		watermark: watermark,
+		deadline:  deadline,
+		threshold: c.hedgeThreshold(),
+	}
+	// Hedge spares: the ranked also-rans that are both reachable and fully
+	// caught up (see streamScan.spares for why lagging ones cannot serve).
+	c.downMu.Lock()
+	for _, p := range order[c.opts.K:] {
+		if !c.down[p] && !c.hints[p].lagging {
+			sc.spares = append(sc.spares, p)
+		}
+	}
+	c.downMu.Unlock()
 	streams := make([]*provStream, len(providers))
 	for i, p := range providers {
-		ps := &provStream{
-			p:    p,
-			ch:   make(chan *proto.RowsResponse, 1),
-			errc: make(chan error, 1),
-		}
-		streams[i] = ps
-		req := &proto.ScanRequest{Table: meta.Name, Filter: filters[p], Limit: pushLimit}
-		go func(ps *provStream, req proto.Message) {
-			err := transport.CallStream(c.conns[ps.p], req, func(chunk *proto.RowsResponse) error {
-				select {
-				case ps.ch <- chunk:
-					return nil
-				case <-rs.done:
-					return errStreamDone
-				}
-			})
-			if err == nil {
-				c.markProvider(ps.p, false)
-			} else if !errors.Is(err, errStreamDone) {
-				c.markProvider(ps.p, true)
-			}
-			ps.errc <- err
-			close(ps.ch)
-		}(ps, req)
+		streams[i] = sc.start(p, 0)
 	}
-	go c.alignStreams(rs, meta, preds, streams, providers, watermark, limit)
+	go c.alignStreams(sc, meta, preds, streams, limit)
 	return rs, nil
-}
-
-// fill blocks until ps has at least one unconsumed row or has reached end
-// of stream, dropping rows at or above the insert watermark as they arrive
-// (the same stable-watermark filtering the buffered path applies).
-func (ps *provStream) fill(watermark uint64) {
-	for !ps.eof && ps.off >= len(ps.rows) {
-		chunk, ok := <-ps.ch
-		if !ok {
-			ps.err = <-ps.errc
-			ps.eof = true
-			return
-		}
-		if ps.cols == nil && len(chunk.Columns) > 0 {
-			ps.cols = chunk.Columns
-		}
-		rows := chunk.Rows[:0]
-		for _, row := range chunk.Rows {
-			if row.ID < watermark {
-				rows = append(rows, row)
-			}
-		}
-		ps.rows = rows
-		ps.off = 0
-	}
 }
 
 // alignStreams is the zipper: it pops rows off the K provider streams in
 // lockstep, demands bytewise row-id agreement position by position (the
 // same strict check the buffered path runs on whole responses), and flushes
 // aligned spans through reconstruction whenever streamBatchRows accumulate.
-func (c *Client) alignStreams(rs *rowStream, meta *tableMeta, preds []compiledPred, streams []*provStream, providers []int, watermark, limit uint64) {
+//
+// A slot whose stream stalls past the straggler threshold is hedged: the
+// pending aligned batch is flushed first (a batch must never mix an old
+// slot owner's rows with its replacement's — reconstruction labels rows by
+// the CURRENT slot provider), then a rival stream starts on a spare
+// provider, fast-forwarded to the slot position, and whichever of the two
+// becomes usable first owns the slot from then on.
+func (c *Client) alignStreams(sc *streamScan, meta *tableMeta, preds []compiledPred, streams []*provStream, limit uint64) {
+	rs, watermark := sc.rs, sc.watermark
 	defer close(rs.out)
 	// Whatever ends this aligner — completion, a satisfied LIMIT, a failed
 	// or inconsistent provider — the surviving provider goroutines must be
@@ -220,12 +418,18 @@ func (c *Client) alignStreams(rs *rowStream, meta *tableMeta, preds []compiledPr
 		if batched == 0 {
 			return false
 		}
+		// The provider list is rebuilt from the CURRENT slot owners on
+		// every flush: hedging may have swapped a slot since the last one,
+		// and the batch rows are guaranteed to belong to the current owners
+		// (a swap always flushes first).
+		providers := make([]int, len(streams))
 		rowsByProvider := make(map[int]*proto.RowsResponse, len(streams))
 		for i, ps := range streams {
 			if ps.cols == nil {
 				fail(fmt.Errorf("%w: provider %d sent rows without a column header", ErrInconsistent, ps.p))
 				return true
 			}
+			providers[i] = ps.p
 			rowsByProvider[ps.p] = &proto.RowsResponse{Columns: ps.cols, Rows: batch[i]}
 		}
 		res, err := c.reconstructRows(meta, providers, rowsByProvider, false)
@@ -266,7 +470,20 @@ func (c *Client) alignStreams(rs *rowStream, meta *tableMeta, preds []compiledPr
 	for {
 		avail := -1
 		allEOF := true
-		for _, ps := range streams {
+		for si := range streams {
+			ps := streams[si]
+			if sc.threshold > 0 && !ps.fillWait(watermark, sc.threshold) {
+				// Stalled past the straggler threshold. Flush the aligned
+				// batch under the current slot owners, then race a rival
+				// for the slot.
+				if flush() {
+					return
+				}
+				if rival := sc.tryHedge(ps); rival != nil {
+					ps = sc.race(ps, rival)
+					streams[si] = ps
+				}
+			}
 			ps.fill(watermark)
 			if ps.err != nil {
 				fail(fmt.Errorf("provider %d: %w", ps.p, ps.err))
@@ -326,12 +543,12 @@ func (c *Client) alignStreams(rs *rowStream, meta *tableMeta, preds []compiledPr
 // scanTable: on any error the caller falls back to the buffered path (which
 // owns failover), since no rows have escaped to the user yet.
 func (c *Client) collectStream(meta *tableMeta, preds []compiledPred, limit uint64) (*scanResult, error) {
-	return c.collectStreamAsOf(meta, preds, limit, noEpoch)
+	return c.collectStreamAsOf(meta, preds, limit, noEpoch, c.readDeadline())
 }
 
-// collectStreamAsOf is collectStream under a snapshot epoch.
-func (c *Client) collectStreamAsOf(meta *tableMeta, preds []compiledPred, limit uint64, epoch uint64) (*scanResult, error) {
-	rs, err := c.openRowStreamAsOf(meta, preds, limit, epoch)
+// collectStreamAsOf is collectStream under a snapshot epoch and deadline.
+func (c *Client) collectStreamAsOf(meta *tableMeta, preds []compiledPred, limit uint64, epoch uint64, deadline time.Time) (*scanResult, error) {
+	rs, err := c.openRowStreamAsOf(meta, preds, limit, epoch, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -342,9 +559,23 @@ func (c *Client) collectStreamAsOf(meta *tableMeta, preds []compiledPred, limit 
 		res.values = append(res.values, b.values...)
 	}
 	if rs.err != nil {
-		return nil, rs.err
+		return nil, mapDeadlineErr(rs.err)
 	}
 	return res, nil
+}
+
+// mapDeadlineErr folds the two wire shapes of an elapsed read deadline — a
+// local transport timeout and the provider-side scan-abandoned remote error
+// — into ErrDeadline, so callers can tell "out of time" apart from "needs
+// failover" (a deadline failure must never retry on the buffered path: the
+// retry would just time out again, after doubling the wait).
+func mapDeadlineErr(err error) error {
+	var remote *proto.RemoteError
+	if errors.Is(err, os.ErrDeadlineExceeded) ||
+		(errors.As(err, &remote) && remote.Code == proto.CodeDeadlineExceeded) {
+		return fmt.Errorf("%w: %v", ErrDeadline, err)
+	}
+	return err
 }
 
 // --- Public cursor API ---
@@ -488,14 +719,16 @@ func (r *Rows) Next() bool {
 		}
 		b, ok := <-r.rs.out
 		if !ok {
-			err := r.rs.err
+			err := mapDeadlineErr(r.rs.err)
 			if err == nil {
 				r.finish()
 				return false
 			}
-			if !r.delivered {
+			if !r.delivered && !errors.Is(err, ErrDeadline) {
 				// Nothing reached the caller yet: retry on the buffered
-				// path, which owns provider failover.
+				// path, which owns provider failover. Deadline failures
+				// never retry — the buffered run would only time out again
+				// after doubling the wait.
 				if !r.fallbackBuffered() {
 					return false
 				}

@@ -135,12 +135,17 @@ func (m *UpdateRequest) unmarshal(r *reader) {
 // ScanRequest returns rows matching Filter (all rows when nil), projected
 // to the named columns (all when empty), capped at Limit when non-zero.
 // WithProof asks for a Merkle completeness proof over the filtered column.
+// TimeoutMillis, when non-zero, is the client's remaining read deadline at
+// send time: a provider streaming the response checks it between batches
+// and abandons the scan with CodeDeadlineExceeded once it elapses, so a
+// client that has already timed out stops costing the provider work.
 type ScanRequest struct {
-	Table      string
-	Filter     *Filter
-	Projection []string
-	Limit      uint64
-	WithProof  bool
+	Table         string
+	Filter        *Filter
+	Projection    []string
+	Limit         uint64
+	WithProof     bool
+	TimeoutMillis uint64
 }
 
 func (*ScanRequest) Kind() Kind { return KScan }
@@ -150,6 +155,7 @@ func (m *ScanRequest) marshal(w *writer) {
 	writeStrings(w, m.Projection)
 	w.uvarint(m.Limit)
 	w.bool(m.WithProof)
+	w.uvarint(m.TimeoutMillis)
 }
 func (m *ScanRequest) unmarshal(r *reader) {
 	m.Table = r.str()
@@ -157,6 +163,7 @@ func (m *ScanRequest) unmarshal(r *reader) {
 	m.Projection = readStrings(r)
 	m.Limit = r.uvarint()
 	m.WithProof = r.bool()
+	m.TimeoutMillis = r.uvarint()
 }
 
 // AggregateRequest computes a provider-side partial aggregate.

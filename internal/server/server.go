@@ -7,6 +7,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"sssdb/internal/proto"
 	"sssdb/internal/store"
@@ -48,8 +49,18 @@ func (p *Provider) HandleStream(req proto.Message, emit func(*proto.RowsResponse
 	if err != nil {
 		return true, errResponse(err).Err()
 	}
+	// The client's propagated read deadline: once it elapses, the client
+	// has already given up on this call, so producing further batches only
+	// burns provider cycles. Checked between batches (a batch is bounded).
+	var deadline time.Time
+	if m.TimeoutMillis > 0 {
+		deadline = time.Now().Add(time.Duration(m.TimeoutMillis) * time.Millisecond)
+	}
 	sent := false
 	for {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return true, &proto.RemoteError{Code: proto.CodeDeadlineExceeded, Msg: "scan abandoned: client deadline elapsed"}
+		}
 		batch, err := cur.Next()
 		if err != nil {
 			return true, errResponse(err).Err()

@@ -2,6 +2,8 @@ package transport
 
 import (
 	"errors"
+	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -30,6 +32,7 @@ type FaultyConn struct {
 	crashed bool
 	closed  bool
 	delay   time.Duration
+	sched   *DelaySchedule
 	corrupt Corrupter
 	// crashAfter, when >= 0, crashes the connection after that many stream
 	// chunks have been delivered (one-shot, armed by CrashAfterChunks).
@@ -82,11 +85,50 @@ func (c *FaultyConn) CrashAfterChunks(n int) {
 }
 
 // SetDelay injects a fixed latency before each call. The latency is
-// interruptible: Crash and Close abort a parked call immediately.
+// interruptible: Crash and Close abort a parked call immediately, and a
+// call deadline nearer than the delay turns the park into a timeout.
 func (c *FaultyConn) SetDelay(d time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.delay = d
+}
+
+// DelaySchedule is a deterministic per-call latency distribution: each call
+// draws base + uniform[0, jitter) from a seeded source, so straggler
+// experiments inject realistic (jittered) latency while staying exactly
+// reproducible across runs and safe under -race. A schedule may be shared
+// by several FaultyConns; the draw order then depends on call interleaving,
+// but the multiset of delays drawn stays seed-determined.
+type DelaySchedule struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	base   time.Duration
+	jitter time.Duration
+}
+
+// NewDelaySchedule builds a schedule drawing base + uniform[0, jitter) per
+// call from a source seeded with seed. A zero jitter yields exactly base.
+func NewDelaySchedule(seed int64, base, jitter time.Duration) *DelaySchedule {
+	return &DelaySchedule{rng: rand.New(rand.NewSource(seed)), base: base, jitter: jitter}
+}
+
+// Next draws the next per-call delay.
+func (s *DelaySchedule) Next() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.base
+	if s.jitter > 0 {
+		d += time.Duration(s.rng.Int63n(int64(s.jitter)))
+	}
+	return d
+}
+
+// SetDelaySchedule installs (or clears, with nil) a per-call delay
+// schedule. A schedule takes precedence over SetDelay's fixed latency.
+func (c *FaultyConn) SetDelaySchedule(s *DelaySchedule) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sched = s
 }
 
 // SetCorrupter installs (or clears, with nil) a response corrupter.
@@ -108,8 +150,11 @@ func (c *FaultyConn) wakeLocked() {
 
 // gate snapshots the fault state and serves the injected delay, returning
 // the error the call must fail with (nil to proceed). The delay aborts the
-// moment Crash or Close fires instead of sleeping unconditionally.
-func (c *FaultyConn) gate() (Corrupter, error) {
+// moment Crash or Close fires instead of sleeping unconditionally, and a
+// call deadline nearer than the delay parks only until the deadline, then
+// fails with a timeout — exactly what a real slow provider looks like to a
+// deadline-bounded caller.
+func (c *FaultyConn) gate(deadline time.Time) (Corrupter, error) {
 	c.mu.Lock()
 	if c.crashed {
 		c.mu.Unlock()
@@ -120,13 +165,24 @@ func (c *FaultyConn) gate() (Corrupter, error) {
 		return nil, ErrClosed
 	}
 	delay, corrupt, wake := c.delay, c.corrupt, c.wake
+	if c.sched != nil {
+		delay = c.sched.Next()
+	}
 	c.mu.Unlock()
 	if delay > 0 {
-		t := time.NewTimer(delay)
-		select {
-		case <-t.C:
-		case <-wake:
-			t.Stop()
+		timedOut := false
+		if !deadline.IsZero() {
+			if rem := time.Until(deadline); rem < delay {
+				delay, timedOut = rem, true
+			}
+		}
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-wake:
+				t.Stop()
+			}
 		}
 		// Re-check: the fault state may have flipped while parked, and a
 		// wake can be stale (Crash then Recover before this call observed
@@ -140,17 +196,26 @@ func (c *FaultyConn) gate() (Corrupter, error) {
 		if closed {
 			return nil, ErrClosed
 		}
+		if timedOut {
+			return nil, os.ErrDeadlineExceeded
+		}
 	}
 	return corrupt, nil
 }
 
 // Call implements Conn.
 func (c *FaultyConn) Call(req proto.Message) (proto.Message, error) {
-	corrupt, err := c.gate()
+	return c.CallDeadline(req, time.Time{})
+}
+
+// CallDeadline implements DeadlineCaller: the injected delay respects the
+// deadline, and the remaining budget propagates to the wrapped connection.
+func (c *FaultyConn) CallDeadline(req proto.Message, deadline time.Time) (proto.Message, error) {
+	corrupt, err := c.gate(deadline)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.inner.Call(req)
+	resp, err := CallWithDeadline(c.inner, req, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +232,13 @@ func (c *FaultyConn) Call(req proto.Message) (proto.Message, error) {
 // armed CrashAfterChunks kills the stream mid-flight after its quota of
 // chunks has been delivered.
 func (c *FaultyConn) CallStream(req proto.Message, yield func(*proto.RowsResponse) error) error {
-	corrupt, err := c.gate()
+	return c.CallStreamDeadline(req, time.Time{}, yield)
+}
+
+// CallStreamDeadline implements StreamDeadlineCaller; the configured faults
+// apply under the caller's deadline exactly as in CallDeadline.
+func (c *FaultyConn) CallStreamDeadline(req proto.Message, deadline time.Time, yield func(*proto.RowsResponse) error) error {
+	corrupt, err := c.gate(deadline)
 	if err != nil {
 		return err
 	}
@@ -197,7 +268,7 @@ func (c *FaultyConn) CallStream(req proto.Message, yield func(*proto.RowsRespons
 		}
 		return yield(chunk)
 	}
-	return CallStream(c.inner, req, wrapped)
+	return CallStreamWithDeadline(c.inner, req, deadline, wrapped)
 }
 
 // Stats implements Conn.

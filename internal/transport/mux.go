@@ -89,7 +89,7 @@ func DialWith(addr string, cfg DialConfig) (Conn, error) {
 	case cfg.BusyRetries < 0:
 		cfg.BusyRetries = 0
 	}
-	c := &tcpConn{addr: addr, cfg: cfg}
+	c := &tcpConn{addr: addr, cfg: cfg, closeCh: make(chan struct{})}
 	s, err := c.dialSession()
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
@@ -105,6 +105,10 @@ type tcpConn struct {
 	counters
 	addr string
 	cfg  DialConfig
+
+	// closeCh is closed by Close so backoff waits (busy-retry, redial)
+	// abort immediately instead of sleeping out their full delay.
+	closeCh chan struct{}
 
 	mu     sync.Mutex // guards sess and closed
 	sess   *session
@@ -256,8 +260,10 @@ func (s *session) abandon(id uint64) {
 
 // negotiate performs the hello/ack exchange once per session and returns
 // the agreed protocol version. Concurrent first calls serialize on sendMu;
-// losers observe the winner's result.
-func (c *tcpConn) negotiate(s *session) (int32, error) {
+// losers observe the winner's result. timeout is the caller's per-attempt
+// budget (its Timeout tightened by any call deadline), so a silent peer
+// cannot hold negotiation longer than the call it serves.
+func (c *tcpConn) negotiate(s *session, timeout time.Duration) (int32, error) {
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
 	if v := s.version.Load(); v != 0 {
@@ -266,8 +272,8 @@ func (c *tcpConn) negotiate(s *session) (int32, error) {
 	if s.isDead() {
 		return 0, s.deathErr()
 	}
-	if c.cfg.Timeout > 0 {
-		if err := s.nc.SetDeadline(time.Now().Add(c.cfg.Timeout)); err != nil {
+	if timeout > 0 {
+		if err := s.nc.SetDeadline(time.Now().Add(timeout)); err != nil {
 			return 0, err
 		}
 	}
@@ -284,7 +290,7 @@ func (c *tcpConn) negotiate(s *session) (int32, error) {
 		return 0, err
 	}
 	s.stats.recv.Add(frameLen(ack))
-	if c.cfg.Timeout > 0 {
+	if timeout > 0 {
 		// Multiplexed sessions use per-request timers, not socket
 		// deadlines; legacy sessions re-arm the deadline per call.
 		if err := s.nc.SetDeadline(time.Time{}); err != nil {
@@ -309,12 +315,29 @@ func (c *tcpConn) negotiate(s *session) (int32, error) {
 
 // Call implements Conn.
 func (c *tcpConn) Call(req proto.Message) (proto.Message, error) {
-	return c.do(req, nil)
+	return c.do(req, nil, time.Time{})
+}
+
+// CallDeadline implements DeadlineCaller: the call (including redial and
+// busy-retry backoff waits) is bounded by the absolute deadline, which
+// tightens the per-call Timeout when it is nearer.
+func (c *tcpConn) CallDeadline(req proto.Message, deadline time.Time) (proto.Message, error) {
+	return c.do(req, nil, deadline)
 }
 
 // CallStream implements StreamCaller.
 func (c *tcpConn) CallStream(req proto.Message, yield func(*proto.RowsResponse) error) error {
-	resp, err := c.do(req, yield)
+	return c.callStream(req, yield, time.Time{})
+}
+
+// CallStreamDeadline implements StreamDeadlineCaller; the deadline covers
+// the whole chunk stream.
+func (c *tcpConn) CallStreamDeadline(req proto.Message, deadline time.Time, yield func(*proto.RowsResponse) error) error {
+	return c.callStream(req, yield, deadline)
+}
+
+func (c *tcpConn) callStream(req proto.Message, yield func(*proto.RowsResponse) error, deadline time.Time) error {
+	resp, err := c.do(req, yield, deadline)
 	if err != nil {
 		return err
 	}
@@ -335,9 +358,9 @@ func (c *tcpConn) CallStream(req proto.Message, yield func(*proto.RowsResponse) 
 // executed, so replaying is safe even for writes) is retried up to
 // BusyRetries times behind exponential backoff. Anything else passes
 // straight through.
-func (c *tcpConn) do(req proto.Message, yield func(*proto.RowsResponse) error) (proto.Message, error) {
+func (c *tcpConn) do(req proto.Message, yield func(*proto.RowsResponse) error, deadline time.Time) (proto.Message, error) {
 	for attempt := 0; ; attempt++ {
-		resp, err := c.doOnce(req, yield)
+		resp, err := c.doOnce(req, yield, deadline)
 		busy := IsBusy(err)
 		if er, ok := resp.(*proto.ErrorResponse); ok && er.Code == proto.CodeServerBusy {
 			busy = true
@@ -345,7 +368,27 @@ func (c *tcpConn) do(req proto.Message, yield func(*proto.RowsResponse) error) (
 		if !busy || attempt >= c.cfg.BusyRetries {
 			return resp, err
 		}
-		time.Sleep(busyBackoff(attempt))
+		if err := c.waitBackoff(busyBackoff(attempt), deadline); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// waitBackoff parks for d, aborting early when the connection closes or
+// the call deadline would elapse before the wait ends. Backoff must never
+// outlive the caller's interest: a closing client or an expired deadline
+// gets an immediate error, not a slept-out cap.
+func (c *tcpConn) waitBackoff(d time.Duration, deadline time.Time) error {
+	if !deadline.IsZero() && time.Until(deadline) <= d {
+		return os.ErrDeadlineExceeded
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.closeCh:
+		return ErrClosed
 	}
 }
 
@@ -363,12 +406,29 @@ func busyBackoff(attempt int) time.Duration {
 // long as the request has not touched the wire (a request that may have
 // reached the provider is never replayed — the caller's failover logic
 // owns that decision).
-func (c *tcpConn) doOnce(req proto.Message, yield func(*proto.RowsResponse) error) (proto.Message, error) {
+func (c *tcpConn) doOnce(req proto.Message, yield func(*proto.RowsResponse) error, deadline time.Time) (proto.Message, error) {
 	body := proto.Encode(req)
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRedials; attempt++ {
 		if attempt > 0 {
-			time.Sleep(redialBackoff(attempt))
+			if err := c.waitBackoff(redialBackoff(attempt), deadline); err != nil {
+				if lastErr != nil && err == os.ErrDeadlineExceeded {
+					return nil, fmt.Errorf("%w (last redial error: %v)", err, lastErr)
+				}
+				return nil, err
+			}
+		}
+		// Per-attempt timeout: the connection's configured Timeout, tightened
+		// by whatever remains until the caller's absolute deadline.
+		timeout := c.cfg.Timeout
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				return nil, os.ErrDeadlineExceeded
+			}
+			if timeout == 0 || rem < timeout {
+				timeout = rem
+			}
 		}
 		s, err := c.session()
 		if err != nil {
@@ -380,7 +440,7 @@ func (c *tcpConn) doOnce(req proto.Message, yield func(*proto.RowsResponse) erro
 		}
 		ver := s.version.Load()
 		if ver == 0 {
-			ver, err = c.negotiate(s)
+			ver, err = c.negotiate(s, timeout)
 			if err != nil {
 				s.fail(err)
 				lastErr = err
@@ -390,9 +450,13 @@ func (c *tcpConn) doOnce(req proto.Message, yield func(*proto.RowsResponse) erro
 		var resp proto.Message
 		var wrote bool
 		if ver == protoVersionLegacy {
-			resp, wrote, err = c.legacyCall(s, body)
+			resp, wrote, err = c.legacyCall(s, body, timeout)
 		} else {
-			resp, wrote, err = c.muxCall(s, body, yield)
+			// A timer fired because of the caller's deadline says nothing
+			// about session health, so only Timeout-sized waits count toward
+			// wedge detection.
+			countWedge := timeout == c.cfg.Timeout
+			resp, wrote, err = c.muxCall(s, body, yield, timeout, countWedge)
 		}
 		if err == nil {
 			return resp, nil
@@ -414,14 +478,14 @@ func redialBackoff(attempt int) time.Duration {
 }
 
 // legacyCall is the v1 path: the whole write→read round trip holds sendMu.
-func (c *tcpConn) legacyCall(s *session, body []byte) (resp proto.Message, wrote bool, err error) {
+func (c *tcpConn) legacyCall(s *session, body []byte, timeout time.Duration) (resp proto.Message, wrote bool, err error) {
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
 	if s.isDead() {
 		return nil, false, s.deathErr()
 	}
-	if c.cfg.Timeout > 0 {
-		if err := s.nc.SetDeadline(time.Now().Add(c.cfg.Timeout)); err != nil {
+	if timeout > 0 {
+		if err := s.nc.SetDeadline(time.Now().Add(timeout)); err != nil {
 			s.fail(err)
 			return nil, false, err
 		}
@@ -453,7 +517,7 @@ func (c *tcpConn) legacyCall(s *session, body []byte) (resp proto.Message, wrote
 // muxCall is the v2 path: register a pending entry, write one request
 // frame, and wait for the reader goroutine to deliver the response (or the
 // per-request timer to fire).
-func (c *tcpConn) muxCall(s *session, body []byte, yield func(*proto.RowsResponse) error) (resp proto.Message, wrote bool, err error) {
+func (c *tcpConn) muxCall(s *session, body []byte, yield func(*proto.RowsResponse) error, timeout time.Duration, countWedge bool) (resp proto.Message, wrote bool, err error) {
 	id := s.nextID.Add(1)
 	pc := &pendingCall{done: make(chan callResult, 1)}
 	if yield != nil {
@@ -478,8 +542,8 @@ func (c *tcpConn) muxCall(s *session, body []byte, yield func(*proto.RowsRespons
 	c.calls.Add(1)
 
 	var timeoutC <-chan time.Time
-	if c.cfg.Timeout > 0 {
-		timer := time.NewTimer(c.cfg.Timeout)
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
 		defer timer.Stop()
 		timeoutC = timer.C
 	}
@@ -516,7 +580,7 @@ func (c *tcpConn) muxCall(s *session, body []byte, yield func(*proto.RowsRespons
 			if pc.stream != nil {
 				s.sendCancel(id)
 			}
-			if s.consecTimeouts.Add(1) >= consecTimeoutLimit {
+			if countWedge && s.consecTimeouts.Add(1) >= consecTimeoutLimit {
 				// Nothing has come back across several deadlines: the
 				// connection is wedged; tear it down so the next call
 				// starts fresh.
@@ -666,8 +730,12 @@ func (c *tcpConn) Close() error {
 	c.mu.Lock()
 	s := c.sess
 	c.sess = nil
+	wasClosed := c.closed
 	c.closed = true
 	c.mu.Unlock()
+	if !wasClosed {
+		close(c.closeCh) // abort any backoff waits immediately
+	}
 	if s != nil {
 		s.fail(ErrClosed)
 	}

@@ -32,8 +32,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sssdb/internal/proto"
 )
@@ -105,6 +107,53 @@ type StreamCaller interface {
 	// arriving row chunk, in order. The request's deadline (if any) covers
 	// the whole stream. A non-nil error from yield abandons the call.
 	CallStream(req proto.Message, yield func(*proto.RowsResponse) error) error
+}
+
+// DeadlineCaller is optionally implemented by Conns that can bound one
+// call by an absolute wall-clock deadline, tighter than (and composing
+// with) any connection-level timeout. A call that cannot complete by the
+// deadline fails with an error matching os.ErrDeadlineExceeded.
+type DeadlineCaller interface {
+	CallDeadline(req proto.Message, deadline time.Time) (proto.Message, error)
+}
+
+// StreamDeadlineCaller is the streaming form of DeadlineCaller: the
+// deadline covers the entire chunk stream.
+type StreamDeadlineCaller interface {
+	CallStreamDeadline(req proto.Message, deadline time.Time, yield func(*proto.RowsResponse) error) error
+}
+
+// CallWithDeadline invokes req on c under an absolute deadline. A zero
+// deadline means none. Conns that do not implement DeadlineCaller get a
+// best-effort bound: the call fails fast if the deadline has already
+// passed, and otherwise runs unbounded (the in-process loopback cannot
+// preempt a synchronous handler).
+func CallWithDeadline(c Conn, req proto.Message, deadline time.Time) (proto.Message, error) {
+	if deadline.IsZero() {
+		return c.Call(req)
+	}
+	if dc, ok := c.(DeadlineCaller); ok {
+		return dc.CallDeadline(req, deadline)
+	}
+	if time.Until(deadline) <= 0 {
+		return nil, os.ErrDeadlineExceeded
+	}
+	return c.Call(req)
+}
+
+// CallStreamWithDeadline is CallStream under an absolute deadline covering
+// the whole chunk stream; zero means none.
+func CallStreamWithDeadline(c Conn, req proto.Message, deadline time.Time, yield func(*proto.RowsResponse) error) error {
+	if deadline.IsZero() {
+		return CallStream(c, req, yield)
+	}
+	if sc, ok := c.(StreamDeadlineCaller); ok {
+		return sc.CallStreamDeadline(req, deadline, yield)
+	}
+	if time.Until(deadline) <= 0 {
+		return os.ErrDeadlineExceeded
+	}
+	return CallStream(c, req, yield)
 }
 
 // CallStream invokes req on c, delivering row chunks to yield as they
@@ -405,6 +454,34 @@ func (c *localConn) CallStream(req proto.Message, yield func(*proto.RowsResponse
 	default:
 		return fmt.Errorf("transport: unexpected %T in row stream", msg)
 	}
+}
+
+// CallDeadline implements DeadlineCaller for the loopback: the handler
+// runs synchronously in-process and cannot be preempted, so the bound is
+// an up-front fast-fail once the deadline has passed.
+func (c *localConn) CallDeadline(req proto.Message, deadline time.Time) (proto.Message, error) {
+	if !deadline.IsZero() && time.Until(deadline) <= 0 {
+		return nil, os.ErrDeadlineExceeded
+	}
+	return c.Call(req)
+}
+
+// CallStreamDeadline implements StreamDeadlineCaller: the deadline is
+// checked before every chunk delivery, so a loopback stream observes it at
+// batch granularity (matching where a real server checks it).
+func (c *localConn) CallStreamDeadline(req proto.Message, deadline time.Time, yield func(*proto.RowsResponse) error) error {
+	if deadline.IsZero() {
+		return c.CallStream(req, yield)
+	}
+	if time.Until(deadline) <= 0 {
+		return os.ErrDeadlineExceeded
+	}
+	return c.CallStream(req, func(chunk *proto.RowsResponse) error {
+		if time.Until(deadline) <= 0 {
+			return os.ErrDeadlineExceeded
+		}
+		return yield(chunk)
+	})
 }
 
 func (c *localConn) Stats() Stats { return c.snapshot() }

@@ -102,6 +102,9 @@ var (
 	ErrUnsupported  = client.ErrUnsupported
 	ErrNotEnough    = client.ErrNotEnough
 	ErrVerification = client.ErrVerification
+	// ErrDeadline reports a read statement that ran out of its
+	// Options.ReadDeadline budget before K providers answered.
+	ErrDeadline = client.ErrDeadline
 	// ErrTxDone reports use of a committed or rolled-back Tx.
 	ErrTxDone = client.ErrTxDone
 	// ErrTxAborted reports a Commit that could not reach its write quorum
